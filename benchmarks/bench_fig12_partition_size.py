@@ -1,0 +1,99 @@
+"""Experiment E7 — Fig 12 + §8.7: the impact of partition size.
+
+Paper's claims to reproduce in shape:
+
+* first-result latency grows with partition size (fewer, bigger chunks);
+* for merge-heavy queries (many groups to re-merge: Q13, Q15, Q22),
+  larger partitions reduce final latency materially;
+* for merge-light queries (Q4, Q19, Q21), final latency is insensitive
+  to partition size.
+"""
+
+import pytest
+
+from conftest import BENCH_OVERRIDES
+
+from repro import WakeContext
+from repro.bench import median_or_nan, run_wake
+from repro.bench.report import banner, format_table
+from repro.bench.workloads import reload_with_partitions
+from repro.tpch.queries import QUERIES
+
+PARTITION_COUNTS = (4, 8, 16, 32)
+MERGE_LIGHT = (4, 19, 21)
+MERGE_HEAVY = (13, 15, 22)
+
+
+@pytest.fixture(scope="module")
+def sweep_catalogs(bench_data, tmp_path_factory):
+    _catalog, tables = bench_data
+    catalogs = {}
+    for count in PARTITION_COUNTS:
+        directory = tmp_path_factory.mktemp(f"sweep_{count}")
+        catalogs[count] = reload_with_partitions(
+            tables, directory, fact_partitions=count
+        )
+    return catalogs
+
+
+def run_sweep(sweep_catalogs):
+    results = {}
+    for number in (*MERGE_LIGHT, *MERGE_HEAVY):
+        query = QUERIES[number]
+        overrides = BENCH_OVERRIDES.get(number, {})
+        per_count = {}
+        for count, catalog in sweep_catalogs.items():
+            ctx = WakeContext(catalog)
+            plan = query.build_plan(ctx, **overrides)
+            run = run_wake(ctx, plan, capture_all=False)
+            per_count[count] = (run.first_latency, run.final_latency)
+        results[number] = per_count
+    return results
+
+
+def test_fig12_partition_size_sweep(sweep_catalogs, benchmark, emit):
+    results = benchmark.pedantic(lambda: run_sweep(sweep_catalogs),
+                                 rounds=1, iterations=1)
+    emit(banner("Fig 12 — partition-count sweep (final-latency slowdown "
+                "vs per-query best; first latency in s)"))
+    header = ["query", "kind"]
+    for count in PARTITION_COUNTS:
+        header += [f"first@{count}", f"final@{count}", f"slow@{count}"]
+    rows = []
+    for number, per_count in results.items():
+        kind = "heavy" if number in MERGE_HEAVY else "light"
+        best = min(final for _first, final in per_count.values())
+        row = [QUERIES[number].name, kind]
+        for count in PARTITION_COUNTS:
+            first, final = per_count[count]
+            row += [first, final, final / best]
+        rows.append(row)
+    emit(format_table(header, rows))
+
+    # First-result latency grows as partitions get bigger (fewer of
+    # them): compare the most-partitioned vs least-partitioned layouts.
+    many, few = max(PARTITION_COUNTS), min(PARTITION_COUNTS)
+    first_ratios = [
+        results[n][few][0] / max(results[n][many][0], 1e-9)
+        for n in results
+    ]
+    assert median_or_nan(first_ratios) > 1.0, (
+        "bigger partitions should delay the first estimate"
+    )
+    # Merge-heavy queries benefit from fewer merges (bigger partitions).
+    heavy_gain = [
+        results[n][many][1] / max(results[n][few][1], 1e-9)
+        for n in MERGE_HEAVY
+    ]
+    light_gain = [
+        results[n][many][1] / max(results[n][few][1], 1e-9)
+        for n in MERGE_LIGHT
+    ]
+    assert median_or_nan(heavy_gain) > median_or_nan(light_gain) * 0.9, (
+        "merge-heavy queries should be at least as partition-sensitive "
+        "as merge-light ones"
+    )
+    assert median_or_nan(heavy_gain) > 1.2, (
+        "merge-heavy finals should clearly speed up with bigger "
+        "partitions"
+    )

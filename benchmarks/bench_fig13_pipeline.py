@@ -1,0 +1,95 @@
+"""Experiment E8 — Fig 13 / Appendix C: pipelined execution timeline.
+
+Runs Q6 on the threaded executor (one thread per node, bounded channels)
+and renders the per-node busy intervals.  Paper's claim to reproduce in
+shape: downstream operators (filter/map/agg) process partition k while
+the reader fetches partition k+1 — their busy spans overlap in time.
+"""
+
+from repro import WakeContext
+from repro.bench.report import ascii_timeline, banner
+from repro.tpch.queries import QUERIES
+
+
+def run_pipeline(bench_data):
+    catalog, _tables = bench_data
+    ctx = WakeContext(catalog, executor="threads")
+    plan = QUERIES[6].build_plan(ctx)
+    # A small per-partition fetch delay makes the reader's cadence
+    # visible, like the IO time of the paper's 512 MB parquet reads.
+    edf = ctx.run(plan, record_timeline=True, source_delay=0.005)
+    executor = ctx.last_executor
+    assert edf.is_final
+    return executor.timeline
+
+
+def test_pipeline_io_overlap(bench_data, benchmark, emit):
+    """Appendix C's quantitative claim, measured honestly on this
+    substrate.
+
+    The paper's Rust engine overlaps per-node *compute* across cores;
+    CPython's GIL precludes that, so the reproducible part of the claim
+    is structural (the timeline test above: downstream nodes are busy
+    while the reader fetches) while the wall-clock gain is bounded by
+    the little GIL-free work available and is typically cancelled out by
+    threading overhead at laptop scale.  This test records both numbers
+    and asserts only that pipelining overhead stays bounded — the
+    substrate-dependence is documented in EXPERIMENTS.md.
+    """
+    catalog, _tables = bench_data
+    delay = 0.02
+    n_parts = catalog.table("lineitem").n_partitions
+
+    def measure():
+        base_ctx = WakeContext(catalog, executor="threads")
+        base = base_ctx.run(
+            QUERIES[1].build_plan(base_ctx), capture_all=False
+        ).snapshots[-1].wall_time
+        io_ctx = WakeContext(catalog, executor="threads")
+        with_io = io_ctx.run(
+            QUERIES[1].build_plan(io_ctx),
+            capture_all=False, source_delay=delay,
+        ).snapshots[-1].wall_time
+        return base, with_io
+
+    base, with_io = benchmark.pedantic(measure, rounds=1, iterations=1)
+    io_time = delay * n_parts
+    serial_estimate = base + io_time
+    hidden = serial_estimate - with_io
+    emit(banner("Appendix C — IO/compute overlap on Q1 (threaded)"))
+    emit(f"simulated IO        : {io_time * 1000:.0f} ms "
+         f"({n_parts} partitions x {delay * 1000:.0f} ms)")
+    emit(f"compute (no IO)     : {base * 1000:.0f} ms")
+    emit(f"serial estimate     : {serial_estimate * 1000:.0f} ms")
+    emit(f"pipelined (with IO) : {with_io * 1000:.0f} ms")
+    emit(f"IO hidden by overlap: {hidden * 1000:.0f} ms "
+         f"({100 * hidden / io_time:.0f}% of IO; GIL-bound — see "
+         f"EXPERIMENTS.md)")
+    assert with_io < serial_estimate * 1.3, (
+        "pipelining overhead must stay bounded"
+    )
+
+
+def test_fig13_pipelined_timeline(bench_data, benchmark, emit):
+    timeline = benchmark.pedantic(lambda: run_pipeline(bench_data),
+                                  rounds=1, iterations=1)
+    events = [(e.node, e.start, e.end) for e in timeline]
+    emit(banner("Fig 13 — pipelined execution of Q6 (threaded executor)"))
+    emit(ascii_timeline(events, width=68))
+
+    nodes = {name for name, _s, _e in events}
+    assert len(nodes) >= 2, "multiple operators must be active"
+
+    # Pipelining: the aggregate's busy spans interleave with upstream
+    # spans rather than strictly following them.
+    agg_spans = sorted(
+        (s, e) for n, s, e in events if n.startswith("agg"))
+    upstream_spans = sorted(
+        (s, e) for n, s, e in events if not n.startswith("agg"))
+    assert agg_spans and upstream_spans
+    first_agg_start = agg_spans[0][0]
+    last_upstream_end = max(e for _s, e in upstream_spans)
+    assert first_agg_start < last_upstream_end, (
+        "the aggregate starts before upstream work has finished "
+        "(pipeline parallelism)"
+    )

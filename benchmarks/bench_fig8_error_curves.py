@@ -1,0 +1,97 @@
+"""Experiment E2 — Fig 8 + §8.3: MAPE and recall over time for the three
+query categories.
+
+* category "mape"   (Q1, Q8): MAPE decreases over time; recall hits 100%
+  early (low-cardinality non-clustered group-by).
+* category "recall" (Q3, Q18): aggregate values are exact (MAPE = 0);
+  recall grows roughly linearly with progress (clustered group-by keys).
+* category "mixed"  (Q10, Q21): recall rises quickly, but MAPE decays
+  slowly (diverse group keys → few samples per group).
+"""
+
+import numpy as np
+
+from conftest import BENCH_OVERRIDES
+
+from repro.baselines import ExactEngine
+from repro.bench import run_wake
+from repro.bench.report import banner, format_table
+from repro.bench.workloads import METRIC_COLUMNS
+from repro.tpch.queries import QUERIES
+
+CURVE_QUERIES = {
+    "mape": (1, 8),
+    "recall": (3, 18),
+    "mixed": (10, 21),
+}
+
+
+def run_curves(bench_data, bench_ctx):
+    _catalog, tables = bench_data
+    memory_engine = ExactEngine(tables=tables, mode="memory")
+    curves = {}
+    for category, numbers in CURVE_QUERIES.items():
+        for number in numbers:
+            query = QUERIES[number]
+            overrides = BENCH_OVERRIDES.get(number, {})
+            keys, values = METRIC_COLUMNS[number]
+            exact = memory_engine.run(query, **overrides).frame
+            plan = query.build_plan(bench_ctx, **overrides)
+            run = run_wake(bench_ctx, plan, exact=exact, keys=keys,
+                           values=values)
+            curves[(category, query.name)] = run
+    return curves
+
+
+def test_fig8_error_and_recall_curves(bench_data, bench_ctx, benchmark,
+                                      emit):
+    curves = benchmark.pedantic(
+        lambda: run_curves(bench_data, bench_ctx), rounds=1,
+        iterations=1,
+    )
+    for (category, name), run in curves.items():
+        emit(banner(f"Fig 8 — {name} ({category}): error/recall over "
+                    f"time"))
+        emit(format_table(
+            ["t", "wall(s)", "MAPE%", "recall%", "precision%"],
+            [
+                [q.t, q.wall_time, q.mape, q.recall, q.precision]
+                for q in run.quality
+            ],
+        ))
+
+    # Category shape assertions (§8.3) -----------------------------------
+    for number in CURVE_QUERIES["mape"]:
+        run = curves[("mape", QUERIES[number].name)]
+        final = run.quality[-1]
+        assert final.mape < 1e-6, "category-1 queries end exact"
+        early_recall = [q.recall for q in run.quality
+                        if q.t <= 0.6]
+        assert early_recall and max(early_recall) == 100.0, (
+            "category-1 recall reaches 100% early"
+        )
+
+    for number in CURVE_QUERIES["recall"]:
+        run = curves[("recall", QUERIES[number].name)]
+        mapes = [q.mape for q in run.quality
+                 if not np.isnan(q.mape)]
+        assert all(m < 1e-6 for m in mapes), (
+            "clustered-key aggregates are exact at every snapshot"
+        )
+        recalls = [q.recall for q in run.quality]
+        assert recalls == sorted(recalls), "recall grows monotonically"
+        ts = np.array([q.t for q in run.quality])
+        rs = np.array(recalls, dtype=float)
+        if len(ts) >= 4 and rs.std() > 0:
+            corr = np.corrcoef(ts, rs)[0, 1]
+            assert corr > 0.8, "recall grows ~linearly with progress"
+
+    for number in CURVE_QUERIES["mixed"]:
+        run = curves[("mixed", QUERIES[number].name)]
+        final = run.quality[-1]
+        assert final.recall == 100.0
+        assert final.mape < 1e-6
+        mid = [q for q in run.quality if 0.3 <= q.t <= 0.8]
+        assert any(q.recall > 50.0 for q in mid), (
+            "mixed-category recall rises well before completion"
+        )

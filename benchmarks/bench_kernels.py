@@ -1,0 +1,89 @@
+"""Kernel micro-benchmarks: the substrate operations every experiment
+sits on (multi-round timings, unlike the single-shot experiment tests).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import estimate_count_distinct
+from repro.core.state import GroupedAggregateState
+from repro.dataframe import (
+    AggSpec,
+    DataFrame,
+    group_aggregate,
+    hash_join,
+    sort_frame,
+)
+
+N = 200_000
+N_GROUPS = 1_000
+
+
+@pytest.fixture(scope="module")
+def fact():
+    rng = np.random.default_rng(0)
+    return DataFrame(
+        {
+            "k": rng.integers(0, N_GROUPS, size=N).astype(np.int64),
+            "v": rng.normal(100.0, 15.0, size=N),
+            "w": rng.uniform(0.0, 1.0, size=N),
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def dim():
+    rng = np.random.default_rng(1)
+    return DataFrame(
+        {
+            "k": np.arange(N_GROUPS, dtype=np.int64),
+            "name": np.array([f"g{i}" for i in range(N_GROUPS)]),
+            "flag": rng.integers(0, 2, size=N_GROUPS).astype(np.bool_),
+        }
+    )
+
+
+def test_kernel_group_aggregate(fact, benchmark):
+    specs = [
+        AggSpec("sum", "v", "s"),
+        AggSpec("count", None, "n"),
+        AggSpec("min", "v", "lo"),
+        AggSpec("max", "v", "hi"),
+    ]
+    out = benchmark(group_aggregate, fact, ["k"], specs)
+    assert out.n_rows == N_GROUPS
+
+
+def test_kernel_hash_join(fact, dim, benchmark):
+    out = benchmark(hash_join, fact, dim, ["k"], ["k"])
+    assert out.n_rows == N
+
+
+def test_kernel_sort(fact, benchmark):
+    out = benchmark(sort_frame, fact, ["v"], False)
+    assert out.n_rows == N
+
+
+def test_kernel_incremental_merge(fact, benchmark):
+    """The edf aggregate's intrinsic-state merge (consume 10 partials)."""
+    parts = [fact.slice(i * (N // 10), (i + 1) * (N // 10))
+             for i in range(10)]
+
+    def consume():
+        state = GroupedAggregateState(
+            by=("k",), specs=(AggSpec("sum", "v", "s"),)
+        )
+        for part in parts:
+            state.consume_delta(part)
+        return state.n_groups
+
+    assert benchmark(consume) == N_GROUPS
+
+
+def test_kernel_count_distinct_estimator(benchmark):
+    rng = np.random.default_rng(2)
+    y = rng.uniform(10, 900, size=10_000)
+    x = y * rng.uniform(1.0, 5.0, size=10_000)
+    x_hat = x * rng.uniform(1.5, 12.0, size=10_000)
+    out = benchmark(estimate_count_distinct, y, x, x_hat)
+    assert np.isfinite(out).all()

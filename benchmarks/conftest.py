@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures.
+
+The bench dataset scale is controlled by ``REPRO_BENCH_SF`` (default
+0.01 ≈ 60k lineitems) and ``REPRO_BENCH_PARTITIONS`` (default 16) so the
+same harness scales from smoke runs to hour-long sweeps.
+
+Every experiment prints the paper-style table through the ``emit``
+fixture, which bypasses pytest's capture (so ``pytest benchmarks/
+--benchmark-only 2>&1 | tee bench_output.txt`` records it) and also
+persists per-experiment text under ``benchmarks/results/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import WakeContext
+from repro.tpch import generate_and_load
+
+BENCH_SF = float(os.environ.get("REPRO_BENCH_SF", "0.02"))
+BENCH_PARTITIONS = int(os.environ.get("REPRO_BENCH_PARTITIONS", "16"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_data(tmp_path_factory):
+    """(catalog, tables) for the benchmark scale factor."""
+    directory = tmp_path_factory.mktemp("tpch_bench")
+    catalog, tables = generate_and_load(
+        directory,
+        scale_factor=BENCH_SF,
+        seed=42,
+        fact_partitions=BENCH_PARTITIONS,
+        dimension_partitions=2,
+    )
+    return catalog, tables
+
+
+@pytest.fixture
+def bench_ctx(bench_data):
+    catalog, _tables = bench_data
+    return WakeContext(catalog)
+
+
+@pytest.fixture
+def emit(capsys, request):
+    """Print experiment output past pytest capture + save to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{request.node.name}.txt"
+    if path.exists():
+        path.unlink()
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(text, flush=True)
+        with open(path, "a") as handle:
+            handle.write(text + "\n")
+
+    return _emit
+
+
+#: Parameter overrides keeping spec-shaped queries non-degenerate at
+#: laptop scale factors (documented in DESIGN.md / EXPERIMENTS.md).
+BENCH_OVERRIDES: dict[int, dict] = {
+    11: {"fraction": 0.005},
+    18: {"threshold": 200},
+}

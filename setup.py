@@ -1,0 +1,7 @@
+"""Setuptools shim so that editable installs work on offline machines
+without the ``wheel`` package (PEP 660 builds need it; ``setup.py develop``
+does not)."""
+
+from setuptools import setup
+
+setup()

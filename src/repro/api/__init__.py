@@ -1,0 +1,7 @@
+"""Fluent user API: WakeContext + EdfFrame + aggregate builders."""
+
+from repro.api.context import WakeContext
+from repro.api.frame_api import EdfFrame, PlanNode
+from repro.api.functions import AggExpr, F
+
+__all__ = ["AggExpr", "EdfFrame", "F", "PlanNode", "WakeContext"]

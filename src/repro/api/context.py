@@ -1,0 +1,182 @@
+"""WakeContext: session entry point tying catalogs to executors.
+
+A context knows (1) where base tables live (a :class:`Catalog`), (2) which
+executor drives queries (sync or threaded), and (3) whether confidence
+intervals are propagated.  Frames built from a context are declarative
+plans; ``run`` materializes a fresh operator graph per execution.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import QueryError
+from repro.core.ci import CIConfig
+from repro.core.edf import EvolvingDataFrame
+from repro.engine.executor import SyncExecutor, ThreadedExecutor
+from repro.engine.graph import QueryGraph
+from repro.engine.ops import ReadOperator
+from repro.storage.catalog import Catalog, TableMeta
+from repro.api.frame_api import EdfFrame, PlanNode
+
+_EXECUTORS = ("sync", "threads")
+
+
+class WakeContext:
+    """A Deep OLA session (paper §7)."""
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        executor: str = "sync",
+        capture_all: bool = True,
+        ci: CIConfig | None = None,
+        partition_shuffle_seed: int | None = None,
+    ) -> None:
+        if executor not in _EXECUTORS:
+            raise QueryError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{_EXECUTORS}"
+            )
+        self.catalog = catalog or Catalog()
+        self.executor = executor
+        self.capture_all = capture_all
+        self.ci = ci
+        #: When set, every table is read in a seed-derived shuffled
+        #: partition order (the §8.5 out-of-order-input experiment).
+        self.partition_shuffle_seed = partition_shuffle_seed
+        self.last_executor: SyncExecutor | ThreadedExecutor | None = None
+        self._scan_counts: dict[str, int] = {}
+
+    @classmethod
+    def from_catalog(cls, path: str | Path, **kwargs) -> "WakeContext":
+        """Open a context over a saved catalog JSON file."""
+        return cls(Catalog.load(path), **kwargs)
+
+    # -- sources ------------------------------------------------------------------
+    def table(
+        self,
+        name: str,
+        order: Sequence[int] | None = None,
+        source_name: str | None = None,
+    ) -> EdfFrame:
+        """An edf streaming a partitioned base table.
+
+        ``order`` permutes partition read order (CI experiment §8.5).
+        ``source_name`` disambiguates progress counters when the same
+        table is read twice in one query (self-joins, subqueries).
+        """
+        meta: TableMeta = self.catalog.table(name)
+        if order is None and self.partition_shuffle_seed is not None:
+            import numpy as np
+
+            rng = np.random.default_rng(
+                self.partition_shuffle_seed
+                + sum(ord(c) for c in name)
+            )
+            order = rng.permutation(meta.n_partitions).tolist()
+        frozen_order = tuple(order) if order is not None else None
+        if source_name is None:
+            # Each scan of the same table is an independent source with
+            # its own progress counters: a shared label would let the
+            # faster of two scans mark the source complete prematurely.
+            count = self._scan_counts.get(name, 0)
+            self._scan_counts[name] = count + 1
+            label = name if count == 0 else f"{name}@{count + 1}"
+        else:
+            label = source_name
+
+        def factory() -> ReadOperator:
+            return ReadOperator(
+                meta,
+                name=f"read({label})",
+                order=frozen_order,
+                source_name=label,
+            )
+
+        return EdfFrame(self, PlanNode(factory))
+
+    # -- execution -----------------------------------------------------------------
+    def run(
+        self,
+        frame: EdfFrame,
+        capture_all: bool | None = None,
+        record_timeline: bool = False,
+        executor: str | None = None,
+        source_delay: float = 0.0,
+    ) -> EvolvingDataFrame:
+        """Execute a plan, returning its evolving output.
+
+        The returned :class:`EvolvingDataFrame` holds every intermediate
+        snapshot (``capture_all=True``) or just the first estimate and the
+        exact final answer (``capture_all=False``).
+        """
+        graph = QueryGraph()
+        output = frame.plan.materialize(graph, {})
+        which = executor or self.executor
+        capture = self.capture_all if capture_all is None else capture_all
+        if which == "sync":
+            if source_delay:
+                raise QueryError(
+                    "source_delay requires the threaded executor"
+                )
+            engine: SyncExecutor | ThreadedExecutor = SyncExecutor(
+                graph, output, capture_all=capture,
+                record_timeline=record_timeline,
+            )
+        elif which == "threads":
+            engine = ThreadedExecutor(
+                graph, output, capture_all=capture,
+                record_timeline=record_timeline,
+                source_delay=source_delay,
+            )
+        else:
+            raise QueryError(f"unknown executor {which!r}")
+        self.last_executor = engine
+        return engine.run()
+
+    def stream(
+        self,
+        frame: EdfFrame,
+        record_timeline: bool = False,
+        source_delay: float = 0.0,
+    ):
+        """Execute on the threaded engine, *yielding* snapshots live.
+
+        This is the paper's downstream-application mode (§7.1: "the query
+        output ... can be consumed by downstream applications (e.g.,
+        progressive visualization)").  The generator ends with the exact
+        final snapshot.
+        """
+        graph = QueryGraph()
+        output = frame.plan.materialize(graph, {})
+        engine = ThreadedExecutor(
+            graph, output, capture_all=True,
+            record_timeline=record_timeline,
+            source_delay=source_delay,
+        )
+        self.last_executor = engine
+        return engine.stream()
+
+    def explain(self, frame: EdfFrame) -> str:
+        """Human-readable plan: node names, deliveries, schemas."""
+        graph = QueryGraph()
+        output = frame.plan.materialize(graph, {})
+        infos = graph.resolve()
+        lines = []
+        for nid in sorted(graph.nodes):
+            node = graph.node(nid)
+            info = infos[nid]
+            marker = " <- output" if nid == output else ""
+            inputs = (
+                f" inputs={list(node.inputs)}" if node.inputs else ""
+            )
+            lines.append(
+                f"[{nid}] {node.operator.name} "
+                f"delivery={info.delivery.value} "
+                f"cluster={list(info.clustering_key)}"
+                f"{inputs}{marker}\n"
+                f"      {info.schema!r}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Aggregate expression builders: the ``F`` namespace.
+
+Mirrors the paper's §3.1 grammar::
+
+    agg := sum | count | avg | count_distinct | min | max | var | stddev
+
+Usage: ``frame.agg(F.sum("l_quantity").alias("sum_qty"), by=["l_orderkey"])``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dataframe.groupby import AggSpec
+
+
+@dataclass(frozen=True)
+class AggExpr:
+    """A pending aggregate: function + column + optional alias (+ the
+    quantile fraction for ``quantile``)."""
+
+    agg: str
+    column: str | None = None
+    name: str | None = None
+    param: float | None = None
+
+    def alias(self, name: str) -> "AggExpr":
+        return replace(self, name=name)
+
+    def to_spec(self) -> AggSpec:
+        alias = self.name
+        if alias is None:
+            alias = (
+                self.agg if self.column is None
+                else f"{self.agg}_{self.column}"
+            )
+        return AggSpec(self.agg, self.column, alias, param=self.param)
+
+
+class F:
+    """Factory namespace for aggregate expressions."""
+
+    @staticmethod
+    def sum(column: str) -> AggExpr:
+        return AggExpr("sum", column)
+
+    @staticmethod
+    def count(column: str | None = None) -> AggExpr:
+        return AggExpr("count", column)
+
+    @staticmethod
+    def avg(column: str) -> AggExpr:
+        return AggExpr("avg", column)
+
+    @staticmethod
+    def min(column: str) -> AggExpr:
+        return AggExpr("min", column)
+
+    @staticmethod
+    def max(column: str) -> AggExpr:
+        return AggExpr("max", column)
+
+    @staticmethod
+    def count_distinct(column: str) -> AggExpr:
+        return AggExpr("count_distinct", column)
+
+    @staticmethod
+    def var(column: str) -> AggExpr:
+        return AggExpr("var", column)
+
+    @staticmethod
+    def stddev(column: str) -> AggExpr:
+        return AggExpr("stddev", column)
+
+    @staticmethod
+    def median(column: str) -> AggExpr:
+        return AggExpr("median", column)
+
+    @staticmethod
+    def quantile(column: str, q: float) -> AggExpr:
+        return AggExpr("quantile", column, param=q)

@@ -1,0 +1,26 @@
+"""Comparison systems: exact engines and OLA baselines (paper §8.1)."""
+
+from repro.baselines.exact import ExactEngine, ExactResult
+from repro.baselines.progressive import (
+    ProgressiveEstimate,
+    ProgressiveQuery,
+    ProgressiveScan,
+)
+from repro.baselines.wanderjoin import (
+    WalkQuery,
+    WalkStep,
+    WanderJoinEngine,
+    WanderJoinEstimate,
+)
+
+__all__ = [
+    "ExactEngine",
+    "ExactResult",
+    "ProgressiveEstimate",
+    "ProgressiveQuery",
+    "ProgressiveScan",
+    "WalkQuery",
+    "WalkStep",
+    "WanderJoinEngine",
+    "WanderJoinEstimate",
+]

@@ -1,0 +1,143 @@
+"""Experiment harness: run Wake plans, score every snapshot against the
+exact answer, and summarize latency/accuracy the way the paper reports it.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.api.context import WakeContext
+from repro.api.frame_api import EdfFrame
+from repro.core.edf import EvolvingDataFrame
+from repro.dataframe import DataFrame
+from repro.bench import metrics
+
+
+@dataclass(frozen=True)
+class SnapshotQuality:
+    """Accuracy of one OLA snapshot against the exact final answer."""
+
+    sequence: int
+    t: float
+    wall_time: float
+    rows_processed: int
+    mape: float
+    recall: float
+    precision: float
+
+
+@dataclass
+class WakeRun:
+    """One Wake execution with its quality trace."""
+
+    edf: EvolvingDataFrame
+    quality: list[SnapshotQuality] = field(default_factory=list)
+    peak_bytes: int = 0
+
+    @property
+    def first_latency(self) -> float:
+        return self.edf.snapshots[0].wall_time
+
+    @property
+    def final_latency(self) -> float:
+        return self.edf.snapshots[-1].wall_time
+
+    @property
+    def first_quality(self) -> SnapshotQuality:
+        return self.quality[0]
+
+    def error_series(self) -> list[tuple[float, float]]:
+        """[(wall_time, mape%), ...] for time-to-error lookups."""
+        return [(q.wall_time, q.mape) for q in self.quality]
+
+    def converged_series(self) -> list[tuple[float, float]]:
+        """Like :meth:`error_series` but an estimate only counts once its
+        recall is complete (missing groups are not convergence)."""
+        return [
+            (q.wall_time, q.mape if q.recall >= 100.0 else float("inf"))
+            for q in self.quality
+        ]
+
+    def time_to_error(self, threshold_pct: float) -> float | None:
+        return metrics.time_to_error(self.converged_series(),
+                                     threshold_pct)
+
+
+def score_snapshots(
+    edf: EvolvingDataFrame,
+    exact: DataFrame,
+    keys: Sequence[str],
+    values: Sequence[str],
+) -> list[SnapshotQuality]:
+    """Score every snapshot of an edf against the exact final frame."""
+    out: list[SnapshotQuality] = []
+    for snapshot in edf.snapshots:
+        frame = snapshot.frame
+        out.append(
+            SnapshotQuality(
+                sequence=snapshot.sequence,
+                t=snapshot.t,
+                wall_time=snapshot.wall_time,
+                rows_processed=snapshot.rows_processed,
+                mape=metrics.mape(frame, exact, keys, values),
+                recall=metrics.recall(frame, exact, keys),
+                precision=metrics.precision(frame, exact, keys),
+            )
+        )
+    return out
+
+
+def run_wake(
+    ctx: WakeContext,
+    plan: EdfFrame,
+    exact: DataFrame | None = None,
+    keys: Sequence[str] = (),
+    values: Sequence[str] = (),
+    capture_all: bool = True,
+    track_memory: bool = False,
+    **run_kwargs,
+) -> WakeRun:
+    """Execute a plan and (optionally) score its snapshots."""
+    if track_memory:
+        tracemalloc.start()
+    edf = ctx.run(plan, capture_all=capture_all, **run_kwargs)
+    peak = 0
+    if track_memory:
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    run = WakeRun(edf=edf, peak_bytes=peak)
+    if exact is not None:
+        run.quality = score_snapshots(edf, exact, keys, values)
+    return run
+
+
+@dataclass(frozen=True)
+class LatencyRow:
+    """One row of the Fig-7 style latency table."""
+
+    query: str
+    wake_first: float
+    wake_final: float
+    exact_memory: float
+    exact_scan: float
+    first_mape: float
+
+    @property
+    def first_speedup_vs_scan(self) -> float:
+        """How much earlier Wake's first estimate lands than the scan
+        engine's exact answer."""
+        return metrics.ratio(self.exact_scan, self.wake_first)
+
+    @property
+    def final_slowdown_vs_memory(self) -> float:
+        return metrics.ratio(self.wake_final, self.exact_memory)
+
+
+def timed(fn, *args, **kwargs) -> tuple[object, float]:
+    """(result, elapsed_seconds) of one call."""
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started

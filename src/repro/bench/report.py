@@ -1,0 +1,90 @@
+"""Plain-text tables and series for the benchmark reports.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and diff-able (the bench
+harness tees stdout into ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def fmt(value: object, width: int = 0) -> str:
+    """Human formatting: 3 significant figures for floats, NaN-safe."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            text = "nan"
+        elif value == 0:
+            text = "0"
+        elif abs(value) >= 1000:
+            text = f"{value:,.0f}"
+        elif abs(value) >= 1:
+            text = f"{value:.3g}"
+        else:
+            text = f"{value:.3g}"
+    else:
+        text = str(value)
+    return text.rjust(width) if width else text
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(p.rjust(w) for p, w in zip(parts, widths))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_series(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def ascii_timeline(
+    events: Sequence[tuple[str, float, float]],
+    width: int = 72,
+) -> str:
+    """Fig-13 style gantt: one row per node, '#' for busy spans.
+
+    ``events`` is [(node, start, end), ...] with absolute times.
+    """
+    if not events:
+        return "(no events)"
+    t0 = min(start for _, start, _ in events)
+    t1 = max(end for _, _, end in events)
+    span = max(t1 - t0, 1e-9)
+    nodes: dict[str, list[tuple[float, float]]] = {}
+    for name, start, end in events:
+        nodes.setdefault(name, []).append((start, end))
+    label_width = max(len(name) for name in nodes)
+    lines = []
+    for name, spans in nodes.items():
+        row = [" "] * width
+        for start, end in spans:
+            a = int((start - t0) / span * (width - 1))
+            b = max(a + 1, int((end - t0) / span * (width - 1)) + 1)
+            for i in range(a, min(b, width)):
+                row[i] = "#"
+        lines.append(f"{name.rjust(label_width)} |{''.join(row)}|")
+    lines.append(
+        f"{' ' * label_width} 0{' ' * (width - 10)}{span * 1000:.0f}ms"
+    )
+    return "\n".join(lines)
+
+
+def banner(title: str) -> str:
+    rule = "=" * len(title)
+    return f"\n{rule}\n{title}\n{rule}"

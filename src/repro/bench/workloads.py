@@ -1,0 +1,378 @@
+"""Benchmark workloads: per-query metric columns, the modified queries of
+the OLA comparisons (Fig 9), the synthetic deep-query generator (§8.6),
+and the partition-size sweep (§8.7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import F, WakeContext
+from repro.api.frame_api import EdfFrame
+from repro.baselines.progressive import ProgressiveQuery
+from repro.baselines.wanderjoin import WalkQuery, WalkStep
+from repro.dataframe import (
+    AggSpec,
+    DataFrame,
+    col,
+    date,
+    global_aggregate,
+    group_aggregate,
+    hash_join,
+    lit,
+)
+from repro.storage import Catalog, write_table
+from repro.tpch.queries._helpers import add, mask, revenue_expr
+
+#: (group keys, value columns) for scoring each TPC-H query's estimates.
+METRIC_COLUMNS: dict[int, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    1: (("l_returnflag", "l_linestatus"),
+        ("sum_qty", "sum_base_price", "sum_disc_price", "sum_charge",
+         "avg_qty", "avg_price", "avg_disc", "count_order")),
+    2: (("ps_partkey", "s_name"), ()),
+    3: (("l_orderkey",), ("revenue",)),
+    4: (("o_orderpriority",), ("order_count",)),
+    5: (("n_name",), ("revenue",)),
+    6: ((), ("revenue",)),
+    7: (("supp_nation", "cust_nation", "l_year"), ("revenue",)),
+    8: (("o_year",), ("mkt_share",)),
+    9: (("nation", "o_year"), ("sum_profit",)),
+    10: (("c_custkey",), ("revenue",)),
+    11: (("ps_partkey",), ("value",)),
+    12: (("l_shipmode",), ("high_line_count", "low_line_count")),
+    13: (("c_count",), ("custdist",)),
+    14: ((), ("promo_revenue",)),
+    15: (("s_suppkey",), ("total_revenue",)),
+    16: (("p_brand", "p_type", "p_size"), ("supplier_cnt",)),
+    17: ((), ("avg_yearly",)),
+    18: (("l_orderkey",), ("total_qty",)),
+    19: ((), ("revenue",)),
+    20: (("s_name",), ()),
+    21: (("s_name",), ("numwait",)),
+    22: (("cntrycode",), ("numcust", "totacctbal")),
+}
+
+
+# ---------------------------------------------------------------------------
+# Modified single-table queries (ProgressiveDB comparison, Fig 9a)
+# ---------------------------------------------------------------------------
+
+def modified_q1_progressive() -> ProgressiveQuery:
+    """Q1 reduced to ProgressiveDB's dialect: single-table grouped sums."""
+    cutoff = date("1998-12-01") - 90
+    return ProgressiveQuery(
+        table="lineitem",
+        aggregates=[
+            AggSpec("sum", "l_quantity", "sum_qty"),
+            AggSpec("sum", "l_extendedprice", "sum_base_price"),
+            AggSpec("count", None, "count_order"),
+        ],
+        predicate=col("l_shipdate") <= cutoff,
+        by=["l_returnflag", "l_linestatus"],
+    )
+
+
+def modified_q1_wake(ctx: WakeContext) -> EdfFrame:
+    cutoff = date("1998-12-01") - 90
+    li = ctx.table("lineitem").filter(col("l_shipdate") <= cutoff)
+    from repro.api.functions import AggExpr
+
+    return li.agg(
+        AggExpr("sum", "l_quantity", "sum_qty"),
+        AggExpr("sum", "l_extendedprice", "sum_base_price"),
+        AggExpr("count", None, "count_order"),
+        by=["l_returnflag", "l_linestatus"],
+    )
+
+
+def modified_q1_exact(tables: dict[str, DataFrame]) -> DataFrame:
+    cutoff = date("1998-12-01") - 90
+    li = mask(tables["lineitem"], col("l_shipdate") <= cutoff)
+    return group_aggregate(
+        li, ["l_returnflag", "l_linestatus"],
+        [AggSpec("sum", "l_quantity", "sum_qty"),
+         AggSpec("sum", "l_extendedprice", "sum_base_price"),
+         AggSpec("count", None, "count_order")],
+    )
+
+
+MODIFIED_Q1_METRICS = (("l_returnflag", "l_linestatus"),
+                       ("sum_qty", "sum_base_price", "count_order"))
+
+
+def _q6_predicate():
+    lo, hi = date("1994-01-01"), date("1995-01-01")
+    return (
+        col("l_shipdate").between(lo, hi)
+        & (col("l_discount") >= 0.05 - 1e-9)
+        & (col("l_discount") <= 0.07 + 1e-9)
+        & (col("l_quantity") < 24)
+    )
+
+
+def modified_q6_progressive() -> ProgressiveQuery:
+    return ProgressiveQuery(
+        table="lineitem",
+        aggregates=[AggSpec("sum", "gain", "revenue")],
+        predicate=_q6_predicate(),
+        derived={"gain": col("l_extendedprice") * col("l_discount")},
+    )
+
+
+def modified_q6_wake(ctx: WakeContext) -> EdfFrame:
+    li = ctx.table("lineitem").filter(_q6_predicate())
+    return li.select(
+        gain=col("l_extendedprice") * col("l_discount")
+    ).agg(F.sum("gain").alias("revenue"))
+
+
+def modified_q6_exact(tables: dict[str, DataFrame]) -> DataFrame:
+    li = mask(tables["lineitem"], _q6_predicate())
+    li = add(li, "gain", col("l_extendedprice") * col("l_discount"))
+    return global_aggregate(li, [AggSpec("sum", "gain", "revenue")])
+
+
+MODIFIED_Q6_METRICS = ((), ("revenue",))
+
+
+# ---------------------------------------------------------------------------
+# Modified join queries (WanderJoin comparison, Fig 9b) — single SUM over a
+# join chain, as in the WanderJoin paper's modified Q3/Q7/Q10.
+# ---------------------------------------------------------------------------
+
+def modified_q3_walk() -> WalkQuery:
+    cut = date("1995-03-15")
+    return WalkQuery(
+        first_table="lineitem",
+        first_predicate=col("l_shipdate") > cut,
+        steps=(
+            WalkStep("orders", "l_orderkey", "o_orderkey",
+                     predicate=col("o_orderdate") < cut),
+            WalkStep("customer", "o_custkey", "c_custkey",
+                     predicate=col("c_mktsegment") == "BUILDING"),
+        ),
+        value=revenue_expr(),
+    )
+
+
+def modified_q3_wake(ctx: WakeContext) -> EdfFrame:
+    cut = date("1995-03-15")
+    cust = ctx.table("customer").filter(
+        col("c_mktsegment") == "BUILDING")
+    orders_f = ctx.table("orders").filter(col("o_orderdate") < cut)
+    oc = orders_f.join(cust, on=[("o_custkey", "c_custkey")])
+    li = ctx.table("lineitem").filter(col("l_shipdate") > cut)
+    lo = li.join(oc, on=[("l_orderkey", "o_orderkey")])
+    return lo.select(rev=revenue_expr()).agg(
+        F.sum("rev").alias("revenue"))
+
+
+def modified_q3_exact(tables: dict[str, DataFrame]) -> float:
+    cut = date("1995-03-15")
+    cust = mask(tables["customer"], col("c_mktsegment") == "BUILDING")
+    orders_f = mask(tables["orders"], col("o_orderdate") < cut)
+    oc = hash_join(orders_f, cust, ["o_custkey"], ["c_custkey"])
+    li = mask(tables["lineitem"], col("l_shipdate") > cut)
+    lo = hash_join(li, oc, ["l_orderkey"], ["o_orderkey"])
+    lo = add(lo, "rev", revenue_expr())
+    return float(lo.column("rev").sum())
+
+
+def modified_q7_walk() -> WalkQuery:
+    lo, hi = date("1995-01-01"), date("1996-12-31")
+    return WalkQuery(
+        first_table="lineitem",
+        first_predicate=(col("l_shipdate") >= lo)
+        & (col("l_shipdate") <= hi),
+        steps=(
+            WalkStep("supplier", "l_suppkey", "s_suppkey"),
+            WalkStep("orders", "l_orderkey", "o_orderkey"),
+            WalkStep("customer", "o_custkey", "c_custkey"),
+        ),
+        value=revenue_expr(),
+    )
+
+
+def modified_q7_wake(ctx: WakeContext) -> EdfFrame:
+    lo_d, hi_d = date("1995-01-01"), date("1996-12-31")
+    li = ctx.table("lineitem").filter(
+        (col("l_shipdate") >= lo_d) & (col("l_shipdate") <= hi_d)
+    )
+    lo = li.join(ctx.table("orders"), on=[("l_orderkey", "o_orderkey")])
+    loc = lo.join(ctx.table("customer"),
+                  on=[("o_custkey", "c_custkey")])
+    locs = loc.join(ctx.table("supplier"),
+                    on=[("l_suppkey", "s_suppkey")])
+    return locs.select(rev=revenue_expr()).agg(
+        F.sum("rev").alias("revenue"))
+
+
+def modified_q7_exact(tables: dict[str, DataFrame]) -> float:
+    lo_d, hi_d = date("1995-01-01"), date("1996-12-31")
+    li = mask(tables["lineitem"],
+              (col("l_shipdate") >= lo_d) & (col("l_shipdate") <= hi_d))
+    lo = hash_join(li, tables["orders"], ["l_orderkey"], ["o_orderkey"])
+    loc = hash_join(lo, tables["customer"], ["o_custkey"], ["c_custkey"])
+    locs = hash_join(loc, tables["supplier"], ["l_suppkey"],
+                     ["s_suppkey"])
+    locs = add(locs, "rev", revenue_expr())
+    return float(locs.column("rev").sum())
+
+
+def modified_q10_walk() -> WalkQuery:
+    lo = date("1993-10-01")
+    hi = date("1994-01-01")
+    return WalkQuery(
+        first_table="lineitem",
+        first_predicate=col("l_returnflag") == "R",
+        steps=(
+            WalkStep("orders", "l_orderkey", "o_orderkey",
+                     predicate=(col("o_orderdate") >= lo)
+                     & (col("o_orderdate") < hi)),
+            WalkStep("customer", "o_custkey", "c_custkey"),
+        ),
+        value=revenue_expr(),
+    )
+
+
+def modified_q10_wake(ctx: WakeContext) -> EdfFrame:
+    lo_d, hi_d = date("1993-10-01"), date("1994-01-01")
+    orders_f = ctx.table("orders").filter(
+        col("o_orderdate").between(lo_d, hi_d)
+    )
+    oc = orders_f.join(ctx.table("customer"),
+                       on=[("o_custkey", "c_custkey")])
+    li = ctx.table("lineitem").filter(col("l_returnflag") == "R")
+    lo = li.join(oc, on=[("l_orderkey", "o_orderkey")])
+    return lo.select(rev=revenue_expr()).agg(
+        F.sum("rev").alias("revenue"))
+
+
+def modified_q10_exact(tables: dict[str, DataFrame]) -> float:
+    lo_d, hi_d = date("1993-10-01"), date("1994-01-01")
+    orders_f = mask(tables["orders"],
+                    col("o_orderdate").between(lo_d, hi_d))
+    oc = hash_join(orders_f, tables["customer"], ["o_custkey"],
+                   ["c_custkey"])
+    li = mask(tables["lineitem"], col("l_returnflag") == "R")
+    lo = hash_join(li, oc, ["l_orderkey"], ["o_orderkey"])
+    lo = add(lo, "rev", revenue_expr())
+    return float(lo.column("rev").sum())
+
+
+# ---------------------------------------------------------------------------
+# Synthetic deep queries (§8.6, Fig 11)
+# ---------------------------------------------------------------------------
+
+#: Distinct values per synthetic group column.
+DEEP_UNIQUES = 4
+DEEP_GROUP_COLS = 10
+
+
+@dataclass(frozen=True)
+class DeepDataset:
+    catalog: Catalog
+    table: DataFrame
+
+
+def generate_deep_dataset(
+    directory: str | Path,
+    n_rows: int = 100_000,
+    n_partitions: int = 20,
+    seed: int = 0,
+) -> DeepDataset:
+    """The §8.6 synthetic table: ``DEEP_GROUP_COLS`` group columns with
+    ``DEEP_UNIQUES`` values each plus one value column ``x``."""
+    rng = np.random.default_rng(seed)
+    data = {
+        f"c{i}": rng.integers(0, DEEP_UNIQUES, size=n_rows).astype(
+            np.int64)
+        for i in range(1, DEEP_GROUP_COLS + 1)
+    }
+    data["x"] = rng.uniform(0.0, 100.0, size=n_rows)
+    frame = DataFrame(data)
+    catalog = Catalog(root=str(directory))
+    write_table(
+        catalog, directory, "deep", frame,
+        rows_per_partition=math.ceil(n_rows / n_partitions),
+        primary_key=(),
+    )
+    return DeepDataset(catalog=catalog, table=frame)
+
+
+def build_deep_query(ctx: WakeContext, depth: int) -> EdfFrame:
+    """Alternating max/sum aggregation chain of the given depth.
+
+    depth 0: global sum of x.  depth d: max(x) by (c1..cd), then
+    sum by (c1..c_{d-1}), ... down to a global aggregate — exactly the
+    paper's ``df.max(x, by=(ci,cii)).sum(max_x, by=ci).sum(...)`` shape.
+    """
+    if depth < 0 or depth > DEEP_GROUP_COLS:
+        raise ValueError(
+            f"depth must be within [0, {DEEP_GROUP_COLS}], got {depth}"
+        )
+    frame = ctx.table("deep")
+    if depth == 0:
+        return frame.agg(F.sum("x").alias("agg0"))
+    current = frame.agg(
+        F.max("x").alias("agg1"),
+        by=[f"c{i}" for i in range(1, depth + 1)],
+    )
+    alias = "agg1"
+    for level in range(1, depth + 1):
+        remaining = [f"c{i}" for i in range(1, depth - level + 1)]
+        next_alias = f"agg{level + 1}"
+        use_max = level % 2 == 1  # alternate: sum after max after sum…
+        agg_expr = (
+            F.sum(alias).alias(next_alias)
+            if use_max
+            else F.max(alias).alias(next_alias)
+        )
+        current = current.agg(agg_expr, by=remaining)
+        alias = next_alias
+    return current
+
+
+def deep_query_reference(table: DataFrame, depth: int) -> DataFrame:
+    """Exact evaluation of :func:`build_deep_query` on the full table."""
+    if depth == 0:
+        return global_aggregate(table, [AggSpec("sum", "x", "agg0")])
+    current = group_aggregate(
+        table, [f"c{i}" for i in range(1, depth + 1)],
+        [AggSpec("max", "x", "agg1")],
+    )
+    alias = "agg1"
+    for level in range(1, depth + 1):
+        remaining = [f"c{i}" for i in range(1, depth - level + 1)]
+        next_alias = f"agg{level + 1}"
+        agg = ("sum" if level % 2 == 1 else "max")
+        spec = AggSpec(agg, alias, next_alias)
+        if remaining:
+            current = group_aggregate(current, remaining, [spec])
+        else:
+            current = global_aggregate(current, [spec])
+        alias = next_alias
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Partition-size sweep (§8.7, Fig 12)
+# ---------------------------------------------------------------------------
+
+def reload_with_partitions(
+    tables,
+    directory: str | Path,
+    fact_partitions: int,
+) -> Catalog:
+    """Re-write the same TPC-H tables with a different fact partition
+    count (the rows-per-partition knob of Fig 12)."""
+    from repro.tpch.loader import load_tables
+
+    return load_tables(
+        tables, directory, fact_partitions=fact_partitions,
+        dimension_partitions=2,
+    )

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — run dbgen and write a partitioned TPC-H catalog;
+* ``run``      — execute one of the 22 TPC-H queries over a catalog,
+  printing each OLA snapshot's progress/accuracy and the final frame;
+* ``explain``  — print a query's physical plan (node types, deliveries,
+  clustering, schemas).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import WakeContext
+from repro.bench.report import format_table
+from repro.tpch import generate_and_load
+from repro.tpch.queries import QUERIES
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("generate", help="generate a TPC-H catalog")
+    p.add_argument("directory", type=Path)
+    p.add_argument("--scale-factor", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--fact-partitions", type=int, default=16)
+    p.add_argument("--format", choices=("npz", "csv"), default="npz")
+
+
+def _add_run(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("run", help="run a TPC-H query with OLA output")
+    p.add_argument("catalog", type=Path,
+                   help="catalog.json written by `generate`")
+    p.add_argument("query", type=int, choices=sorted(QUERIES),
+                   metavar="QUERY", help="TPC-H query number (1-22)")
+    p.add_argument("--executor", choices=("sync", "threads"),
+                   default="sync")
+    p.add_argument("--rows", type=int, default=5,
+                   help="result rows to print")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="query parameter override (repeatable)")
+
+
+def _add_explain(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("explain", help="print a query's physical plan")
+    p.add_argument("catalog", type=Path)
+    p.add_argument("query", type=int, choices=sorted(QUERIES),
+                   metavar="QUERY")
+
+
+def _parse_overrides(pairs: list[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --param {pair!r}; expected NAME=VALUE")
+        name, raw = pair.split("=", 1)
+        try:
+            value: object = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        overrides[name] = value
+    return overrides
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    catalog, tables = generate_and_load(
+        args.directory,
+        scale_factor=args.scale_factor,
+        seed=args.seed,
+        fact_partitions=args.fact_partitions,
+        fmt=args.format,
+    )
+    rows = [[name, tables[name].n_rows,
+             catalog.table(name).n_partitions]
+            for name in sorted(catalog.names())]
+    print(format_table(["table", "rows", "partitions"], rows))
+    print(f"\ncatalog written to {args.directory}/catalog.json")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    ctx = WakeContext.from_catalog(args.catalog,
+                                   executor=args.executor)
+    query = QUERIES[args.query]
+    overrides = _parse_overrides(args.param)
+    plan = query.build_plan(ctx, **overrides)
+    print(f"running {query.name} ({query.category}) ...")
+    edf = ctx.run(plan)
+    summary = [
+        [s.sequence, f"{s.t:.3f}", f"{s.wall_time:.3f}",
+         s.rows_processed, s.frame.n_rows]
+        for s in edf.snapshots
+    ]
+    print(format_table(
+        ["snapshot", "t", "wall(s)", "rows-read", "result-rows"],
+        summary,
+    ))
+    final = edf.get_final()
+    print(f"\nfinal answer ({final.n_rows} rows, first {args.rows}):")
+    print(repr(final.head(args.rows)))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    ctx = WakeContext.from_catalog(args.catalog)
+    query = QUERIES[args.query]
+    print(ctx.explain(query.build_plan(ctx)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deep Online Aggregation (Wake, SIGMOD 2023) "
+                    "reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_generate(sub)
+    _add_run(sub)
+    _add_explain(sub)
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "run": cmd_run,
+        "explain": cmd_explain,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""edf core: data model, growth-based inference, confidence intervals.
+
+This package is the paper's primary contribution (§3–§6): the evolving
+data frame model (properties + states), the monomial cardinality growth
+model, aggregate-aware estimators, and the confidence-interval extension.
+"""
+
+from repro.core.ci import (
+    CIConfig,
+    SIGMA_SUFFIX,
+    chebyshev_k,
+    interval,
+    propagate_map_variance,
+    sigma_column,
+)
+from repro.core.edf import EdfSnapshot, EvolvingDataFrame
+from repro.core.estimators import (
+    estimate_avg,
+    estimate_count,
+    estimate_count_distinct,
+    estimate_order_statistic,
+    estimate_sum,
+    estimate_variance,
+)
+from repro.core.growth import (
+    GrowthModel,
+    GrowthSnapshot,
+    StreamingLogLogRegression,
+)
+from repro.core.inference import AggregateInference
+from repro.core.mergeable import (
+    CARDINALITY_COLUMN,
+    MergeableAggregate,
+    StateColumn,
+)
+from repro.core.properties import Delivery, Progress, StreamInfo
+from repro.core.state import (
+    GroupedAggregateState,
+    IntrinsicStore,
+    SYNTHETIC_KEY,
+    Version,
+)
+
+__all__ = [
+    "AggregateInference",
+    "CARDINALITY_COLUMN",
+    "CIConfig",
+    "Delivery",
+    "EdfSnapshot",
+    "EvolvingDataFrame",
+    "GroupedAggregateState",
+    "GrowthModel",
+    "GrowthSnapshot",
+    "IntrinsicStore",
+    "MergeableAggregate",
+    "Progress",
+    "SIGMA_SUFFIX",
+    "StateColumn",
+    "StreamInfo",
+    "StreamingLogLogRegression",
+    "SYNTHETIC_KEY",
+    "Version",
+    "chebyshev_k",
+    "estimate_avg",
+    "estimate_count",
+    "estimate_count_distinct",
+    "estimate_order_statistic",
+    "estimate_sum",
+    "estimate_variance",
+    "interval",
+    "propagate_map_variance",
+    "sigma_column",
+]

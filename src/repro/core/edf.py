@@ -1,0 +1,117 @@
+"""User-visible evolving data frame handle (paper §3.1).
+
+An edf is a map from progress ``t ∈ (0, 1]`` to data frames, realized here
+as an ordered series of :class:`EdfSnapshot` states.  ``get()`` returns the
+latest state; ``get_final()`` returns the t = 1 state and raises if the
+stream has not completed (engines deliver completion synchronously in this
+reproduction, so there is nothing to block on — see ``WakeContext.run``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ExecutionError
+from repro.dataframe.frame import DataFrame
+from repro.core.properties import Progress
+
+
+@dataclass(frozen=True)
+class EdfSnapshot:
+    """One state of an evolving data frame."""
+
+    frame: DataFrame
+    progress: Progress
+    sequence: int
+    wall_time: float  # seconds since query start
+    rows_processed: int  # cumulative source tuples consumed ("work")
+
+    @property
+    def t(self) -> float:
+        return self.progress.fraction
+
+    @property
+    def is_final(self) -> bool:
+        return self.progress.is_complete
+
+
+class EvolvingDataFrame:
+    """An ordered series of converging snapshots (closed under edf ops).
+
+    The 2C properties (§3.1) hold by construction: every snapshot shares
+    one schema (consistency) and the last snapshot of a completed stream
+    is the exact answer (convergence; enforced end-to-end by the test
+    suite against reference implementations).
+    """
+
+    def __init__(self, name: str = "edf") -> None:
+        self.name = name
+        self._snapshots: list[EdfSnapshot] = []
+
+    # -- engine-side ----------------------------------------------------------
+    def append(self, snapshot: EdfSnapshot) -> None:
+        if self._snapshots:
+            previous = self._snapshots[-1]
+            if not previous.frame.schema.same_layout(snapshot.frame.schema):
+                raise ExecutionError(
+                    f"edf {self.name!r} violated consistency: schema changed "
+                    f"between snapshots {previous.sequence} and "
+                    f"{snapshot.sequence}"
+                )
+        self._snapshots.append(snapshot)
+
+    # -- user-side ----------------------------------------------------------
+    @property
+    def snapshots(self) -> tuple[EdfSnapshot, ...]:
+        return tuple(self._snapshots)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __iter__(self) -> Iterator[EdfSnapshot]:
+        return iter(self._snapshots)
+
+    @property
+    def is_final(self) -> bool:
+        return bool(self._snapshots) and self._snapshots[-1].is_final
+
+    def get(self) -> DataFrame:
+        """Latest (most accurate, in expectation) estimate frame."""
+        if not self._snapshots:
+            raise ExecutionError(f"edf {self.name!r} has no snapshots yet")
+        return self._snapshots[-1].frame
+
+    def get_final(self) -> DataFrame:
+        """The exact t = 1 answer."""
+        if not self.is_final:
+            raise ExecutionError(
+                f"edf {self.name!r} has not reached t=1 "
+                f"(have {len(self._snapshots)} snapshots)"
+            )
+        return self._snapshots[-1].frame
+
+    def first(self) -> EdfSnapshot:
+        """The first estimate (the OLA interactivity headline, §8.2)."""
+        if not self._snapshots:
+            raise ExecutionError(f"edf {self.name!r} has no snapshots yet")
+        return self._snapshots[0]
+
+    def describe(self) -> DataFrame:
+        """One row per snapshot: sequence, t, wall time, rows read,
+        result rows — the refinement trace as a frame."""
+        import numpy as np
+
+        snaps = self._snapshots
+        return DataFrame(
+            {
+                "sequence": np.array(
+                    [s.sequence for s in snaps], dtype=np.int64),
+                "t": np.array([s.t for s in snaps]),
+                "wall_time": np.array([s.wall_time for s in snaps]),
+                "rows_processed": np.array(
+                    [s.rows_processed for s in snaps], dtype=np.int64),
+                "result_rows": np.array(
+                    [s.frame.n_rows for s in snaps], dtype=np.int64),
+            }
+        )

@@ -1,0 +1,169 @@
+"""Aggregate-aware estimators f(y, x, x̂) (paper §5.3).
+
+Each estimator maps the raw (intrinsic) aggregate value ``y`` observed over
+``x`` tuples of a group, together with the estimated final group
+cardinality ``x̂``, to an unbiased estimate of the final aggregate:
+
+* count       →  x̂
+* sum         →  (y / x) · x̂
+* weighted avg → identity (the scale factors cancel, Eq. 5)
+* count-distinct → finite-population method-of-moments (Haas et al. [36]),
+  solved by bracketed Newton–Raphson on Eq. (6) with log-gamma terms
+* order statistics (min/max/median/quantiles) → identity (latest value)
+
+All functions are vectorized over numpy arrays of groups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import digamma, gammaln
+
+#: Newton–Raphson controls for the count-distinct solver.
+_CD_TOLERANCE = 1e-9
+_CD_MAX_STEPS = 60
+
+
+def estimate_count(x_hat: np.ndarray) -> np.ndarray:
+    """f_count: the estimated final cardinality itself."""
+    return np.asarray(x_hat, dtype=np.float64)
+
+
+def estimate_sum(y: np.ndarray, x: np.ndarray,
+                 x_hat: np.ndarray) -> np.ndarray:
+    """f_sum: scale the raw sum by the projected cardinality ratio."""
+    y = np.asarray(y, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    x_hat = np.asarray(x_hat, dtype=np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        scaled = np.where(x > 0, y / np.maximum(x, 1.0) * x_hat, 0.0)
+    return scaled
+
+
+def estimate_avg(sum_y: np.ndarray, count_y: np.ndarray) -> np.ndarray:
+    """f_avg: ratio of sums — scaling cancels (Eq. 5), so identity."""
+    sum_y = np.asarray(sum_y, dtype=np.float64)
+    count_y = np.asarray(count_y, dtype=np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(count_y > 0, sum_y / np.maximum(count_y, 1.0),
+                        np.nan)
+
+
+def estimate_order_statistic(y: np.ndarray) -> np.ndarray:
+    """f_order: latest observed value (min/max/quantiles), §5.3."""
+    return np.asarray(y, dtype=np.float64)
+
+
+def estimate_variance(count: np.ndarray, total: np.ndarray,
+                      sumsq: np.ndarray) -> np.ndarray:
+    """Sample variance from mergeable (count, sum, sum-of-squares).
+
+    Weighted-average-like aggregates need no growth scaling (§5.3); the
+    estimate converges to the exact sample variance at t = 1.
+    """
+    count = np.asarray(count, dtype=np.float64)
+    total = np.asarray(total, dtype=np.float64)
+    sumsq = np.asarray(sumsq, dtype=np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        m2 = sumsq - np.where(count > 0, total * total / np.maximum(count, 1),
+                              0.0)
+        var = np.where(count > 1, np.maximum(m2, 0.0) /
+                       np.maximum(count - 1, 1), np.nan)
+    return var
+
+
+# ---------------------------------------------------------------------------
+# Count-distinct: finite-population method-of-moments (Eq. 6-7)
+# ---------------------------------------------------------------------------
+
+def _log_h(z: np.ndarray, x: np.ndarray, big_x: np.ndarray) -> np.ndarray:
+    """log h(z) with h from Eq. (7), evaluated via log-gamma for stability.
+
+    h(z) = Γ(X−z+1)Γ(X−x+1) / (Γ(X−x−z+1)Γ(X+1)) — the probability that a
+    particular value (occurring X/Y times) is absent from a uniform sample
+    of x tuples out of X.
+    """
+    return (
+        gammaln(big_x - z + 1.0)
+        + gammaln(big_x - x + 1.0)
+        - gammaln(big_x - x - z + 1.0)
+        - gammaln(big_x + 1.0)
+    )
+
+
+def _g(candidate_y: np.ndarray, y: np.ndarray, x: np.ndarray,
+       big_x: np.ndarray) -> np.ndarray:
+    """Residual of Eq. (6): Y·(1 − h(X/Y)) − y."""
+    z = big_x / candidate_y
+    return candidate_y * (1.0 - np.exp(_log_h(z, x, big_x))) - y
+
+
+def _g_prime(candidate_y: np.ndarray, y: np.ndarray, x: np.ndarray,
+             big_x: np.ndarray) -> np.ndarray:
+    """d/dY of Eq. (6) residual via digamma (h'(z) in log form)."""
+    z = big_x / candidate_y
+    h = np.exp(_log_h(z, x, big_x))
+    # dh/dz = h(z) * (ψ(X−x−z+1) − ψ(X−z+1))
+    dh_dz = h * (digamma(big_x - x - z + 1.0) - digamma(big_x - z + 1.0))
+    # dz/dY = −X / Y²
+    dz_dy = -big_x / (candidate_y * candidate_y)
+    return (1.0 - h) - candidate_y * dh_dz * dz_dy
+
+
+def estimate_count_distinct(
+    y: np.ndarray, x: np.ndarray, x_hat: np.ndarray
+) -> np.ndarray:
+    """f_cd: final distinct-count estimates for every group (vectorized).
+
+    Solves Eq. (6) per group with Newton–Raphson, falling back to bisection
+    steps whenever Newton would leave the valid bracket
+    ``[max(y, X/(X−x+1)), X]``.  Degenerate groups (already-complete, or
+    fully-distinct samples) short-circuit to their known answers.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    big_x = np.asarray(x_hat, dtype=np.float64)
+    out = y.astype(np.float64).copy()
+
+    # Groups where estimation applies: strictly more data expected and a
+    # non-degenerate sample.  If x >= X the sample is the population.
+    active = (big_x > x + 0.5) & (x > 0) & (y > 0)
+    # Fully-distinct samples (y == x) extrapolate to fully-distinct finals.
+    all_distinct = active & (y >= x)
+    out[all_distinct] = big_x[all_distinct]
+    active &= ~all_distinct
+    if not active.any():
+        return out
+
+    ya, xa, bxa = y[active], x[active], big_x[active]
+    # Bracket: Y must keep z = X/Y inside the h() domain (z < X − x + 1)
+    # and can never be below the observed distinct count or above X.
+    lo = np.maximum(ya, bxa / (bxa - xa + 1.0) + 1e-9)
+    hi = bxa.copy()
+    current = np.clip(ya * bxa / xa, lo, hi)  # linear-scaling warm start
+
+    g_lo = _g(lo, ya, xa, bxa)
+    # If even the lower bracket over-shoots, the observed y is already
+    # consistent with the minimum possible Y: keep lo.
+    for _ in range(_CD_MAX_STEPS):
+        residual = _g(current, ya, xa, bxa)
+        done = np.abs(residual) <= _CD_TOLERANCE * np.maximum(ya, 1.0)
+        if done.all():
+            break
+        # maintain bisection bracket: g is increasing in Y
+        increase = residual < 0
+        lo = np.where(increase & ~done, current, lo)
+        hi = np.where(~increase & ~done, current, hi)
+        slope = _g_prime(current, ya, xa, bxa)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            newton = current - residual / slope
+        bad = (
+            ~np.isfinite(newton) | (newton <= lo) | (newton >= hi)
+        )
+        nxt = np.where(bad, 0.5 * (lo + hi), newton)
+        current = np.where(done, current, nxt)
+
+    # Where the bracket was degenerate (g(lo) > 0), fall back to lo.
+    current = np.where(g_lo > 0, np.maximum(ya, lo), current)
+    out[active] = np.maximum(current, ya)
+    return out

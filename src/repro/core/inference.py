@@ -1,0 +1,196 @@
+"""Growth-based aggregate inference: intrinsic → extrinsic states (§5.1).
+
+``AggregateInference`` owns one :class:`GrowthModel` per aggregate node.
+On each emission it (1) observes the node's mean group cardinality at the
+current progress, (2) estimates per-group final cardinalities
+``x̂ = x / t^w`` (Eq. 4), and (3) applies the aggregate-aware estimator of
+every requested aggregate (§5.3).  With a :class:`CIConfig` it additionally
+emits per-estimate standard deviations (``<alias>__sigma`` columns) from
+the §6 variance rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.groupby import AggSpec
+from repro.dataframe.schema import AttributeKind, Field, Schema, dtype_of
+from repro.core import ci as ci_mod
+from repro.core.ci import CIConfig
+from repro.core.estimators import (
+    estimate_avg,
+    estimate_count,
+    estimate_count_distinct,
+    estimate_order_statistic,
+    estimate_sum,
+    estimate_variance,
+)
+from repro.core.growth import GrowthModel, GrowthSnapshot
+from repro.core.mergeable import CARDINALITY_COLUMN, MergeableAggregate
+from repro.core.state import GroupedAggregateState
+
+
+class AggregateInference:
+    """Produces extrinsic (estimate) frames from an aggregate's intrinsic
+    state."""
+
+    def __init__(
+        self,
+        growth: GrowthModel,
+        ci: CIConfig | None = None,
+    ) -> None:
+        self.growth = growth
+        self.ci = ci
+
+    # -- growth bookkeeping ---------------------------------------------------
+    def observe(self, state: GroupedAggregateState, t: float) -> None:
+        """Record (t, mean group cardinality) into the growth model."""
+        if 0.0 < t < 1.0 and state.n_groups > 0:
+            self.growth.observe(t, state.mean_cardinality)
+
+    # -- estimation --------------------------------------------------------------
+    def infer(self, state: GroupedAggregateState, t: float) -> DataFrame:
+        """Extrinsic snapshot: keys + one estimate column per AggSpec."""
+        intrinsic = state.state_frame()
+        snap = self.growth.snapshot()
+        card = intrinsic.column(CARDINALITY_COLUMN).astype(np.float64)
+        scale = 1.0 if t >= 1.0 else snap.scale(t)
+        x_hat = card * scale
+
+        keys = state.output_keys()
+        data: dict[str, np.ndarray] = {
+            name: intrinsic.column(name) for name in keys
+        }
+        fields = [
+            Field(name, dtype_of(intrinsic.column(name)),
+                  AttributeKind.CONSTANT)
+            for name in keys
+        ]
+
+        var_x_hat = (
+            ci_mod.var_count(x_hat, t, snap.var_w)
+            if self.ci is not None
+            else None
+        )
+        for mergeable in state.mergeables:
+            estimate, sigma = self._estimate_one(
+                mergeable, state, intrinsic, card, x_hat, t, snap, var_x_hat
+            )
+            alias = mergeable.spec.alias
+            data[alias] = estimate
+            fields.append(Field(alias, dtype_of(estimate),
+                                AttributeKind.MUTABLE))
+            if sigma is not None:
+                name = ci_mod.sigma_column(alias)
+                data[name] = sigma
+                fields.append(Field(name, dtype_of(sigma),
+                                    AttributeKind.MUTABLE))
+        return DataFrame(data, schema=Schema(fields))
+
+    def _estimate_one(
+        self,
+        mergeable: MergeableAggregate,
+        state: GroupedAggregateState,
+        intrinsic: DataFrame,
+        card: np.ndarray,
+        x_hat: np.ndarray,
+        t: float,
+        snap: GrowthSnapshot,
+        var_x_hat: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """(estimate, sigma-or-None) for one aggregate spec."""
+        spec: AggSpec = mergeable.spec
+        agg = spec.agg
+        want_ci = self.ci is not None
+
+        if agg == "count":
+            raw = mergeable.read(intrinsic, "count")
+            if spec.column is None:
+                estimate = estimate_count(x_hat)
+            else:
+                estimate = estimate_sum(raw, card, x_hat)
+            sigma = np.sqrt(var_x_hat) if want_ci else None
+            return estimate, sigma
+
+        # Finite-population correction: the observed rows are a sample
+        # *without replacement* of the final data, so sampling variance
+        # shrinks by (1 − t) and vanishes at completion (Fig 10a: the CI
+        # converges onto the exact answer).
+        fpc = max(0.0, 1.0 - t)
+
+        if agg == "sum":
+            raw = mergeable.read(intrinsic, "sum")
+            estimate = estimate_sum(raw, card, x_hat)
+            if not want_ci:
+                return estimate, None
+            if mergeable.track_moments:
+                s2 = ci_mod.value_variance(
+                    mergeable.read(intrinsic, "count"),
+                    raw,
+                    mergeable.read(intrinsic, "sumsq"),
+                )
+                var_y = ci_mod.var_partial_sum(card, s2) * fpc
+            else:
+                var_y = np.zeros_like(estimate)
+            sigma = np.sqrt(
+                ci_mod.var_sum(raw, card, x_hat, var_y, var_x_hat)
+            )
+            return estimate, sigma
+
+        if agg == "avg":
+            total = mergeable.read(intrinsic, "sum")
+            count = mergeable.read(intrinsic, "count")
+            estimate = estimate_avg(total, count)
+            if not want_ci:
+                return estimate, None
+            if mergeable.track_moments:
+                s2 = ci_mod.value_variance(
+                    count, total, mergeable.read(intrinsic, "sumsq")
+                )
+            else:
+                s2 = np.zeros_like(estimate)
+            sigma = np.sqrt(ci_mod.var_avg(s2, count) * fpc)
+            return estimate, sigma
+
+        if agg in ("min", "max"):
+            raw = mergeable.read(intrinsic, agg)
+            estimate = estimate_order_statistic(raw)
+            # GEV-based initial variance is out of scope (see ci module
+            # docstring); CIs for extreme order statistics are "unstable".
+            sigma = np.full_like(estimate, np.nan) if want_ci else None
+            return estimate, sigma
+
+        if agg in ("var", "stddev"):
+            count = mergeable.read(intrinsic, "count")
+            total = mergeable.read(intrinsic, "sum")
+            sumsq = mergeable.read(intrinsic, "sumsq")
+            estimate = estimate_variance(count, total, sumsq)
+            if agg == "stddev":
+                with np.errstate(invalid="ignore"):
+                    estimate = np.sqrt(estimate)
+            sigma = np.full_like(estimate, np.nan) if want_ci else None
+            return estimate, sigma
+
+        if agg in ("median", "quantile"):
+            estimate = state.sample_quantiles(spec)
+            # Sample quantiles are asymptotically unbiased (§5.4, van der
+            # Vaart 21.2); interval estimation (bootstrap) is out of
+            # scope, like min/max.
+            sigma = np.full_like(estimate, np.nan) if want_ci else None
+            return estimate, sigma
+
+        if agg == "count_distinct":
+            observed = state.distinct_counts(spec)
+            estimate = estimate_count_distinct(observed, card, x_hat)
+            if not want_ci:
+                return estimate, None
+            var_y = ci_mod.proxy_var_distinct_count(observed, estimate)
+            sigma = np.sqrt(
+                ci_mod.var_count_distinct(
+                    observed, card, x_hat, estimate, var_y, var_x_hat
+                )
+            )
+            return estimate, sigma
+
+        raise AssertionError(f"unhandled aggregate {agg!r}")

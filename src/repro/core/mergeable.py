@@ -1,0 +1,180 @@
+"""Mergeable intrinsic representations per aggregate (paper Table 2).
+
+Every aggregate ``op`` admits a state representation and a merge operation
+⊎ such that ``op(δ1 ∪ δ2) = op(δ1) ⊎ op(δ2)``:
+
+=================  ===========================  ===============
+aggregate          intrinsic representation      merge
+=================  ===========================  ===============
+count              count by key                  sum by key
+sum                sum by key                    sum by key
+avg                (sum, count) by key           sum by key
+min / max          min / max by key              min / max by key
+var / stddev       (count, sum, sumsq) by key    sum by key
+count_distinct     exact value set by key        set union by key
+median / quantile  exact value multiset by key   multiset union
+=================  ===========================  ===============
+
+Variance keeps raw sums-of-squares (rather than centered m2) so that *all*
+numeric merges reduce to elementwise sum/min/max after a key-based
+re-group, and count-distinct keeps exact per-group value sets (paper
+footnote 3 — never sketches), represented as a distinct (key, value) pairs
+frame whose union is concat + distinct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.groupby import (
+    AggSpec,
+    group_count,
+    group_max,
+    group_min,
+    group_sum,
+)
+
+#: Name of the synthetic per-group input-cardinality column x_i(t).
+CARDINALITY_COLUMN = "__card__"
+
+
+@dataclass(frozen=True)
+class StateColumn:
+    """One physical intrinsic-state column and its merge function."""
+
+    name: str
+    merge: str  # "sum" | "min" | "max"
+
+    def __post_init__(self) -> None:
+        if self.merge not in ("sum", "min", "max"):
+            raise QueryError(f"unknown merge function {self.merge!r}")
+
+
+class MergeableAggregate:
+    """Intrinsic state layout + partial evaluation for one :class:`AggSpec`.
+
+    ``track_moments`` additionally maintains per-group count/sum-of-squares
+    for ``sum``/``avg`` so the CI extension (§6) can derive initial
+    variances via the CLT.
+    """
+
+    def __init__(self, spec: AggSpec, track_moments: bool = False) -> None:
+        self.spec = spec
+        self.track_moments = track_moments
+        self._columns = self._layout()
+
+    @property
+    def needs_distinct_pairs(self) -> bool:
+        return self.spec.agg == "count_distinct"
+
+    @property
+    def needs_value_buffer(self) -> bool:
+        """Order statistics beyond min/max keep the exact per-group value
+        multiset (the quantile analogue of footnote 3's exact sets)."""
+        return self.spec.agg in ("median", "quantile")
+
+    @property
+    def state_columns(self) -> tuple[StateColumn, ...]:
+        return self._columns
+
+    def _name(self, part: str) -> str:
+        return f"__{self.spec.alias}__{part}"
+
+    def _layout(self) -> tuple[StateColumn, ...]:
+        agg = self.spec.agg
+        if agg == "count":
+            return (StateColumn(self._name("count"), "sum"),)
+        if agg == "sum":
+            cols = [StateColumn(self._name("sum"), "sum")]
+            if self.track_moments:
+                cols.append(StateColumn(self._name("count"), "sum"))
+                cols.append(StateColumn(self._name("sumsq"), "sum"))
+            return tuple(cols)
+        if agg == "avg":
+            cols = [
+                StateColumn(self._name("sum"), "sum"),
+                StateColumn(self._name("count"), "sum"),
+            ]
+            if self.track_moments:
+                cols.append(StateColumn(self._name("sumsq"), "sum"))
+            return tuple(cols)
+        if agg == "min":
+            return (StateColumn(self._name("min"), "min"),)
+        if agg == "max":
+            return (StateColumn(self._name("max"), "max"),)
+        if agg in ("var", "stddev"):
+            return (
+                StateColumn(self._name("count"), "sum"),
+                StateColumn(self._name("sum"), "sum"),
+                StateColumn(self._name("sumsq"), "sum"),
+            )
+        if agg == "count_distinct":
+            return ()  # state lives in the distinct-pairs frame
+        if agg in ("median", "quantile"):
+            return ()  # state lives in the value-buffer frame
+        raise QueryError(f"unsupported aggregate {agg!r}")
+
+    def partial_state(
+        self, frame: DataFrame, codes: np.ndarray, n_groups: int
+    ) -> dict[str, np.ndarray]:
+        """Evaluate this aggregate's intrinsic columns over one partial."""
+        agg = self.spec.agg
+        out: dict[str, np.ndarray] = {}
+        if agg in ("count_distinct", "median", "quantile"):
+            return out
+        if agg == "count":
+            if self.spec.column is None:
+                out[self._name("count")] = group_count(
+                    codes, n_groups
+                ).astype(np.float64)
+            else:
+                values = frame.column(self.spec.column).astype(
+                    np.float64, copy=False
+                )
+                out[self._name("count")] = group_count(
+                    codes, n_groups, valid=~np.isnan(values)
+                ).astype(np.float64)
+            return out
+        values = frame.column(self.spec.column)  # type: ignore[arg-type]
+        as_float = values.astype(np.float64, copy=False)
+        if agg == "sum":
+            out[self._name("sum")] = group_sum(codes, n_groups, as_float)
+            if self.track_moments:
+                out[self._name("count")] = group_count(
+                    codes, n_groups, valid=~np.isnan(as_float)
+                ).astype(np.float64)
+                out[self._name("sumsq")] = group_sum(
+                    codes, n_groups, as_float * as_float
+                )
+        elif agg == "avg":
+            out[self._name("sum")] = group_sum(codes, n_groups, as_float)
+            out[self._name("count")] = group_count(
+                codes, n_groups, valid=~np.isnan(as_float)
+            ).astype(np.float64)
+            if self.track_moments:
+                out[self._name("sumsq")] = group_sum(
+                    codes, n_groups, as_float * as_float
+                )
+        elif agg == "min":
+            out[self._name("min")] = group_min(codes, n_groups, as_float)
+        elif agg == "max":
+            out[self._name("max")] = group_max(codes, n_groups, as_float)
+        elif agg in ("var", "stddev"):
+            out[self._name("count")] = group_count(
+                codes, n_groups, valid=~np.isnan(as_float)
+            ).astype(np.float64)
+            out[self._name("sum")] = group_sum(codes, n_groups, as_float)
+            out[self._name("sumsq")] = group_sum(
+                codes, n_groups, as_float * as_float
+            )
+        else:
+            raise QueryError(f"unsupported aggregate {agg!r}")
+        return out
+
+    # -- readers used by inference ------------------------------------------
+    def read(self, state: DataFrame, part: str) -> np.ndarray:
+        return state.column(self._name(part))

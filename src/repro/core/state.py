@@ -1,0 +1,299 @@
+"""Intrinsic state maintenance: versions × partials (paper §4.2, Fig 5).
+
+Two structures live here:
+
+* :class:`IntrinsicStore` — the generic versions-and-partials bookkeeping an
+  edf exposes.  Appending a partial is an incremental update; beginning a
+  new version is a complete refresh.
+* :class:`GroupedAggregateState` — the aggregate operator's intrinsic
+  state: one accumulated per-group frame of mergeable columns (see
+  ``repro.core.mergeable``) plus exact distinct-value pair frames for
+  count-distinct.  It supports both update styles: ``consume_delta``
+  merges a partial in (Case 2 input), ``begin_version`` resets for a full
+  snapshot (Case 3 / REPLACE input).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.groupby import (
+    AggSpec,
+    distinct_rows,
+    group_codes,
+    group_count,
+    group_max,
+    group_min,
+    group_sum,
+)
+from repro.core.mergeable import (
+    CARDINALITY_COLUMN,
+    MergeableAggregate,
+    StateColumn,
+)
+
+#: Synthetic key column injected for global (ungrouped) aggregates.
+SYNTHETIC_KEY = "__group__"
+
+
+class Version:
+    """One version: a list of key-disjoint partials (paper Fig 5)."""
+
+    def __init__(self) -> None:
+        self.partials: list[DataFrame] = []
+
+    @property
+    def n_partials(self) -> int:
+        return len(self.partials)
+
+    def append(self, partial: DataFrame) -> None:
+        self.partials.append(partial)
+
+    def frame(self) -> DataFrame:
+        if not self.partials:
+            raise QueryError("version holds no partials yet")
+        return DataFrame.concat(self.partials)
+
+
+class IntrinsicStore:
+    """Versions-and-partials container for a generic edf."""
+
+    def __init__(self) -> None:
+        self._versions: list[Version] = []
+
+    @property
+    def n_versions(self) -> int:
+        return len(self._versions)
+
+    @property
+    def latest(self) -> Version:
+        if not self._versions:
+            raise QueryError("no versions exist yet")
+        return self._versions[-1]
+
+    def append_partial(self, partial: DataFrame) -> None:
+        """Incremental update: extend the latest version (creating the
+        first version if none exists)."""
+        if not self._versions:
+            self._versions.append(Version())
+        self._versions[-1].append(partial)
+
+    def new_version(self, snapshot: DataFrame | None = None) -> None:
+        """Complete refresh: start a new version (optionally seeded)."""
+        version = Version()
+        if snapshot is not None:
+            version.append(snapshot)
+        self._versions.append(version)
+
+    def latest_frame(self) -> DataFrame:
+        return self.latest.frame()
+
+
+def _merge_kernel(column: StateColumn, codes: np.ndarray, n_groups: int,
+                  values: np.ndarray) -> np.ndarray:
+    if column.merge == "sum":
+        return group_sum(codes, n_groups, values)
+    if column.merge == "min":
+        return group_min(codes, n_groups, values)
+    return group_max(codes, n_groups, values)
+
+
+class GroupedAggregateState:
+    """The aggregate operator's intrinsic state (paper §4.2–§4.3).
+
+    Maintains, per group key:
+
+    * ``__card__`` — the group input cardinality x_i(t),
+    * the mergeable state columns of every :class:`AggSpec`, and
+    * for count-distinct specs, a distinct (key, value)-pairs frame.
+
+    ``version`` counts complete refreshes; ``rows_consumed`` counts input
+    tuples folded into the *current* version (the basis of growth fitting).
+    """
+
+    def __init__(
+        self,
+        by: Sequence[str],
+        specs: Sequence[AggSpec],
+        track_moments: bool = False,
+    ) -> None:
+        if not specs:
+            raise QueryError("aggregate state requires at least one AggSpec")
+        self.by = tuple(by)
+        self.specs = tuple(specs)
+        self._synthetic_key = not self.by
+        self._keys = self.by if self.by else (SYNTHETIC_KEY,)
+        self.mergeables = tuple(
+            MergeableAggregate(spec, track_moments) for spec in specs
+        )
+        self._acc: DataFrame | None = None
+        self._pairs: dict[str, DataFrame] = {}
+        self._values: dict[str, DataFrame] = {}
+        self.rows_consumed = 0
+        self.version = 1
+
+    # -- bookkeeping -----------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        return 0 if self._acc is None else self._acc.n_rows
+
+    @property
+    def mean_cardinality(self) -> float:
+        if self.n_groups == 0:
+            return 0.0
+        return self.rows_consumed / self.n_groups
+
+    def begin_version(self) -> None:
+        """Complete refresh: drop accumulated state, bump version counter."""
+        self._acc = None
+        self._pairs = {}
+        self._values = {}
+        self.rows_consumed = 0
+        self.version += 1
+
+    # -- updates ----------------------------------------------------------------
+    def _with_key(self, frame: DataFrame) -> DataFrame:
+        if not self._synthetic_key:
+            return frame
+        return frame.with_column(
+            SYNTHETIC_KEY, np.zeros(frame.n_rows, dtype=np.int64)
+        )
+
+    def consume_delta(self, frame: DataFrame) -> None:
+        """Fold one partial into the current version (incremental merge)."""
+        if frame.n_rows == 0:
+            return
+        frame = self._with_key(frame)
+        codes, key_frame, n_groups = group_codes(frame, list(self._keys))
+        data: dict[str, np.ndarray] = {
+            name: key_frame.column(name)
+            for name in key_frame.column_names
+        }
+        data[CARDINALITY_COLUMN] = group_count(codes, n_groups).astype(
+            np.float64
+        )
+        for mergeable in self.mergeables:
+            data.update(mergeable.partial_state(frame, codes, n_groups))
+        partial_state = DataFrame(data)
+        self._acc = (
+            partial_state
+            if self._acc is None
+            else self._merge(self._acc, partial_state)
+        )
+        for mergeable in self.mergeables:
+            if mergeable.needs_distinct_pairs:
+                self._consume_pairs(mergeable.spec, frame)
+            if mergeable.needs_value_buffer:
+                self._consume_values(mergeable.spec, frame)
+        self.rows_consumed += frame.n_rows
+
+    def consume_snapshot(self, frame: DataFrame) -> None:
+        """Complete refresh from a full snapshot (REPLACE input)."""
+        self.begin_version()
+        self.consume_delta(frame)
+
+    def _consume_pairs(self, spec: AggSpec, frame: DataFrame) -> None:
+        assert spec.column is not None
+        pair_cols = [*self._keys, spec.column]
+        incoming = distinct_rows(frame.select(pair_cols))
+        existing = self._pairs.get(spec.alias)
+        merged = (
+            incoming
+            if existing is None
+            else distinct_rows(DataFrame.concat([existing, incoming]))
+        )
+        self._pairs[spec.alias] = merged
+
+    def _consume_values(self, spec: AggSpec, frame: DataFrame) -> None:
+        """Multiset union for quantile buffers (concat, no dedup)."""
+        assert spec.column is not None
+        incoming = frame.select([*self._keys, spec.column])
+        existing = self._values.get(spec.alias)
+        self._values[spec.alias] = (
+            incoming if existing is None
+            else DataFrame.concat([existing, incoming])
+        )
+
+    def _merge(self, acc: DataFrame, partial: DataFrame) -> DataFrame:
+        combined = DataFrame.concat([acc, partial])
+        codes, key_frame, n_groups = group_codes(combined, list(self._keys))
+        data: dict[str, np.ndarray] = {
+            name: key_frame.column(name)
+            for name in key_frame.column_names
+        }
+        data[CARDINALITY_COLUMN] = group_sum(
+            codes, n_groups, combined.column(CARDINALITY_COLUMN)
+        )
+        for mergeable in self.mergeables:
+            for column in mergeable.state_columns:
+                data[column.name] = _merge_kernel(
+                    column, codes, n_groups, combined.column(column.name)
+                )
+        return DataFrame(data)
+
+    # -- readers ----------------------------------------------------------------
+    def state_frame(self) -> DataFrame:
+        """Keys + cardinality + mergeable state columns (current version)."""
+        if self._acc is None:
+            raise QueryError("aggregate state is empty; nothing consumed yet")
+        return self._acc
+
+    def distinct_counts(self, spec: AggSpec) -> np.ndarray:
+        """Observed per-group distinct counts for a count_distinct spec,
+        aligned with :meth:`state_frame` row order."""
+        state = self.state_frame()
+        pairs = self._pairs.get(spec.alias)
+        if pairs is None or pairs.n_rows == 0:
+            return np.zeros(state.n_rows, dtype=np.float64)
+        pair_codes, pair_keys, n_pair_groups = group_codes(
+            pairs, list(self._keys)
+        )
+        counts = group_count(pair_codes, n_pair_groups).astype(np.float64)
+        # Align pair-derived groups with the accumulated state's rows by a
+        # shared factorization over the key columns.
+        from repro.dataframe.join import shared_codes, inner_join_indices
+
+        state_codes, key_codes = shared_codes(
+            [state.column(k) for k in self._keys],
+            [pair_keys.column(k) for k in self._keys],
+        )
+        li, ri = inner_join_indices(state_codes, key_codes)
+        out = np.zeros(state.n_rows, dtype=np.float64)
+        out[li] = counts[ri]
+        return out
+
+    def sample_quantiles(self, spec: AggSpec) -> np.ndarray:
+        """Per-group sample quantiles from the value buffer, aligned with
+        :meth:`state_frame` row order (the paper's f_order: the latest
+        observed order statistic)."""
+        from repro.dataframe.groupby import group_quantile
+        from repro.dataframe.join import inner_join_indices, shared_codes
+
+        state = self.state_frame()
+        buffer = self._values.get(spec.alias)
+        if buffer is None or buffer.n_rows == 0:
+            return np.full(state.n_rows, np.nan)
+        buf_codes, buf_keys, n_buf_groups = group_codes(
+            buffer, list(self._keys)
+        )
+        assert spec.column is not None
+        quantiles = group_quantile(
+            buf_codes, n_buf_groups, buffer.column(spec.column),
+            spec.quantile_fraction,
+        )
+        state_codes, key_codes = shared_codes(
+            [state.column(k) for k in self._keys],
+            [buf_keys.column(k) for k in self._keys],
+        )
+        li, ri = inner_join_indices(state_codes, key_codes)
+        out = np.full(state.n_rows, np.nan)
+        out[li] = quantiles[ri]
+        return out
+
+    def output_keys(self) -> tuple[str, ...]:
+        """Key columns that appear in user-facing output frames."""
+        return self.by

@@ -1,0 +1,62 @@
+"""Columnar DataFrame substrate (the Arrow-analogue layer of the paper).
+
+Public surface:
+
+* :class:`DataFrame` — immutable-by-convention columnar frame on numpy.
+* :class:`Schema`, :class:`Field`, :class:`DType`, :class:`AttributeKind`.
+* Expressions: :func:`col`, :func:`lit`, :func:`when`.
+* Kernels: group-by aggregation, hash/merge joins, stable multi-key sort.
+* Date helpers (DATE columns are int64 days since 1970-01-01).
+"""
+
+from repro.dataframe.schema import (
+    AttributeKind,
+    DType,
+    Field,
+    Schema,
+    dtype_of,
+    numpy_dtype,
+)
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.expr import Expr, col, lit, when
+from repro.dataframe.groupby import (
+    AGG_FUNCTIONS,
+    AggSpec,
+    factorize,
+    global_aggregate,
+    group_aggregate,
+    group_codes,
+)
+from repro.dataframe.join import hash_join, merge_join
+from repro.dataframe.sort import sort_frame, sort_indices, top_k
+from repro.dataframe.dates import add_months, add_years, date, date_str, dates
+
+__all__ = [
+    "AGG_FUNCTIONS",
+    "AggSpec",
+    "AttributeKind",
+    "DType",
+    "DataFrame",
+    "Expr",
+    "Field",
+    "Schema",
+    "add_months",
+    "add_years",
+    "col",
+    "date",
+    "date_str",
+    "dates",
+    "dtype_of",
+    "factorize",
+    "global_aggregate",
+    "group_aggregate",
+    "group_codes",
+    "hash_join",
+    "lit",
+    "merge_join",
+    "numpy_dtype",
+    "sort_frame",
+    "sort_indices",
+    "top_k",
+    "when",
+]

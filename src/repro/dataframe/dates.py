@@ -1,0 +1,64 @@
+"""Date helpers: logical DATE columns are int64 days since 1970-01-01.
+
+TPC-H predicates are date-range comparisons, so an integer representation
+keeps the whole pipeline inside numpy integer kernels while these helpers
+translate to and from ISO strings at the edges.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+_EPOCH = _dt.date(1970, 1, 1)
+
+
+def date(iso: str) -> int:
+    """Parse ``YYYY-MM-DD`` into days since the 1970-01-01 epoch."""
+    parsed = _dt.date.fromisoformat(iso)
+    return (parsed - _EPOCH).days
+
+
+def date_str(days: int) -> str:
+    """Format days-since-epoch back to ``YYYY-MM-DD``."""
+    return (_EPOCH + _dt.timedelta(days=int(days))).isoformat()
+
+
+def dates(iso_values: "list[str] | tuple[str, ...]") -> np.ndarray:
+    """Vectorized :func:`date` returning an int64 array."""
+    return np.array([date(v) for v in iso_values], dtype=np.int64)
+
+
+def add_months(days: int, months: int) -> int:
+    """Shift a days-since-epoch date by a number of calendar months.
+
+    Used for TPC-H interval arithmetic such as ``date '1993-07-01' +
+    interval '3' month``.  Day-of-month clamps to the target month's length,
+    matching SQL semantics.
+    """
+    base = _EPOCH + _dt.timedelta(days=int(days))
+    month_index = base.year * 12 + (base.month - 1) + months
+    year, month = divmod(month_index, 12)
+    month += 1
+    day = min(
+        base.day,
+        [31, 29 if _is_leap(year) else 28, 31, 30, 31, 30,
+         31, 31, 30, 31, 30, 31][month - 1],
+    )
+    return (_dt.date(year, month, day) - _EPOCH).days
+
+
+def add_years(days: int, years: int) -> int:
+    """Shift a days-since-epoch date by whole years (clamping Feb 29)."""
+    return add_months(days, 12 * years)
+
+
+def years_of(days: np.ndarray) -> np.ndarray:
+    """Extract the calendar year from an int64 days-since-epoch array."""
+    as_dates = days.astype("datetime64[D]")
+    return as_dates.astype("datetime64[Y]").astype(np.int64) + 1970
+
+
+def _is_leap(year: int) -> bool:
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)

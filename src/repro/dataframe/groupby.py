@@ -1,0 +1,370 @@
+"""Group-by kernels for the columnar DataFrame substrate.
+
+The kernels are deliberately split into two layers:
+
+* low-level code paths operating on dense group codes (``factorize``,
+  ``group_sum`` and friends), used by the edf aggregate operator to maintain
+  intrinsic states incrementally, and
+* a high-level :func:`group_aggregate` used by the exact reference engine and
+  by recompute (REPLACE) paths.
+
+Aggregate results use the paper's intrinsic representations (Table 2):
+``avg`` is carried as (sum, count), ``var``/``std`` as (count, sum, m2), and
+``count_distinct`` as exact value sets — never sketches (paper footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QueryError, SchemaError
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.schema import AttributeKind, Field, Schema, dtype_of
+
+#: Aggregate function names accepted across the library (paper §3.1
+#: grammar plus the §5.3 order statistics median/quantile).
+AGG_FUNCTIONS = (
+    "sum",
+    "count",
+    "avg",
+    "count_distinct",
+    "min",
+    "max",
+    "var",
+    "stddev",
+    "median",
+    "quantile",
+)
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregation request: ``agg(column) AS alias``.
+
+    ``column`` may be ``None`` only for ``count`` (row count).
+    ``param`` carries the quantile fraction for ``quantile`` (median is
+    ``quantile`` with param 0.5).
+    """
+
+    agg: str
+    column: str | None
+    alias: str
+    param: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.agg not in AGG_FUNCTIONS:
+            raise QueryError(
+                f"unknown aggregate {self.agg!r}; expected one of "
+                f"{AGG_FUNCTIONS}"
+            )
+        if self.column is None and self.agg != "count":
+            raise QueryError(f"aggregate {self.agg!r} requires a column")
+        if self.agg == "quantile":
+            if self.param is None or not 0.0 <= self.param <= 1.0:
+                raise QueryError(
+                    f"quantile requires param in [0, 1], got "
+                    f"{self.param!r}"
+                )
+
+    @property
+    def quantile_fraction(self) -> float:
+        """The q of this order statistic (median = 0.5)."""
+        if self.agg == "median":
+            return 0.5
+        if self.agg == "quantile":
+            assert self.param is not None
+            return self.param
+        raise QueryError(f"{self.agg!r} is not a quantile aggregate")
+
+
+# ---------------------------------------------------------------------------
+# Factorization
+# ---------------------------------------------------------------------------
+
+def factorize(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Dense-encode ``values``: returns (codes, uniques) with
+    ``uniques[codes] == values`` and uniques sorted ascending."""
+    uniques, codes = np.unique(values, return_inverse=True)
+    return codes.astype(np.int64, copy=False), uniques
+
+
+def group_codes(
+    frame: DataFrame, keys: Sequence[str]
+) -> tuple[np.ndarray, DataFrame, int]:
+    """Compute dense group ids over one or more key columns.
+
+    Returns ``(codes, key_frame, n_groups)`` where ``codes`` assigns every
+    input row a group id in ``[0, n_groups)`` and ``key_frame`` holds one row
+    of key values per group (ordered by group id).
+    """
+    if not keys:
+        raise QueryError("group_codes requires at least one key column")
+    if frame.n_rows == 0:
+        key_frame = frame.select(list(keys))
+        return np.empty(0, dtype=np.int64), key_frame, 0
+    combined: np.ndarray | None = None
+    for key in keys:
+        codes, uniques = factorize(frame.column(key))
+        if combined is None:
+            combined = codes
+        else:
+            # Lexicographic combination; group counts stay << 2**63 at the
+            # scales this library targets.
+            combined = combined * np.int64(len(uniques)) + codes
+    assert combined is not None
+    uniques, first_index, dense = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    dense = dense.astype(np.int64, copy=False)
+    key_frame = frame.select(list(keys)).take(first_index)
+    return dense, key_frame, len(uniques)
+
+
+# ---------------------------------------------------------------------------
+# Dense-code kernels
+# ---------------------------------------------------------------------------
+
+def group_count(codes: np.ndarray, n_groups: int,
+                valid: np.ndarray | None = None) -> np.ndarray:
+    """Per-group row counts; ``valid`` optionally masks rows (NaN skipping)."""
+    if valid is None:
+        return np.bincount(codes, minlength=n_groups).astype(np.int64)
+    return np.bincount(
+        codes[valid], minlength=n_groups
+    ).astype(np.int64)
+
+
+def group_sum(codes: np.ndarray, n_groups: int,
+              values: np.ndarray) -> np.ndarray:
+    """Per-group sums as float64 (NaN values are skipped, SQL-style)."""
+    vals = values.astype(np.float64, copy=False)
+    finite = ~np.isnan(vals)
+    if finite.all():
+        return np.bincount(codes, weights=vals, minlength=n_groups)
+    return np.bincount(
+        codes[finite], weights=vals[finite], minlength=n_groups
+    )
+
+
+def _segment_reduce(
+    codes: np.ndarray,
+    n_groups: int,
+    values: np.ndarray,
+    reducer: np.ufunc,
+    empty_fill: float,
+) -> np.ndarray:
+    """Sort-based segmented reduction (used for min/max)."""
+    out = np.full(n_groups, empty_fill, dtype=np.float64)
+    if len(codes) == 0:
+        return out
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    sorted_vals = values[order].astype(np.float64, copy=False)
+    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+    starts = np.concatenate(([0], boundaries))
+    present = sorted_codes[starts]
+    out[present] = reducer.reduceat(sorted_vals, starts)
+    return out
+
+
+def group_min(codes: np.ndarray, n_groups: int,
+              values: np.ndarray) -> np.ndarray:
+    return _segment_reduce(codes, n_groups, values, np.minimum, np.nan)
+
+
+def group_max(codes: np.ndarray, n_groups: int,
+              values: np.ndarray) -> np.ndarray:
+    return _segment_reduce(codes, n_groups, values, np.maximum, np.nan)
+
+
+def group_var_components(
+    codes: np.ndarray, n_groups: int, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-group (count, sum, m2) where m2 = sum((x - mean)^2).
+
+    This is the mergeable representation of variance (paper Table 2): two
+    (count, sum, m2) triples combine with the Chan et al. parallel update.
+    """
+    vals = values.astype(np.float64, copy=False)
+    count = group_count(codes, n_groups).astype(np.float64)
+    total = group_sum(codes, n_groups, vals)
+    sumsq = group_sum(codes, n_groups, vals * vals)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        m2 = sumsq - np.where(count > 0, total * total / count, 0.0)
+    return count, total, np.maximum(m2, 0.0)
+
+
+def merge_var_components(
+    a: tuple[np.ndarray, np.ndarray, np.ndarray],
+    b: tuple[np.ndarray, np.ndarray, np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge two aligned (count, sum, m2) triples (Chan et al. update)."""
+    n_a, s_a, m_a = a
+    n_b, s_b, m_b = b
+    n = n_a + n_b
+    s = s_a + s_b
+    with np.errstate(invalid="ignore", divide="ignore"):
+        delta = np.where(n_a > 0, s_a / np.maximum(n_a, 1), 0.0) - np.where(
+            n_b > 0, s_b / np.maximum(n_b, 1), 0.0
+        )
+        correction = np.where(
+            (n_a > 0) & (n_b > 0), delta * delta * n_a * n_b / np.maximum(n, 1),
+            0.0,
+        )
+    return n, s, m_a + m_b + correction
+
+
+def group_nunique(codes: np.ndarray, n_groups: int,
+                  values: np.ndarray) -> np.ndarray:
+    """Per-group exact count of distinct values."""
+    if len(codes) == 0:
+        return np.zeros(n_groups, dtype=np.int64)
+    value_codes, _ = factorize(values)
+    pair = codes * np.int64(value_codes.max() + 1) + value_codes
+    unique_pairs = np.unique(pair)
+    owner = unique_pairs // np.int64(value_codes.max() + 1)
+    return np.bincount(owner, minlength=n_groups).astype(np.int64)
+
+
+def group_quantile(codes: np.ndarray, n_groups: int,
+                   values: np.ndarray, q: float) -> np.ndarray:
+    """Per-group sample quantile with linear interpolation (the numpy
+    'linear' method), NaN for empty groups."""
+    out = np.full(n_groups, np.nan, dtype=np.float64)
+    if len(codes) == 0:
+        return out
+    vals = values.astype(np.float64, copy=False)
+    order = np.lexsort((vals, codes))
+    sorted_codes = codes[order]
+    sorted_vals = vals[order]
+    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(sorted_codes)]))
+    counts = ends - starts
+    present = sorted_codes[starts]
+    position = starts + q * (counts - 1)
+    lo = np.floor(position).astype(np.int64)
+    hi = np.minimum(lo + 1, ends - 1)
+    frac = position - lo
+    out[present] = sorted_vals[lo] * (1.0 - frac) + sorted_vals[hi] * frac
+    return out
+
+
+def group_first(codes: np.ndarray, n_groups: int,
+                values: np.ndarray) -> np.ndarray:
+    """First-seen value per group (order of the underlying rows)."""
+    out = np.empty(n_groups, dtype=values.dtype)
+    seen_order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[seen_order]
+    boundaries = np.concatenate(
+        ([0], np.flatnonzero(np.diff(sorted_codes)) + 1)
+    ) if len(codes) else np.empty(0, dtype=np.int64)
+    if len(codes):
+        out[sorted_codes[boundaries]] = values[seen_order[boundaries]]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# High-level aggregation
+# ---------------------------------------------------------------------------
+
+def _evaluate_spec(
+    spec: AggSpec, frame: DataFrame, codes: np.ndarray, n_groups: int
+) -> np.ndarray:
+    if spec.agg == "count":
+        if spec.column is None:
+            return group_count(codes, n_groups)
+        values = frame.column(spec.column).astype(np.float64, copy=False)
+        return group_count(codes, n_groups, valid=~np.isnan(values))
+    values = frame.column(spec.column)  # type: ignore[arg-type]
+    if spec.agg == "sum":
+        return group_sum(codes, n_groups, values)
+    if spec.agg == "avg":
+        total = group_sum(codes, n_groups, values)
+        count = group_count(
+            codes, n_groups,
+            valid=~np.isnan(values.astype(np.float64, copy=False)),
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(count > 0, total / np.maximum(count, 1), np.nan)
+    if spec.agg == "min":
+        return group_min(codes, n_groups, values)
+    if spec.agg == "max":
+        return group_max(codes, n_groups, values)
+    if spec.agg == "count_distinct":
+        return group_nunique(codes, n_groups, values)
+    if spec.agg in ("var", "stddev"):
+        count, _total, m2 = group_var_components(codes, n_groups, values)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            var = np.where(count > 1, m2 / np.maximum(count - 1, 1), np.nan)
+        return np.sqrt(var) if spec.agg == "stddev" else var
+    if spec.agg in ("median", "quantile"):
+        return group_quantile(codes, n_groups, values,
+                              spec.quantile_fraction)
+    raise QueryError(f"unsupported aggregate {spec.agg!r}")
+
+
+def group_aggregate(
+    frame: DataFrame,
+    by: Sequence[str],
+    specs: Sequence[AggSpec],
+) -> DataFrame:
+    """SQL ``GROUP BY`` over the frame: one output row per key combination.
+
+    Output columns: the key columns (constant attributes) followed by one
+    mutable attribute per :class:`AggSpec`.  Keys appear in first-occurrence
+    sorted-unique order (deterministic).
+    """
+    if not specs:
+        raise QueryError("group_aggregate requires at least one AggSpec")
+    names = {s.alias for s in specs}
+    if len(names) != len(specs):
+        raise SchemaError("duplicate aggregate aliases in group_aggregate")
+    codes, key_frame, n_groups = group_codes(frame, by)
+    data: dict[str, np.ndarray] = {
+        name: key_frame.column(name) for name in key_frame.column_names
+    }
+    fields = list(key_frame.schema.fields)
+    for spec in specs:
+        result = _evaluate_spec(spec, frame, codes, n_groups)
+        data[spec.alias] = result
+        fields.append(
+            Field(spec.alias, dtype_of(result), AttributeKind.MUTABLE)
+        )
+    return DataFrame(data, schema=Schema(fields))
+
+
+def distinct_rows(
+    frame: DataFrame, subset: Sequence[str] | None = None
+) -> DataFrame:
+    """Drop duplicate rows (optionally judged on a subset of columns).
+
+    The first occurrence of each distinct key combination is kept, in
+    first-seen order of the group machinery (deterministic).
+    """
+    if frame.n_rows == 0:
+        return frame
+    keys = list(subset) if subset is not None else list(frame.column_names)
+    _codes, _key_frame, _n = group_codes(frame, keys)
+    # group_codes returns first-occurrence indices internally; recompute here
+    # to keep full rows rather than only key columns.
+    combined = _codes
+    _uniques, first_index = np.unique(combined, return_index=True)
+    return frame.take(np.sort(first_index))
+
+
+def global_aggregate(frame: DataFrame, specs: Sequence[AggSpec]) -> DataFrame:
+    """Aggregate the whole frame into a single row (no grouping keys)."""
+    codes = np.zeros(frame.n_rows, dtype=np.int64)
+    data: dict[str, np.ndarray] = {}
+    fields = []
+    for spec in specs:
+        result = _evaluate_spec(spec, frame, codes, 1)
+        data[spec.alias] = result
+        fields.append(
+            Field(spec.alias, dtype_of(result), AttributeKind.MUTABLE)
+        )
+    return DataFrame(data, schema=Schema(fields))

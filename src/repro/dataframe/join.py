@@ -1,0 +1,212 @@
+"""Join kernels: hash (equi) joins plus semi/anti/left variants.
+
+The physical strategy mirrors a vectorized hash join: both key sides are
+factorized into one shared code space, the right side is sorted once (the
+"hash table"), and probe rows expand to match ranges via ``searchsorted``.
+The progressive merge join *operator* (paper §3.2) reuses these kernels on
+watermark-bounded buffers; see ``repro.engine.ops.join``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QueryError, SchemaError
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.schema import AttributeKind, DType, Field, Schema
+
+JOIN_METHODS = ("inner", "left", "semi", "anti")
+
+
+def shared_codes(
+    left: Sequence[np.ndarray], right: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode multi-column keys from both sides into one dense code space."""
+    if len(left) != len(right):
+        raise QueryError("join key column counts differ between sides")
+    n_left = len(left[0]) if left else 0
+    combined_left: np.ndarray | None = None
+    combined_right: np.ndarray | None = None
+    for l_col, r_col in zip(left, right):
+        if l_col.dtype.kind != r_col.dtype.kind and not (
+            l_col.dtype.kind in "if" and r_col.dtype.kind in "if"
+        ):
+            raise SchemaError(
+                f"join key dtypes are incompatible: "
+                f"{l_col.dtype} vs {r_col.dtype}"
+            )
+        both = np.concatenate([l_col, r_col])
+        uniques, codes = np.unique(both, return_inverse=True)
+        codes = codes.astype(np.int64, copy=False)
+        l_codes, r_codes = codes[:n_left], codes[n_left:]
+        if combined_left is None:
+            combined_left, combined_right = l_codes, r_codes
+        else:
+            width = np.int64(len(uniques))
+            combined_left = combined_left * width + l_codes
+            combined_right = combined_right * width + r_codes
+    if combined_left is None:
+        raise QueryError("join requires at least one key column")
+    return combined_left, combined_right
+
+
+def inner_join_indices(
+    left_codes: np.ndarray, right_codes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Matching row-index pairs (li, ri) for an inner equi-join."""
+    order = np.argsort(right_codes, kind="stable")
+    sorted_right = right_codes[order]
+    starts = np.searchsorted(sorted_right, left_codes, side="left")
+    ends = np.searchsorted(sorted_right, left_codes, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    left_idx = np.repeat(np.arange(len(left_codes), dtype=np.int64), counts)
+    # Vectorized "concatenate ranges": for each match slot, its offset within
+    # the probe row's match range plus that range's start.
+    cum = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum, counts)
+    right_idx = order[np.repeat(starts, counts) + within]
+    return left_idx, right_idx
+
+
+def match_counts(
+    left_codes: np.ndarray, right_codes: np.ndarray
+) -> np.ndarray:
+    """Number of right-side matches for every left row."""
+    sorted_right = np.sort(right_codes, kind="stable")
+    starts = np.searchsorted(sorted_right, left_codes, side="left")
+    ends = np.searchsorted(sorted_right, left_codes, side="right")
+    return ends - starts
+
+
+def semi_join_mask(left_codes: np.ndarray,
+                   right_codes: np.ndarray) -> np.ndarray:
+    """Boolean mask of left rows that have at least one right match."""
+    return match_counts(left_codes, right_codes) > 0
+
+
+def anti_join_mask(left_codes: np.ndarray,
+                   right_codes: np.ndarray) -> np.ndarray:
+    """Boolean mask of left rows with no right match."""
+    return match_counts(left_codes, right_codes) == 0
+
+
+def _null_fill(dtype: DType, n: int) -> np.ndarray:
+    """Fill values for unmatched left-join rows.
+
+    Numeric columns (including dates) are promoted to float64 NaN; strings
+    become the empty string; booleans become False.  Downstream ``count``
+    aggregates skip NaN, which is what TPC-H Q13 relies on.
+    """
+    if dtype in (DType.INT64, DType.FLOAT64, DType.DATE):
+        return np.full(n, np.nan, dtype=np.float64)
+    if dtype == DType.STRING:
+        return np.full(n, "", dtype="U1")
+    if dtype == DType.BOOL:
+        return np.zeros(n, dtype=np.bool_)
+    raise SchemaError(f"cannot null-fill dtype {dtype!r}")
+
+
+def _resolve_output_names(
+    left: DataFrame, right: DataFrame, right_keys: Sequence[str],
+    suffix: str,
+) -> dict[str, str]:
+    """Right-side output names: key columns are dropped (they duplicate the
+    left keys); collisions on non-key names get ``suffix`` appended."""
+    taken = set(left.column_names)
+    mapping: dict[str, str] = {}
+    for name in right.column_names:
+        if name in right_keys:
+            continue
+        out = name if name not in taken else name + suffix
+        if out in taken:
+            raise SchemaError(
+                f"column {out!r} collides even after applying suffix "
+                f"{suffix!r}"
+            )
+        mapping[name] = out
+        taken.add(out)
+    return mapping
+
+
+def hash_join(
+    left: DataFrame,
+    right: DataFrame,
+    left_on: Sequence[str],
+    right_on: Sequence[str],
+    how: str = "inner",
+    suffix: str = "_right",
+) -> DataFrame:
+    """Equi-join two frames.
+
+    ``how`` is one of ``inner``, ``left``, ``semi``, ``anti``.  Semi/anti
+    return left columns only.  For ``left``, unmatched rows carry NaN /
+    empty-string fills in right-side columns (numeric right columns are
+    promoted to float64).
+    """
+    if how not in JOIN_METHODS:
+        raise QueryError(f"unknown join method {how!r}; expected {JOIN_METHODS}")
+    l_codes, r_codes = shared_codes(
+        [left.column(k) for k in left_on],
+        [right.column(k) for k in right_on],
+    )
+    if how == "semi":
+        return left.mask(semi_join_mask(l_codes, r_codes))
+    if how == "anti":
+        return left.mask(anti_join_mask(l_codes, r_codes))
+
+    li, ri = inner_join_indices(l_codes, r_codes)
+    name_map = _resolve_output_names(left, right, right_on, suffix)
+
+    if how == "inner":
+        data = {n: left.column(n)[li] for n in left.column_names}
+        fields = list(left.schema.fields)
+        for src, dst in name_map.items():
+            data[dst] = right.column(src)[ri]
+            fields.append(right.schema.field(src).renamed(dst))
+        return DataFrame(data, schema=Schema(fields))
+
+    # how == "left": matched pairs plus unmatched left rows with fills.
+    unmatched = anti_join_mask(l_codes, r_codes)
+    n_unmatched = int(unmatched.sum())
+    data = {
+        n: np.concatenate([left.column(n)[li], left.column(n)[unmatched]])
+        for n in left.column_names
+    }
+    fields = list(left.schema.fields)
+    for src, dst in name_map.items():
+        src_field = right.schema.field(src)
+        matched_vals = right.column(src)[ri]
+        fill = _null_fill(src_field.dtype, n_unmatched)
+        if src_field.dtype in (DType.INT64, DType.DATE):
+            matched_vals = matched_vals.astype(np.float64)
+            out_dtype = DType.FLOAT64
+        else:
+            out_dtype = src_field.dtype
+        data[dst] = np.concatenate([matched_vals, fill])
+        fields.append(Field(dst, out_dtype, src_field.kind))
+    return DataFrame(data, schema=Schema(fields))
+
+
+def merge_join(
+    left: DataFrame,
+    right: DataFrame,
+    left_on: Sequence[str],
+    right_on: Sequence[str],
+    suffix: str = "_right",
+) -> DataFrame:
+    """Sort-merge inner join for inputs clustered on the join key.
+
+    The output of an equi-join does not depend on the physical algorithm, so
+    this delegates to the vectorized hash kernel; the *streaming* benefit of
+    merge joins lives in the progressive merge join operator, which calls
+    this on watermark-bounded buffers.
+    """
+    return hash_join(left, right, left_on, right_on, "inner", suffix)

@@ -1,0 +1,66 @@
+"""Sorting kernels: stable multi-key sort with per-key direction."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.groupby import factorize
+
+
+def sort_indices(
+    frame: DataFrame,
+    by: Sequence[str],
+    ascending: Sequence[bool] | bool = True,
+) -> np.ndarray:
+    """Row order that sorts ``frame`` by the given keys (stable).
+
+    Descending string keys are handled by negating their sorted-unique codes,
+    which preserves lexicographic order without materializing reversed
+    copies.  NaNs sort last under ascending order (numpy convention) and
+    first under descending order.
+    """
+    if not by:
+        raise QueryError("sort requires at least one key")
+    if isinstance(ascending, bool):
+        ascending = [ascending] * len(by)
+    if len(ascending) != len(by):
+        raise QueryError("ascending flags must match the number of sort keys")
+    # np.lexsort treats the *last* key as primary; reverse our ordering.
+    lex_keys: list[np.ndarray] = []
+    for name, asc in zip(reversed(list(by)), reversed(list(ascending))):
+        col = frame.column(name)
+        if col.dtype.kind in ("U", "S", "O"):
+            codes, _ = factorize(col)
+            lex_keys.append(codes if asc else -codes)
+        elif col.dtype.kind == "b":
+            codes = col.astype(np.int64)
+            lex_keys.append(codes if asc else -codes)
+        else:
+            vals = col
+            if not asc:
+                vals = -vals.astype(np.float64, copy=False)
+            lex_keys.append(vals)
+    return np.lexsort(lex_keys)
+
+
+def sort_frame(
+    frame: DataFrame,
+    by: Sequence[str],
+    ascending: Sequence[bool] | bool = True,
+) -> DataFrame:
+    """Return ``frame`` with rows reordered by the sort keys."""
+    return frame.take(sort_indices(frame, by, ascending))
+
+
+def top_k(
+    frame: DataFrame,
+    by: Sequence[str],
+    k: int,
+    ascending: Sequence[bool] | bool = True,
+) -> DataFrame:
+    """Sort then keep the first ``k`` rows (the paper's sort+limit, Case 3)."""
+    return sort_frame(frame, by, ascending).head(k)

@@ -1,0 +1,19 @@
+"""Execution engine: query graph, message protocol, executors (paper §7)."""
+
+from repro.engine.executor import (
+    SyncExecutor,
+    ThreadedExecutor,
+    TimelineEvent,
+)
+from repro.engine.graph import Node, QueryGraph
+from repro.engine.message import Eof, Message
+
+__all__ = [
+    "Eof",
+    "Message",
+    "Node",
+    "QueryGraph",
+    "SyncExecutor",
+    "ThreadedExecutor",
+    "TimelineEvent",
+]

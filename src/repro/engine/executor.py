@@ -1,0 +1,391 @@
+"""Query executors (paper §7.2 "Execution Engine").
+
+Two interchangeable engines drive a :class:`QueryGraph` and collect the
+output node's message stream into an :class:`EvolvingDataFrame`:
+
+* :class:`SyncExecutor` — single-threaded, deterministic.  Drains
+  priority-0 sources (hash-join build subtrees) fully, then round-robins
+  the remaining sources one partition at a time, breadth-first flushing
+  every message through the graph.  This is the engine used by tests and
+  error-curve experiments (deterministic snapshot sequences).
+
+* :class:`ThreadedExecutor` — the paper's design: every node runs on its
+  own thread, edges are bounded queues, EOF markers propagate shutdown.
+  Provides pipelined parallelism (Appendix C / Fig 13) and records a
+  per-node busy timeline.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+from repro.dataframe.frame import DataFrame
+from repro.core.edf import EdfSnapshot, EvolvingDataFrame
+from repro.core.properties import Delivery
+from repro.engine.graph import QueryGraph
+from repro.engine.message import Eof, Message
+from repro.engine.ops.base import SourceOperator
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One busy interval of a node (for the Fig 13 pipeline plot)."""
+
+    node: str
+    start: float
+    end: float
+    rows: int
+
+
+class _SinkState:
+    """Accumulates the output node's messages into edf snapshots."""
+
+    def __init__(self, name: str, delivery: Delivery, capture_all: bool,
+                 started_at: float) -> None:
+        self.edf = EvolvingDataFrame(name)
+        self._delivery = delivery
+        self._capture_all = capture_all
+        self._started_at = started_at
+        self._parts: list[DataFrame] = []
+        self._latest: DataFrame | None = None
+        self._sequence = 0
+        self._pending: Message | None = None
+
+    def accept(self, message: Message) -> None:
+        if message.kind == Delivery.REPLACE:
+            self._latest = message.frame
+            self._parts = []
+        else:
+            self._parts.append(message.frame)
+        if self._capture_all or self._sequence == 0:
+            self._snapshot(message)
+            self._pending = None
+        else:
+            self._pending = message
+
+    def _current_frame(self) -> DataFrame:
+        if self._latest is not None and not self._parts:
+            return self._latest
+        parts = ([] if self._latest is None else [self._latest])
+        parts += self._parts
+        return DataFrame.concat(parts)
+
+    def _snapshot_from_progress(self, progress) -> None:
+        frame = self._current_frame()
+        self.edf.append(
+            EdfSnapshot(
+                frame=frame,
+                progress=progress,
+                sequence=self._sequence,
+                wall_time=time.perf_counter() - self._started_at,
+                rows_processed=sum(progress.done.values()),
+            )
+        )
+        self._sequence += 1
+
+    def _snapshot(self, message: Message) -> None:
+        self._snapshot_from_progress(message.progress)
+
+    def finish(self, final_progress=None) -> None:
+        """Materialize any pending snapshot; if the stream ended without a
+        progress-complete message (e.g. trailing empty flushes were
+        suppressed upstream), seal the edf with a final snapshot carrying
+        the output operator's completed progress."""
+        if self._pending is not None:
+            self._snapshot(self._pending)
+            self._pending = None
+        if (
+            final_progress is not None
+            and final_progress.is_complete
+            and len(self.edf)
+            and not self.edf.is_final
+        ):
+            self._snapshot_from_progress(final_progress)
+
+
+def _append_empty_final(sink: "_SinkState", schema, progress,
+                        started_at: float) -> None:
+    """Queries whose operators never emit (fully filtered inputs) still
+    deliver one final, empty, exact snapshot."""
+    sink.edf.append(
+        EdfSnapshot(
+            frame=DataFrame.empty(schema),
+            progress=progress,
+            sequence=0,
+            wall_time=time.perf_counter() - started_at,
+            rows_processed=sum(progress.done.values()),
+        )
+    )
+
+
+class SyncExecutor:
+    """Deterministic single-threaded executor."""
+
+    def __init__(
+        self,
+        graph: QueryGraph,
+        output: int,
+        capture_all: bool = True,
+        record_timeline: bool = False,
+    ) -> None:
+        graph.validate_output(output)
+        self.graph = graph
+        self.output = output
+        self.capture_all = capture_all
+        self.record_timeline = record_timeline
+        self.timeline: list[TimelineEvent] = []
+
+    def run(self) -> EvolvingDataFrame:
+        graph = self.graph
+        infos = graph.resolve()
+        subscribers = graph.subscribers()
+        started_at = time.perf_counter()
+        sink = _SinkState(
+            name=graph.node(self.output).operator.name,
+            delivery=infos[self.output].delivery,
+            capture_all=self.capture_all,
+            started_at=started_at,
+        )
+
+        def dispatch(node_id: int, port: int, item: object) -> None:
+            pending: deque[tuple[int, int, object]] = deque(
+                [(node_id, port, item)]
+            )
+            while pending:
+                nid, prt, itm = pending.popleft()
+                node = graph.node(nid)
+                start = time.perf_counter()
+                if isinstance(itm, Message):
+                    outputs = node.operator.on_message(prt, itm)
+                    rows = itm.frame.n_rows
+                    forward_eof = False
+                else:
+                    outputs = node.operator.on_eof(prt)
+                    rows = 0
+                    forward_eof = node.operator.eof_complete
+                if self.record_timeline:
+                    self.timeline.append(
+                        TimelineEvent(node.operator.name, start,
+                                      time.perf_counter(), rows)
+                    )
+                for out in outputs:
+                    if nid == self.output:
+                        sink.accept(out)
+                    for sub_id, sub_port in subscribers[nid]:
+                        pending.append((sub_id, sub_port, out))
+                if forward_eof:
+                    if nid == self.output:
+                        sink.finish(node.operator.progress)
+                    for sub_id, sub_port in subscribers[nid]:
+                        pending.append((sub_id, sub_port, Eof(
+                            node.operator.progress)))
+
+        # Sources: drain priority-0 (build sides) fully, then round-robin.
+        priorities = graph.source_priorities()
+        streams: dict[int, object] = {}
+        for source_id in graph.source_ids():
+            op = graph.node(source_id).operator
+            assert isinstance(op, SourceOperator)
+            streams[source_id] = op.stream()
+
+        def run_source_to_eof(source_id: int) -> None:
+            for message in streams[source_id]:
+                self._emit_from_source(source_id, message, subscribers,
+                                       sink, dispatch)
+            self._emit_source_eof(source_id, subscribers, sink, dispatch)
+
+        build_sources = [s for s in streams if priorities[s] == 0]
+        stream_sources = [s for s in streams if priorities[s] == 1]
+        for source_id in build_sources:
+            run_source_to_eof(source_id)
+
+        active = {s: streams[s] for s in stream_sources}
+        while active:
+            for source_id in list(active):
+                try:
+                    message = next(active[source_id])  # type: ignore[arg-type]
+                except StopIteration:
+                    self._emit_source_eof(source_id, subscribers, sink,
+                                          dispatch)
+                    del active[source_id]
+                    continue
+                self._emit_from_source(source_id, message, subscribers,
+                                       sink, dispatch)
+        sink.finish()
+        if not len(sink.edf):
+            _append_empty_final(sink, infos[self.output].schema,
+                                graph.node(self.output).operator.progress,
+                                started_at)
+        return sink.edf
+
+    def _emit_from_source(self, source_id, message, subscribers, sink,
+                          dispatch) -> None:
+        if source_id == self.output:
+            sink.accept(message)
+        for sub_id, sub_port in subscribers[source_id]:
+            dispatch(sub_id, sub_port, message)
+
+    def _emit_source_eof(self, source_id, subscribers, sink,
+                         dispatch) -> None:
+        op = self.graph.node(source_id).operator
+        if source_id == self.output:
+            sink.finish(op.progress)
+        for sub_id, sub_port in subscribers[source_id]:
+            dispatch(sub_id, sub_port, Eof(op.progress))
+
+
+class ThreadedExecutor:
+    """One thread per node with bounded channels (the paper's engine)."""
+
+    #: Bounded channel capacity (messages) — provides backpressure.
+    CHANNEL_CAPACITY = 16
+
+    def __init__(
+        self,
+        graph: QueryGraph,
+        output: int,
+        capture_all: bool = True,
+        record_timeline: bool = False,
+        source_delay: float = 0.0,
+    ) -> None:
+        graph.validate_output(output)
+        self.graph = graph
+        self.output = output
+        self.capture_all = capture_all
+        self.record_timeline = record_timeline
+        self.source_delay = source_delay
+        self.timeline: list[TimelineEvent] = []
+        self._timeline_lock = threading.Lock()
+        self._last_edf: EvolvingDataFrame | None = None
+
+    def _record(self, name: str, start: float, end: float,
+                rows: int) -> None:
+        if self.record_timeline:
+            with self._timeline_lock:
+                self.timeline.append(TimelineEvent(name, start, end, rows))
+
+    def run(self) -> EvolvingDataFrame:
+        """Execute to completion and return the collected edf."""
+        edf: EvolvingDataFrame | None = None
+        for _snapshot in self.stream():
+            pass
+        edf = self._last_edf
+        assert edf is not None
+        return edf
+
+    def stream(self):
+        """Execute while *yielding* each snapshot as it is produced —
+        the live-consumer API (progressive visualization, dashboards).
+
+        The generator must be consumed to completion (or the process
+        torn down); node threads are daemonic, so an abandoned generator
+        leaks no non-daemon threads but does waste the remaining work.
+        """
+        graph = self.graph
+        infos = graph.resolve()
+        subscribers = graph.subscribers()
+        started_at = time.perf_counter()
+
+        channels: dict[int, queue.Queue] = {
+            nid: queue.Queue(maxsize=self.CHANNEL_CAPACITY)
+            for nid in graph.nodes
+            if not isinstance(graph.node(nid).operator, SourceOperator)
+        }
+        sink_channel: queue.Queue = queue.Queue()
+        errors: list[BaseException] = []
+
+        def send(node_id: int, item: object) -> None:
+            """Fan out one item to a node's subscribers (and the sink)."""
+            if node_id == self.output:
+                sink_channel.put(item)
+            for sub_id, sub_port in subscribers[node_id]:
+                channels[sub_id].put((sub_port, item))
+
+        def source_main(node_id: int) -> None:
+            op = graph.node(node_id).operator
+            assert isinstance(op, SourceOperator)
+            try:
+                for message in op.stream():
+                    if self.source_delay:
+                        time.sleep(self.source_delay)
+                    send(node_id, message)
+                send(node_id, Eof(op.progress))
+            except BaseException as exc:  # noqa: BLE001 - forwarded to main
+                errors.append(exc)
+                send(node_id, Eof(op.progress))
+
+        def worker_main(node_id: int) -> None:
+            op = graph.node(node_id).operator
+            channel = channels[node_id]
+            try:
+                while True:
+                    port, item = channel.get()
+                    start = time.perf_counter()
+                    if isinstance(item, Message):
+                        outputs = op.on_message(port, item)
+                        rows = item.frame.n_rows
+                    else:
+                        outputs = op.on_eof(port)
+                        rows = 0
+                    self._record(op.name, start, time.perf_counter(), rows)
+                    for out in outputs:
+                        send(node_id, out)
+                    if op.eof_complete:
+                        send(node_id, Eof(op.progress))
+                        return
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+                send(node_id, Eof(op.progress))
+
+        threads: list[threading.Thread] = []
+        for nid in graph.nodes:
+            op = graph.node(nid).operator
+            main = source_main if isinstance(op, SourceOperator) \
+                else worker_main
+            thread = threading.Thread(
+                target=main, args=(nid,), name=f"wake-{op.name}",
+                daemon=True,
+            )
+            threads.append(thread)
+
+        sink = _SinkState(
+            name=graph.node(self.output).operator.name,
+            delivery=infos[self.output].delivery,
+            capture_all=self.capture_all,
+            started_at=started_at,
+        )
+        self._last_edf = sink.edf
+        for thread in threads:
+            thread.start()
+        yielded = 0
+        while True:
+            item = sink_channel.get()
+            if isinstance(item, Eof):
+                sink.finish(item.progress)
+            else:
+                sink.accept(item)
+            while yielded < len(sink.edf):
+                yield sink.edf.snapshots[yielded]
+                yielded += 1
+            if isinstance(item, Eof):
+                break
+        for thread in threads:
+            thread.join(timeout=30.0)
+            if thread.is_alive():
+                raise ExecutionError(
+                    f"thread {thread.name} failed to terminate"
+                )
+        if errors:
+            raise ExecutionError(
+                f"execution failed: {errors[0]!r}"
+            ) from errors[0]
+        if not len(sink.edf):
+            _append_empty_final(sink, infos[self.output].schema,
+                                graph.node(self.output).operator.progress,
+                                started_at)
+            yield sink.edf.snapshots[0]

@@ -1,0 +1,210 @@
+"""Aggregate operator with growth-based inference (paper §4–§5).
+
+Two execution modes, chosen at plan time from the input's StreamInfo:
+
+* **local** (Case 1, §2.2): the grouping keys contain the input's
+  clustering key, so clusters never straddle partials — each DELTA partial
+  aggregates independently into *exact, immutable* output rows, emitted as
+  DELTA.  This is the paper's ``lineitem.sum(qty, by=orderkey)`` path and
+  the reason deep pipelines like TPC-H Q18 stream end-to-end (Fig 6).
+
+* **shuffle** (Case 2, §2.2): grouping keys are not aligned with the
+  physical clustering.  The operator maintains mergeable intrinsic states
+  (versions × partials, §4.2) and emits REPLACE snapshots of *scaled
+  estimates* produced by growth-based inference (§5); output aggregate
+  attributes are mutable.
+
+A REPLACE input always forces shuffle mode with per-snapshot recomputation
+(new version per message) — the deep-aggregation path measured in §8.6.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import QueryError
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.groupby import AggSpec, group_aggregate
+from repro.dataframe.schema import AttributeKind, DType, Field, Schema
+from repro.core.ci import CIConfig, sigma_column
+from repro.core.growth import GrowthModel
+from repro.core.inference import AggregateInference
+from repro.core.properties import Delivery, StreamInfo
+from repro.core.state import GroupedAggregateState
+from repro.engine.message import Message
+from repro.engine.ops.base import Operator
+
+#: Plan-time dtype of every aggregate output column.
+_AGG_DTYPE = {
+    "sum": DType.FLOAT64,
+    "count": DType.FLOAT64,
+    "avg": DType.FLOAT64,
+    "min": DType.FLOAT64,
+    "max": DType.FLOAT64,
+    "var": DType.FLOAT64,
+    "stddev": DType.FLOAT64,
+    "count_distinct": DType.FLOAT64,
+    "median": DType.FLOAT64,
+    "quantile": DType.FLOAT64,
+}
+
+
+class AggregateOperator(Operator):
+    """Group-by (or global) aggregation over an edf stream."""
+
+    #: Growth-scaling strategies (the §5.2 ablation knob):
+    #: ``fitted``  — the paper's streaming log-log fit of w (default);
+    #: ``uniform`` — classic OLA 1/t scaling (pin w = 1);
+    #: ``none``    — raw merged values, no scaling (pin w = 0).
+    GROWTH_MODES = ("fitted", "uniform", "none")
+
+    def __init__(
+        self,
+        name: str,
+        specs: Sequence[AggSpec],
+        by: Sequence[str] = (),
+        ci: CIConfig | None = None,
+        growth_mode: str = "fitted",
+    ) -> None:
+        super().__init__(name)
+        if not specs:
+            raise QueryError(f"aggregate {self.name!r} needs >= 1 AggSpec")
+        if growth_mode not in self.GROWTH_MODES:
+            raise QueryError(
+                f"aggregate {self.name!r}: unknown growth_mode "
+                f"{growth_mode!r}; expected one of {self.GROWTH_MODES}"
+            )
+        self.specs = tuple(specs)
+        self.by = tuple(by)
+        self.ci = ci
+        self.growth_mode = growth_mode
+        self.local_mode = False
+        self._state: GroupedAggregateState | None = None
+        self._inference: AggregateInference | None = None
+        self._emitted_final = False
+
+    # -- plan time ---------------------------------------------------------------
+    def _derive_info(self, inputs: tuple[StreamInfo, ...]) -> StreamInfo:
+        (info,) = inputs
+        schema: Schema = info.schema
+        for key in self.by:
+            if key not in schema:
+                raise QueryError(
+                    f"aggregate {self.name!r}: unknown group key {key!r}"
+                )
+            if schema.kind(key) == AttributeKind.MUTABLE:
+                raise QueryError(
+                    f"aggregate {self.name!r}: cannot group by mutable "
+                    f"attribute {key!r} (paper §3.3: blocking case)"
+                )
+        for spec in self.specs:
+            if spec.column is not None and spec.column not in schema:
+                raise QueryError(
+                    f"aggregate {self.name!r}: unknown column "
+                    f"{spec.column!r} in {spec.agg}"
+                )
+
+        self.local_mode = (
+            info.delivery == Delivery.DELTA
+            and bool(self.by)
+            and info.clustered_on(self.by)
+        )
+
+        fields = [schema.field(k).as_constant() for k in self.by]
+        out_kind = (
+            AttributeKind.CONSTANT if self.local_mode
+            else AttributeKind.MUTABLE
+        )
+        for spec in self.specs:
+            fields.append(Field(spec.alias, _AGG_DTYPE[spec.agg], out_kind))
+            if self.ci is not None and not self.local_mode:
+                fields.append(
+                    Field(sigma_column(spec.alias), DType.FLOAT64,
+                          AttributeKind.MUTABLE)
+                )
+
+        if self.local_mode:
+            return StreamInfo(
+                schema=Schema(fields),
+                primary_key=self.by,
+                clustering_key=info.clustering_key,
+                delivery=Delivery.DELTA,
+            )
+
+        # shuffle mode: configure intrinsic state + inference
+        self._state = GroupedAggregateState(
+            self.by, self.specs, track_moments=self.ci is not None
+        )
+        if self.growth_mode == "uniform":
+            growth = GrowthModel.pinned(1.0)
+        elif self.growth_mode == "none":
+            growth = GrowthModel.pinned(0.0)
+        elif info.delivery == Delivery.REPLACE:
+            growth = GrowthModel(prior_w=0.0)
+        else:
+            growth = GrowthModel(prior_w=1.0)
+        self._inference = AggregateInference(growth, ci=self.ci)
+        return StreamInfo(
+            schema=Schema(fields),
+            primary_key=self.by,
+            clustering_key=(),
+            delivery=Delivery.REPLACE,
+        )
+
+    # -- run time -----------------------------------------------------------------
+    def _handle_message(self, port: int, message: Message) -> list[Message]:
+        if self.local_mode:
+            return self._handle_local(message)
+        assert self._state is not None and self._inference is not None
+        if message.kind == Delivery.REPLACE:
+            self._state.consume_snapshot(message.frame)
+        else:
+            self._state.consume_delta(message.frame)
+        if self._state.n_groups == 0:
+            return []
+        t = self.progress.fraction
+        self._inference.observe(self._state, t)
+        out = self._inference.infer(self._state, t)
+        if t >= 1.0:
+            self._emitted_final = True
+        return [
+            Message(frame=out, progress=self.progress,
+                    kind=Delivery.REPLACE)
+        ]
+
+    def _handle_local(self, message: Message) -> list[Message]:
+        if message.frame.n_rows == 0:
+            return [message.replaced_frame(
+                DataFrame.empty(self.output_info.schema)
+            )]
+        import numpy as np
+
+        out = group_aggregate(message.frame, list(self.by),
+                              list(self.specs))
+        # Local-mode outputs are exact: demote aggregates to constant and
+        # coerce to the planned column order / dtypes.
+        aliases = {spec.alias for spec in self.specs}
+        data = {
+            name: (
+                out.column(name).astype(np.float64)
+                if name in aliases
+                else out.column(name)
+            )
+            for name in self.output_info.schema.names
+        }
+        out = DataFrame(data, schema=self.output_info.schema)
+        return [message.replaced_frame(out)]
+
+    def _final_flush(self) -> list[Message]:
+        """Guarantee a t = 1 exact snapshot exists (2C convergence)."""
+        if self.local_mode or self._emitted_final:
+            return []
+        assert self._state is not None and self._inference is not None
+        if self._state.n_groups == 0:
+            return []
+        out = self._inference.infer(self._state, 1.0)
+        self._emitted_final = True
+        return [
+            Message(frame=out, progress=self.progress,
+                    kind=Delivery.REPLACE)
+        ]

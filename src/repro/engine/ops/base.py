@@ -1,0 +1,128 @@
+"""Operator base classes: the node logic of the execution graph (§7).
+
+An operator is bound once at plan time (``bind``), deriving its output
+:class:`StreamInfo` from its inputs' — schema, keys, clustering, delivery.
+At run time the executor feeds it messages (``on_message``) and EOF markers
+(``on_eof``); the operator returns output messages.  Operators are
+single-threaded: each lives on one node and is never called concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ExecutionError, QueryError
+from repro.core.properties import Progress, StreamInfo
+from repro.engine.message import Message
+
+
+class Operator:
+    """Base operator; subclasses implement ``_derive_info`` and
+    ``_handle_message`` (plus optionally the EOF hooks)."""
+
+    #: number of input ports (0 for sources)
+    n_inputs: int = 1
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._input_infos: tuple[StreamInfo, ...] | None = None
+        self._output_info: StreamInfo | None = None
+        self._progress = Progress()
+        self._eof_ports: set[int] = set()
+
+    # -- plan time ---------------------------------------------------------------
+    def bind(self, input_infos: Sequence[StreamInfo]) -> StreamInfo:
+        """Fix input stream descriptions and derive the output description."""
+        if len(input_infos) != self.n_inputs:
+            raise QueryError(
+                f"operator {self.name!r} expects {self.n_inputs} inputs, "
+                f"got {len(input_infos)}"
+            )
+        self._input_infos = tuple(input_infos)
+        self._output_info = self._derive_info(self._input_infos)
+        return self._output_info
+
+    def _derive_info(
+        self, inputs: tuple[StreamInfo, ...]
+    ) -> StreamInfo:
+        raise NotImplementedError
+
+    @property
+    def input_infos(self) -> tuple[StreamInfo, ...]:
+        if self._input_infos is None:
+            raise ExecutionError(f"operator {self.name!r} is not bound")
+        return self._input_infos
+
+    @property
+    def output_info(self) -> StreamInfo:
+        if self._output_info is None:
+            raise ExecutionError(f"operator {self.name!r} is not bound")
+        return self._output_info
+
+    # -- run time -----------------------------------------------------------------
+    @property
+    def progress(self) -> Progress:
+        """Merged progress across everything seen on all inputs."""
+        return self._progress
+
+    def on_message(self, port: int, message: Message) -> list[Message]:
+        if not 0 <= port < self.n_inputs:
+            raise ExecutionError(
+                f"operator {self.name!r} got message on invalid port {port}"
+            )
+        if port in self._eof_ports:
+            raise ExecutionError(
+                f"operator {self.name!r} got message on closed port {port}"
+            )
+        self._progress = self._progress.merged(message.progress)
+        return self._handle_message(port, message)
+
+    def on_eof(self, port: int) -> list[Message]:
+        """Mark a port closed; returns any flush messages.
+
+        Subclasses override ``_handle_eof`` (per-port) and
+        ``_final_flush`` (all ports closed).
+        """
+        if port in self._eof_ports:
+            raise ExecutionError(
+                f"operator {self.name!r} got duplicate EOF on port {port}"
+            )
+        self._eof_ports.add(port)
+        out = self._handle_eof(port)
+        if self.eof_complete:
+            out = out + self._final_flush()
+        return out
+
+    @property
+    def eof_complete(self) -> bool:
+        return len(self._eof_ports) == self.n_inputs
+
+    # -- subclass hooks -----------------------------------------------------------
+    def _handle_message(self, port: int, message: Message) -> list[Message]:
+        raise NotImplementedError
+
+    def _handle_eof(self, port: int) -> list[Message]:
+        return []
+
+    def _final_flush(self) -> list[Message]:
+        return []
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class SourceOperator(Operator):
+    """A 0-input operator that produces its own message stream."""
+
+    n_inputs = 0
+
+    def stream(self):
+        """Yield :class:`Message` objects; the executor appends EOF."""
+        raise NotImplementedError
+
+    def _handle_message(self, port: int, message: Message) -> list[Message]:
+        raise ExecutionError(f"source {self.name!r} cannot receive messages")
+
+    def bind_source(self) -> StreamInfo:
+        """Sources bind with no inputs."""
+        return self.bind(())

@@ -1,0 +1,68 @@
+"""Distinct operator.
+
+With DELTA input the operator is incremental (Case 1-like): it remembers
+the keys already emitted and forwards only never-seen rows, keeping the
+stream a DELTA stream.  With REPLACE input each snapshot is deduplicated
+wholesale.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import QueryError
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.groupby import distinct_rows
+from repro.dataframe.join import anti_join_mask, shared_codes
+from repro.core.properties import Delivery, StreamInfo
+from repro.engine.message import Message
+from repro.engine.ops.base import Operator
+
+
+class DistinctOperator(Operator):
+    """Deduplicate rows on ``subset`` columns (all columns if empty)."""
+
+    def __init__(self, name: str, subset: Sequence[str] = ()) -> None:
+        super().__init__(name)
+        self.subset = tuple(subset)
+        self._seen: DataFrame | None = None
+        self._incremental = False
+
+    def _derive_info(self, inputs: tuple[StreamInfo, ...]) -> StreamInfo:
+        (info,) = inputs
+        keys = self.subset or info.schema.names
+        for key in keys:
+            if key not in info.schema:
+                raise QueryError(
+                    f"distinct {self.name!r}: unknown column {key!r}"
+                )
+        self._keys = tuple(keys)
+        self._incremental = info.delivery == Delivery.DELTA
+        return StreamInfo(
+            schema=info.schema,
+            primary_key=self._keys,
+            clustering_key=info.clustering_key,
+            delivery=info.delivery,
+        )
+
+    def _handle_message(self, port: int, message: Message) -> list[Message]:
+        if not self._incremental or message.kind == Delivery.REPLACE:
+            return [
+                message.replaced_frame(
+                    distinct_rows(message.frame, self._keys)
+                )
+            ]
+        fresh = distinct_rows(message.frame, self._keys)
+        if self._seen is not None and fresh.n_rows:
+            left_codes, right_codes = shared_codes(
+                [fresh.column(k) for k in self._keys],
+                [self._seen.column(k) for k in self._keys],
+            )
+            fresh = fresh.mask(anti_join_mask(left_codes, right_codes))
+        if fresh.n_rows:
+            key_frame = fresh.select(list(self._keys))
+            self._seen = (
+                key_frame if self._seen is None
+                else DataFrame.concat([self._seen, key_frame])
+            )
+        return [message.replaced_frame(fresh)]

@@ -1,0 +1,69 @@
+"""Filter operator (paper §3.2 "Filter", §2.3 attribute-kind analysis).
+
+A predicate over *constant* attributes is an order-preserving local
+operation (Case 1): each incoming partial is filtered independently and
+the delivery kind is preserved.  A predicate touching a *mutable*
+attribute can only be evaluated on snapshots: REPLACE inputs are filtered
+per snapshot; a DELTA input would have to be accumulated and recomputed
+(defensive path — mutable attributes only arise from REPLACE-emitting
+aggregations in practice).
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.dataframe.expr import Expr
+from repro.dataframe.frame import DataFrame
+from repro.core.properties import Delivery, StreamInfo
+from repro.engine.message import Message
+from repro.engine.ops.base import Operator
+
+
+class FilterOperator(Operator):
+    """Keep rows satisfying ``predicate``."""
+
+    def __init__(self, name: str, predicate: Expr) -> None:
+        super().__init__(name)
+        self.predicate = predicate
+        self._recompute = False
+        self._accumulated: list[DataFrame] = []
+
+    def _derive_info(self, inputs: tuple[StreamInfo, ...]) -> StreamInfo:
+        (info,) = inputs
+        schema = info.schema
+        referenced = self.predicate.columns()
+        missing = referenced - set(schema.names)
+        if missing:
+            raise QueryError(
+                f"filter {self.name!r}: unknown column(s) {sorted(missing)}"
+            )
+        touches_mutable = bool(referenced & set(schema.mutable_names))
+        self._recompute = (
+            touches_mutable and info.delivery == Delivery.DELTA
+        )
+        delivery = (
+            Delivery.REPLACE
+            if (self._recompute or info.delivery == Delivery.REPLACE)
+            else Delivery.DELTA
+        )
+        return StreamInfo(
+            schema=schema,
+            primary_key=info.primary_key,
+            clustering_key=info.clustering_key,
+            delivery=delivery,
+        )
+
+    def _handle_message(self, port: int, message: Message) -> list[Message]:
+        if self._recompute:
+            # DELTA input over mutable attributes: accumulate + recompute.
+            self._accumulated.append(message.frame)
+            whole = DataFrame.concat(self._accumulated)
+            kept = whole.mask(self.predicate.evaluate(whole))
+            return [
+                Message(frame=kept, progress=message.progress,
+                        kind=Delivery.REPLACE)
+            ]
+        kept = message.frame.mask(self.predicate.evaluate(message.frame))
+        # Empty partials still flow: they advance downstream progress so
+        # consumers refresh their estimates once per input partition.
+        return [message.replaced_frame(kept)]

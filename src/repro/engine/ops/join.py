@@ -1,0 +1,412 @@
+"""Join operators (paper §3.2 "Join", Fig 6).
+
+* :class:`HashJoinOperator` — general equi-join.  The right (build) input
+  is buffered until its EOF, then probe messages stream through
+  (right-deep chains thus build all hash tables before the probe flows,
+  matching the paper's note on Q9/Q10/Q13 first-result latency).
+* :class:`MergeJoinOperator` — progressive merge join for two DELTA
+  streams clustered/sorted on the same single join key: joins are emitted
+  up to the minimum key watermark of the two sides, giving fully
+  incremental DELTA output (the lineitem ⋈ orders path of Fig 6).
+* :class:`CrossJoinOperator` — cartesian product against a small right
+  side; with a REPLACE right input it re-emits on every right refresh,
+  which is how decorrelated scalar subqueries (Q11, Q14, Q17, Q22) stay
+  OLA-interactive.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.join import hash_join
+from repro.dataframe.schema import AttributeKind, Field, Schema
+from repro.core.properties import Delivery, StreamInfo
+from repro.engine.message import Message
+from repro.engine.ops.base import Operator
+
+
+class HashJoinOperator(Operator):
+    """Equi-join; port 0 = probe (streamed), port 1 = build (buffered).
+
+    ``how`` ∈ {inner, left, semi, anti}.  Output delivery follows the
+    probe side; the build side is always consumed to EOF first.
+    """
+
+    n_inputs = 2
+
+    def __init__(
+        self,
+        name: str,
+        left_on: Sequence[str],
+        right_on: Sequence[str],
+        how: str = "inner",
+        suffix: str = "_right",
+    ) -> None:
+        super().__init__(name)
+        self.left_on = tuple(left_on)
+        self.right_on = tuple(right_on)
+        self.how = how
+        self.suffix = suffix
+        self._build_ready = False
+        self._build_parts: list[DataFrame] = []
+        self._build_snapshot: DataFrame | None = None
+        self._build_frame: DataFrame | None = None
+        self._probe_buffer: list[Message] = []
+        self._probe_latest: Message | None = None  # REPLACE probe input
+
+    # -- plan time ---------------------------------------------------------------
+    def _derive_info(self, inputs: tuple[StreamInfo, ...]) -> StreamInfo:
+        left, right = inputs
+        for key in self.left_on:
+            if key not in left.schema:
+                raise QueryError(
+                    f"join {self.name!r}: left key {key!r} not in schema"
+                )
+        for key in self.right_on:
+            if key not in right.schema:
+                raise QueryError(
+                    f"join {self.name!r}: right key {key!r} not in schema"
+                )
+        probe = hash_join(
+            DataFrame.empty(left.schema),
+            DataFrame.empty(right.schema),
+            list(self.left_on),
+            list(self.right_on),
+            how=self.how,
+            suffix=self.suffix,
+        )
+        out_names = set(probe.schema.names)
+        return StreamInfo(
+            schema=probe.schema,
+            primary_key=(
+                left.primary_key
+                if set(left.primary_key) <= out_names
+                else ()
+            ),
+            clustering_key=(
+                left.clustering_key
+                if set(left.clustering_key) <= out_names
+                else ()
+            ),
+            delivery=left.delivery,
+        )
+
+    # -- run time -----------------------------------------------------------------
+    def _join(self, probe_frame: DataFrame) -> DataFrame:
+        assert self._build_frame is not None
+        return hash_join(
+            probe_frame,
+            self._build_frame,
+            list(self.left_on),
+            list(self.right_on),
+            how=self.how,
+            suffix=self.suffix,
+        )
+
+    def _handle_message(self, port: int, message: Message) -> list[Message]:
+        if port == 1:  # build side: buffer until EOF
+            if message.kind == Delivery.REPLACE:
+                self._build_snapshot = message.frame
+            else:
+                self._build_parts.append(message.frame)
+            return []
+        # probe side
+        if not self._build_ready:
+            if message.kind == Delivery.REPLACE:
+                self._probe_latest = message  # only the latest matters
+            else:
+                self._probe_buffer.append(message)
+            return []
+        return [self._emit(message)]
+
+    def _emit(self, message: Message) -> Message:
+        """Join a probe message; output progress merges the build side's
+        counters so downstream t reflects every source."""
+        return Message(
+            frame=self._join(message.frame),
+            progress=message.progress.merged(self.progress),
+            kind=message.kind,
+        )
+
+    def _materialize_build(self) -> None:
+        right_schema = self.input_infos[1].schema
+        if self._build_snapshot is not None:
+            self._build_frame = self._build_snapshot
+        elif self._build_parts:
+            self._build_frame = DataFrame.concat(self._build_parts)
+        else:
+            self._build_frame = DataFrame.empty(right_schema)
+        self._build_parts = []
+        self._build_ready = True
+
+    def _handle_eof(self, port: int) -> list[Message]:
+        if port != 1:
+            return []
+        self._materialize_build()
+        out: list[Message] = []
+        for message in self._probe_buffer:
+            out.append(self._emit(message))
+        self._probe_buffer = []
+        if self._probe_latest is not None:
+            out.append(self._emit(self._probe_latest))
+            self._probe_latest = None
+        return out
+
+
+class MergeJoinOperator(Operator):
+    """Progressive merge join on one numeric key; both inputs DELTA and
+    clustered/sorted on their respective keys."""
+
+    n_inputs = 2
+
+    def __init__(
+        self,
+        name: str,
+        left_on: str,
+        right_on: str,
+        suffix: str = "_right",
+    ) -> None:
+        super().__init__(name)
+        self.left_on = left_on
+        self.right_on = right_on
+        self.suffix = suffix
+        self._buffers: list[DataFrame | None] = [None, None]
+        self._watermarks = [-np.inf, -np.inf]
+        self._closed = [False, False]
+
+    def _derive_info(self, inputs: tuple[StreamInfo, ...]) -> StreamInfo:
+        left, right = inputs
+        for info, key, side in (
+            (left, self.left_on, "left"),
+            (right, self.right_on, "right"),
+        ):
+            if key not in info.schema:
+                raise QueryError(
+                    f"merge join {self.name!r}: {side} key {key!r} missing"
+                )
+            if info.delivery != Delivery.DELTA:
+                raise QueryError(
+                    f"merge join {self.name!r}: {side} input must stream "
+                    f"DELTA messages (got {info.delivery.value})"
+                )
+            if not info.clustered_on((key,)):
+                raise QueryError(
+                    f"merge join {self.name!r}: {side} input is not "
+                    f"clustered on {key!r}; use a hash join instead"
+                )
+        probe = hash_join(
+            DataFrame.empty(left.schema),
+            DataFrame.empty(right.schema),
+            [self.left_on],
+            [self.right_on],
+            how="inner",
+            suffix=self.suffix,
+        )
+        return StreamInfo(
+            schema=probe.schema,
+            primary_key=(
+                left.primary_key
+                if set(left.primary_key) <= set(probe.schema.names)
+                else ()
+            ),
+            clustering_key=left.clustering_key,
+            delivery=Delivery.DELTA,
+        )
+
+    def _append(self, port: int, frame: DataFrame) -> None:
+        existing = self._buffers[port]
+        self._buffers[port] = (
+            frame if existing is None
+            else DataFrame.concat([existing, frame])
+        )
+        key = self.left_on if port == 0 else self.right_on
+        if frame.n_rows:
+            self._watermarks[port] = max(
+                self._watermarks[port], float(frame.column(key).max())
+            )
+
+    def _emitable(self, force: bool = False) -> list[Message]:
+        """Join and release all buffered rows at or below the completed
+        watermark.  ``force`` emits even an empty result — used at EOF so
+        that stream-completion progress always reaches downstream."""
+        threshold = min(
+            np.inf if self._closed[0] else self._watermarks[0],
+            np.inf if self._closed[1] else self._watermarks[1],
+        )
+        left, right = self._buffers
+        if left is None:
+            left = DataFrame.empty(self.input_infos[0].schema)
+        if right is None:
+            right = DataFrame.empty(self.input_infos[1].schema)
+        l_keys = left.column(self.left_on).astype(np.float64)
+        r_keys = right.column(self.right_on).astype(np.float64)
+        l_ready = l_keys <= threshold
+        r_ready = r_keys <= threshold
+        if not force and not (l_ready.any() and r_ready.any()):
+            return []
+        joined = hash_join(
+            left.mask(l_ready),
+            right.mask(r_ready),
+            [self.left_on],
+            [self.right_on],
+            how="inner",
+            suffix=self.suffix,
+        )
+        self._buffers[0] = left.mask(~l_ready)
+        self._buffers[1] = right.mask(~r_ready)
+        return [
+            Message(frame=joined, progress=self.progress,
+                    kind=Delivery.DELTA)
+        ]
+
+    def _handle_message(self, port: int, message: Message) -> list[Message]:
+        self._append(port, message.frame)
+        return self._emitable()
+
+    def _handle_eof(self, port: int) -> list[Message]:
+        self._closed[port] = True
+        # Force a flush once both sides closed so the final (complete)
+        # progress propagates even when nothing remains to join.
+        return self._emitable(force=all(self._closed))
+
+
+class CrossJoinOperator(Operator):
+    """Cartesian product with a small right side (scalar subqueries).
+
+    With a REPLACE right input ("live" mode) the operator accumulates the
+    left side and re-emits the full product whenever either side updates;
+    with a DELTA right input the right side is buffered to EOF and left
+    messages then stream through.
+    """
+
+    n_inputs = 2
+
+    def __init__(self, name: str, suffix: str = "_right") -> None:
+        super().__init__(name)
+        self.suffix = suffix
+        self._live = False
+        self._left_parts: list[DataFrame] = []
+        self._left_snapshot: DataFrame | None = None
+        self._right_frame: DataFrame | None = None
+        self._right_ready = False
+        self._probe_buffer: list[Message] = []
+
+    def _derive_info(self, inputs: tuple[StreamInfo, ...]) -> StreamInfo:
+        left, right = inputs
+        fields = list(left.schema.fields)
+        taken = set(left.schema.names)
+        self._rename: dict[str, str] = {}
+        for f in right.schema:
+            out = f.name if f.name not in taken else f.name + self.suffix
+            if out in taken:
+                raise QueryError(
+                    f"cross join {self.name!r}: column {out!r} collides"
+                )
+            self._rename[f.name] = out
+            taken.add(out)
+            kind = (
+                AttributeKind.MUTABLE
+                if right.delivery == Delivery.REPLACE
+                else f.kind
+            )
+            fields.append(Field(out, f.dtype, kind))
+        self._live = right.delivery == Delivery.REPLACE
+        delivery = (
+            Delivery.REPLACE if self._live else left.delivery
+        )
+        return StreamInfo(
+            schema=Schema(fields),
+            primary_key=(),
+            clustering_key=(),
+            delivery=delivery,
+        )
+
+    def _product(self, left: DataFrame, right: DataFrame) -> DataFrame:
+        n, m = left.n_rows, right.n_rows
+        data: dict[str, np.ndarray] = {}
+        for name in left.column_names:
+            data[name] = np.repeat(left.column(name), m)
+        for name in right.column_names:
+            data[self._rename[name]] = np.tile(right.column(name), n)
+        return DataFrame(data, schema=self.output_info.schema)
+
+    def _left_frame(self) -> DataFrame:
+        if self._left_snapshot is not None:
+            return self._left_snapshot
+        if self._left_parts:
+            return DataFrame.concat(self._left_parts)
+        return DataFrame.empty(self.input_infos[0].schema)
+
+    def _handle_message(self, port: int, message: Message) -> list[Message]:
+        if port == 1:
+            if self._live:
+                self._right_frame = message.frame
+                left = self._left_frame()
+                if left.n_rows == 0:
+                    return []
+                return [
+                    Message(
+                        frame=self._product(left, message.frame),
+                        progress=self.progress,
+                        kind=Delivery.REPLACE,
+                    )
+                ]
+            if message.kind == Delivery.REPLACE:
+                self._right_frame = message.frame
+            else:
+                self._right_frame = (
+                    message.frame
+                    if self._right_frame is None
+                    else DataFrame.concat(
+                        [self._right_frame, message.frame]
+                    )
+                )
+            return []
+
+        # port 0 (left)
+        if message.kind == Delivery.REPLACE:
+            self._left_snapshot = message.frame
+            self._left_parts = []
+        else:
+            self._left_parts.append(message.frame)
+        if self._live:
+            if self._right_frame is None:
+                return []
+            return [
+                Message(
+                    frame=self._product(self._left_frame(),
+                                        self._right_frame),
+                    progress=self.progress,
+                    kind=Delivery.REPLACE,
+                )
+            ]
+        if not self._right_ready:
+            self._probe_buffer.append(message)
+            return []
+        return self._stream_left(message)
+
+    def _stream_left(self, message: Message) -> list[Message]:
+        right = self._right_frame
+        if right is None:
+            right = DataFrame.empty(self.input_infos[1].schema)
+        return [
+            Message(
+                frame=self._product(message.frame, right),
+                progress=message.progress.merged(self.progress),
+                kind=message.kind,
+            )
+        ]
+
+    def _handle_eof(self, port: int) -> list[Message]:
+        if port != 1 or self._live:
+            return []
+        self._right_ready = True
+        out: list[Message] = []
+        for message in self._probe_buffer:
+            out.extend(self._stream_left(message))
+        self._probe_buffer = []
+        return out

@@ -1,0 +1,84 @@
+"""Sort / limit operator — Case 3: shuffle without inference (paper §2.2).
+
+Order-by and limit must consume their entire input; on every input change
+the output is recomputed wholesale and emitted as a REPLACE snapshot.  As
+the paper notes, these appear at the tail of pipelines (top-k for user
+consumption) so the redundant recomputation is cheap relative to the
+upstream aggregation work.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import QueryError
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.sort import sort_frame
+from repro.core.properties import Delivery, StreamInfo
+from repro.engine.message import Message
+from repro.engine.ops.base import Operator
+
+
+class SortLimitOperator(Operator):
+    """Sort by keys (optional) and keep the first ``limit`` rows
+    (optional).  At least one of the two must be requested."""
+
+    def __init__(
+        self,
+        name: str,
+        by: Sequence[str] = (),
+        ascending: Sequence[bool] | bool = True,
+        limit: int | None = None,
+    ) -> None:
+        super().__init__(name)
+        if not by and limit is None:
+            raise QueryError(
+                f"sort/limit {self.name!r}: need sort keys and/or a limit"
+            )
+        if limit is not None and limit < 0:
+            raise QueryError(f"negative limit in {self.name!r}")
+        self.by = tuple(by)
+        self.ascending = ascending
+        self.limit = limit
+        self._parts: list[DataFrame] = []
+        self._snapshot: DataFrame | None = None
+
+    def _derive_info(self, inputs: tuple[StreamInfo, ...]) -> StreamInfo:
+        (info,) = inputs
+        for key in self.by:
+            if key not in info.schema:
+                raise QueryError(
+                    f"sort {self.name!r}: unknown key {key!r}"
+                )
+        return StreamInfo(
+            schema=info.schema,
+            primary_key=info.primary_key,
+            clustering_key=self.by,  # output is physically ordered by keys
+            delivery=Delivery.REPLACE,
+        )
+
+    def _current(self) -> DataFrame:
+        if self._snapshot is not None:
+            return self._snapshot
+        if self._parts:
+            return DataFrame.concat(self._parts)
+        return DataFrame.empty(self.input_infos[0].schema)
+
+    def _recompute(self, message: Message) -> list[Message]:
+        frame = self._current()
+        if self.by and frame.n_rows:
+            frame = sort_frame(frame, list(self.by), self.ascending)
+        if self.limit is not None:
+            frame = frame.head(self.limit)
+        return [
+            Message(frame=frame, progress=self.progress,
+                    kind=Delivery.REPLACE)
+        ]
+
+    def _handle_message(self, port: int, message: Message) -> list[Message]:
+        if message.kind == Delivery.REPLACE:
+            self._snapshot = message.frame
+            self._parts = []
+        else:
+            self._parts.append(message.frame)
+        return self._recompute(message)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro (Wake reproduction) library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A DataFrame or edf schema is invalid or two schemas are incompatible."""
+
+
+class ColumnNotFoundError(SchemaError):
+    """A referenced column does not exist in the frame."""
+
+    def __init__(self, name: str, available: tuple[str, ...]) -> None:
+        super().__init__(
+            f"column {name!r} not found; available columns: {list(available)}"
+        )
+        self.name = name
+        self.available = available
+
+
+class StorageError(ReproError):
+    """A partitioned table or catalog is missing, corrupt, or inconsistent."""
+
+
+class QueryError(ReproError):
+    """A query graph is malformed (bad op arguments, cycles, arity errors)."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure inside the execution engine."""
+
+
+class InferenceError(ReproError):
+    """Aggregate inference could not produce an estimate (bad growth state)."""

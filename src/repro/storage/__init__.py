@@ -1,0 +1,25 @@
+"""Partitioned table storage + metadata catalog (paper §4.4)."""
+
+from repro.storage.catalog import Catalog, TableMeta
+from repro.storage.partition import (
+    read_partition,
+    read_partition_csv,
+    read_partition_npz,
+    write_partition,
+    write_partition_csv,
+    write_partition_npz,
+)
+from repro.storage.writer import partition_boundaries, write_table
+
+__all__ = [
+    "Catalog",
+    "TableMeta",
+    "partition_boundaries",
+    "read_partition",
+    "read_partition_csv",
+    "read_partition_npz",
+    "write_partition",
+    "write_partition_csv",
+    "write_partition_npz",
+    "write_table",
+]

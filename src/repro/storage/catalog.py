@@ -1,0 +1,170 @@
+"""Base-table metadata catalog (paper §4.4).
+
+Wake requires exactly three pieces of metadata per base table: (1) the list
+of partition files, (2) the number of tuples in each file, and (3) the
+attributes with primary/clustering keys.  ``Catalog`` persists this as a
+JSON document next to the partition files; progress ``t`` is computed from
+the per-file tuple counts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.errors import StorageError
+from repro.dataframe import (
+    AttributeKind,
+    DataFrame,
+    DType,
+    Field,
+    Schema,
+)
+from repro.storage.partition import read_partition
+
+
+@dataclass(frozen=True)
+class TableMeta:
+    """Metadata describing one partitioned base table."""
+
+    name: str
+    files: tuple[str, ...]
+    tuple_counts: tuple[int, ...]
+    schema: Schema
+    primary_key: tuple[str, ...]
+    clustering_key: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.files) != len(self.tuple_counts):
+            raise StorageError(
+                f"table {self.name!r}: {len(self.files)} files but "
+                f"{len(self.tuple_counts)} tuple counts"
+            )
+        for key in (*self.primary_key, *self.clustering_key):
+            if key not in self.schema:
+                raise StorageError(
+                    f"table {self.name!r}: key column {key!r} missing from "
+                    f"schema"
+                )
+
+    @property
+    def total_tuples(self) -> int:
+        return int(sum(self.tuple_counts))
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.files)
+
+    def read_partition(self, index: int) -> DataFrame:
+        if not 0 <= index < len(self.files):
+            raise StorageError(
+                f"table {self.name!r}: partition index {index} out of range "
+                f"[0, {len(self.files)})"
+            )
+        return read_partition(self.files[index], self.schema)
+
+    def iter_partitions(
+        self, order: Sequence[int] | None = None
+    ) -> Iterator[tuple[int, DataFrame]]:
+        """Yield (partition_index, frame) pairs, optionally reordered.
+
+        Shuffled orders simulate out-of-order input arrival (used by the
+        §8.5 confidence-interval experiment).
+        """
+        indices = range(len(self.files)) if order is None else order
+        for index in indices:
+            yield index, self.read_partition(index)
+
+    def read_all(self) -> DataFrame:
+        """Materialize the entire table (exact baselines / ground truth)."""
+        frames = [frame for _, frame in self.iter_partitions()]
+        if not frames:
+            return DataFrame.empty(self.schema)
+        return DataFrame.concat(frames)
+
+
+@dataclass
+class Catalog:
+    """A named collection of :class:`TableMeta`, persistable as JSON."""
+
+    tables: dict[str, TableMeta] = field(default_factory=dict)
+    root: str | None = None
+
+    def add(self, meta: TableMeta) -> None:
+        if meta.name in self.tables:
+            raise StorageError(f"table {meta.name!r} already registered")
+        self.tables[meta.name] = meta
+
+    def table(self, name: str) -> TableMeta:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise StorageError(
+                f"table {name!r} not in catalog; known tables: "
+                f"{sorted(self.tables)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.tables))
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "root": self.root,
+            "tables": {
+                name: {
+                    "files": list(meta.files),
+                    "tuple_counts": list(meta.tuple_counts),
+                    "schema": [
+                        {
+                            "name": f.name,
+                            "dtype": f.dtype.value,
+                            "kind": f.kind.value,
+                        }
+                        for f in meta.schema
+                    ],
+                    "primary_key": list(meta.primary_key),
+                    "clustering_key": list(meta.clustering_key),
+                }
+                for name, meta in self.tables.items()
+            },
+        }
+        path.write_text(json.dumps(doc, indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Catalog":
+        path = Path(path)
+        if not path.exists():
+            raise StorageError(f"catalog file not found: {path}")
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"corrupt catalog {path}: {exc}") from exc
+        catalog = cls(root=doc.get("root"))
+        for name, raw in doc.get("tables", {}).items():
+            schema = Schema(
+                Field(
+                    item["name"],
+                    DType(item["dtype"]),
+                    AttributeKind(item["kind"]),
+                )
+                for item in raw["schema"]
+            )
+            catalog.add(
+                TableMeta(
+                    name=name,
+                    files=tuple(raw["files"]),
+                    tuple_counts=tuple(raw["tuple_counts"]),
+                    schema=schema,
+                    primary_key=tuple(raw["primary_key"]),
+                    clustering_key=tuple(raw.get("clustering_key", ())),
+                )
+            )
+        return catalog

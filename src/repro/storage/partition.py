@@ -1,0 +1,162 @@
+"""Partition files: the on-disk unit an OLA reader consumes at a time.
+
+The paper stores base tables as directories of 512 MB Parquet chunks; this
+module provides the equivalent with two formats:
+
+* ``.npz`` — columnar binary (the Parquet analogue; default), and
+* ``.csv`` — the paper's ``read_csv`` path for interoperability and tests.
+
+Schemas (logical dtypes + attribute kinds) are embedded in npz files and
+supplied externally for CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.dataframe import (
+    AttributeKind,
+    DataFrame,
+    DType,
+    Field,
+    Schema,
+    numpy_dtype,
+)
+
+_SCHEMA_KEY = "__schema__"
+
+
+def _schema_to_json(schema: Schema) -> str:
+    return json.dumps(
+        [
+            {"name": f.name, "dtype": f.dtype.value, "kind": f.kind.value}
+            for f in schema
+        ]
+    )
+
+
+def _schema_from_json(payload: str) -> Schema:
+    try:
+        raw = json.loads(payload)
+        return Schema(
+            Field(item["name"], DType(item["dtype"]),
+                  AttributeKind(item["kind"]))
+            for item in raw
+        )
+    except (json.JSONDecodeError, KeyError, ValueError) as exc:
+        raise StorageError(f"corrupt embedded schema: {exc}") from exc
+
+
+def write_partition_npz(path: str | Path, frame: DataFrame) -> None:
+    """Write a frame as a columnar ``.npz`` partition (schema embedded)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {name: frame.column(name) for name in frame.column_names}
+    payload[_SCHEMA_KEY] = np.array(_schema_to_json(frame.schema))
+    np.savez(path, **payload)
+
+
+def read_partition_npz(path: str | Path) -> DataFrame:
+    """Load a ``.npz`` partition back into a DataFrame."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"partition file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if _SCHEMA_KEY not in archive:
+            raise StorageError(f"not a repro partition (no schema): {path}")
+        schema = _schema_from_json(str(archive[_SCHEMA_KEY]))
+        data = {f.name: archive[f.name] for f in schema}
+    return DataFrame(data, schema=schema)
+
+
+def write_partition_csv(path: str | Path, frame: DataFrame) -> None:
+    """Write a frame as a header-bearing CSV partition."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(frame.column_names)
+        for row in frame.iter_rows():
+            writer.writerow(row)
+
+
+def read_partition_csv(path: str | Path, schema: Schema) -> DataFrame:
+    """Load a CSV partition, coercing columns to the supplied schema."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"partition file not found: {path}")
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise StorageError(f"empty CSV partition: {path}") from None
+        rows = list(reader)
+    if tuple(header) != schema.names:
+        raise StorageError(
+            f"CSV header {header} does not match schema {list(schema.names)}"
+        )
+    columns: dict[str, np.ndarray] = {}
+    for index, field in enumerate(schema):
+        raw = [row[index] for row in rows]
+        if field.dtype in (DType.INT64, DType.DATE):
+            columns[field.name] = np.array(
+                [int(v) for v in raw], dtype=np.int64
+            )
+        elif field.dtype == DType.FLOAT64:
+            columns[field.name] = np.array(
+                [float(v) for v in raw], dtype=np.float64
+            )
+        elif field.dtype == DType.BOOL:
+            columns[field.name] = np.array(
+                [v in ("True", "true", "1") for v in raw], dtype=np.bool_
+            )
+        else:
+            columns[field.name] = (
+                np.array(raw) if raw
+                else np.empty(0, dtype=numpy_dtype(DType.STRING))
+            )
+    return DataFrame(columns, schema=schema)
+
+
+def write_partition(path: str | Path, frame: DataFrame) -> None:
+    """Dispatch on file suffix (.npz or .csv)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        write_partition_npz(path, frame)
+    elif path.suffix == ".csv":
+        write_partition_csv(path, frame)
+    else:
+        raise StorageError(f"unknown partition format: {path.suffix!r}")
+
+
+def read_partition(path: str | Path, schema: Schema | None = None) -> DataFrame:
+    """Dispatch on file suffix; CSV requires an explicit schema."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        return read_partition_npz(path)
+    if path.suffix == ".csv":
+        if schema is None:
+            raise StorageError("reading CSV partitions requires a schema")
+        return read_partition_csv(path, schema)
+    raise StorageError(f"unknown partition format: {path.suffix!r}")
+
+
+def estimate_csv_bytes(frame: DataFrame) -> int:
+    """Approximate serialized CSV size (used by partition-size sweeps)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(frame.column_names)
+    for row in frame.head(min(100, frame.n_rows)).iter_rows():
+        writer.writerow(row)
+    sample = buffer.getvalue()
+    if frame.n_rows <= 100:
+        return len(sample)
+    per_row = len(sample) / max(1, min(100, frame.n_rows))
+    return int(per_row * frame.n_rows)

@@ -1,0 +1,14 @@
+"""TPC-H substrate: schemas, dbgen, loader, and the 22 benchmark queries."""
+
+from repro.tpch.dbgen import TpchTables, generate
+from repro.tpch.loader import generate_and_load, load_tables
+from repro.tpch.schema import TABLES, TableSpec
+
+__all__ = [
+    "TABLES",
+    "TableSpec",
+    "TpchTables",
+    "generate",
+    "generate_and_load",
+    "load_tables",
+]

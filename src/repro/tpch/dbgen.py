@@ -1,0 +1,410 @@
+"""TPC-H data generator (the ``dbgen`` substrate, paper §8.1).
+
+A numpy re-implementation of the TPC-H population rules, faithful where
+query behaviour depends on it:
+
+* referential integrity (lineitem (partkey, suppkey) pairs always exist in
+  partsupp; every o_orderkey has 1–7 lineitems; FKs valid);
+* the real nation/region names and phone country codes (= 10 + nationkey,
+  which Q22 slices out of c_phone);
+* date arithmetic (l_shipdate = o_orderdate + 1..121 days, commit/receipt
+  offsets, returnflag/linestatus derived from the 1995-06-17 current date);
+* value vocabularies (brands, types, containers, segments, priorities,
+  ship modes) with uniform draws, plus rare comment phrases for Q13
+  ("special ... requests") and Q16 ("Customer ... Complaints").
+
+Text columns use compact word-sampled comments rather than the spec's
+grammar — none of the 22 queries depend on comment internals beyond the
+two LIKE patterns above.  Everything is deterministic per (scale_factor,
+seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataframe import DataFrame, date
+from repro.tpch import schema as spec
+
+#: TPC-H "current date" used to derive returnflag / linestatus.
+_CURRENT_DATE = date("1995-06-17")
+_ORDER_DATE_LO = date("1992-01-01")
+_ORDER_DATE_HI = date("1998-08-02")
+
+#: Suppliers listed per part in partsupp.
+_SUPPLIERS_PER_PART = 4
+
+
+@dataclass
+class TpchTables:
+    """All eight generated tables, keyed by TPC-H table name."""
+
+    tables: dict[str, DataFrame] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> DataFrame:
+        return self.tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.tables)
+
+
+def _comments(rng: np.random.Generator, n: int, words: int = 4,
+              inject: str | None = None,
+              inject_rate: float = 0.0) -> np.ndarray:
+    """Random word-salad comments with an optional rare injected phrase."""
+    vocab = np.array(spec.COMMENT_WORDS)
+    picks = rng.integers(0, len(vocab), size=(n, words))
+    parts = vocab[picks]
+    out = np.array([" ".join(row) for row in parts])
+    if inject and inject_rate > 0 and n > 0:
+        hit = rng.random(n) < inject_rate
+        out = out.copy()
+        out[hit] = np.char.add(out[hit], " " + inject)
+    return out
+
+
+def _money(rng: np.random.Generator, n: int, lo: float,
+           hi: float) -> np.ndarray:
+    return np.round(rng.uniform(lo, hi, size=n), 2)
+
+
+def _phone(rng: np.random.Generator, nationkeys: np.ndarray) -> np.ndarray:
+    """Phone numbers 'CC-LLL-LLL-LLLL' with country code 10+nationkey."""
+    n = len(nationkeys)
+    local = rng.integers(100, 999, size=(n, 2))
+    last = rng.integers(1000, 9999, size=n)
+    codes = nationkeys + 10
+    return np.array(
+        [
+            f"{c}-{a}-{b}-{d}"
+            for c, (a, b), d in zip(codes.tolist(), local.tolist(),
+                                    last.tolist())
+        ]
+    )
+
+
+def generate_region() -> DataFrame:
+    rng = np.random.default_rng(7001)
+    n = len(spec.REGIONS)
+    return DataFrame(
+        {
+            "r_regionkey": np.arange(n, dtype=np.int64),
+            "r_name": np.array(spec.REGIONS),
+            "r_comment": _comments(rng, n),
+        },
+        schema=spec.REGION.schema,
+    )
+
+
+def generate_nation() -> DataFrame:
+    rng = np.random.default_rng(7002)
+    names = np.array([name for name, _ in spec.NATIONS])
+    regions = np.array([region for _, region in spec.NATIONS],
+                       dtype=np.int64)
+    return DataFrame(
+        {
+            "n_nationkey": np.arange(len(names), dtype=np.int64),
+            "n_name": names,
+            "n_regionkey": regions,
+            "n_comment": _comments(rng, len(names)),
+        },
+        schema=spec.NATION.schema,
+    )
+
+
+def _balanced_nationkeys(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform nation assignment with guaranteed coverage: at small scale
+    factors a plain uniform draw can leave whole nations unpopulated,
+    which degenerates the nation-filtered queries (Q2/Q5/Q7/Q8/Q21)."""
+    return rng.permutation(
+        np.arange(n, dtype=np.int64) % len(spec.NATIONS)
+    )
+
+
+def generate_supplier(n: int, rng: np.random.Generator) -> DataFrame:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    nationkeys = _balanced_nationkeys(n, rng)
+    return DataFrame(
+        {
+            "s_suppkey": keys,
+            "s_name": np.array([f"Supplier#{k:09d}" for k in keys]),
+            "s_address": _comments(rng, n, words=2),
+            "s_nationkey": nationkeys.astype(np.int64),
+            "s_phone": _phone(rng, nationkeys),
+            "s_acctbal": _money(rng, n, -999.99, 9999.99),
+            "s_comment": _comments(
+                rng, n, words=5,
+                inject="Customer stuff Complaints",
+                inject_rate=0.01,
+            ),
+        },
+        schema=spec.SUPPLIER.schema,
+    )
+
+
+def generate_customer(n: int, rng: np.random.Generator) -> DataFrame:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    nationkeys = _balanced_nationkeys(n, rng)
+    segments = np.array(spec.MKT_SEGMENTS)[
+        rng.integers(0, len(spec.MKT_SEGMENTS), size=n)
+    ]
+    return DataFrame(
+        {
+            "c_custkey": keys,
+            "c_name": np.array([f"Customer#{k:09d}" for k in keys]),
+            "c_address": _comments(rng, n, words=2),
+            "c_nationkey": nationkeys.astype(np.int64),
+            "c_phone": _phone(rng, nationkeys),
+            "c_acctbal": _money(rng, n, -999.99, 9999.99),
+            "c_mktsegment": segments,
+            "c_comment": _comments(rng, n, words=5),
+        },
+        schema=spec.CUSTOMER.schema,
+    )
+
+
+def generate_part(n: int, rng: np.random.Generator) -> DataFrame:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    colors = np.array(spec.PART_COLORS)
+    name_picks = colors[rng.integers(0, len(colors), size=(n, 3))]
+    names = np.array([" ".join(row) for row in name_picks])
+    mfgr_ids = rng.integers(1, 6, size=n)
+    brand_ids = mfgr_ids * 10 + rng.integers(1, 6, size=n)
+    types = np.array(
+        [
+            f"{t1} {t2} {t3}"
+            for t1, t2, t3 in zip(
+                np.array(spec.TYPE_SYLLABLE_1)[
+                    rng.integers(0, 6, size=n)],
+                np.array(spec.TYPE_SYLLABLE_2)[
+                    rng.integers(0, 5, size=n)],
+                np.array(spec.TYPE_SYLLABLE_3)[
+                    rng.integers(0, 5, size=n)],
+            )
+        ]
+    )
+    containers = np.array(
+        [
+            f"{c1} {c2}"
+            for c1, c2 in zip(
+                np.array(spec.CONTAINER_SYLLABLE_1)[
+                    rng.integers(0, 5, size=n)],
+                np.array(spec.CONTAINER_SYLLABLE_2)[
+                    rng.integers(0, 8, size=n)],
+            )
+        ]
+    )
+    retail = 900.0 + (keys % 1000) / 10.0 + 100.0 * (keys % 10)
+    return DataFrame(
+        {
+            "p_partkey": keys,
+            "p_name": names,
+            "p_mfgr": np.array(
+                [f"Manufacturer#{m}" for m in mfgr_ids.tolist()]
+            ),
+            "p_brand": np.array(
+                [f"Brand#{b}" for b in brand_ids.tolist()]
+            ),
+            "p_type": types,
+            "p_size": rng.integers(1, 51, size=n).astype(np.int64),
+            "p_container": containers,
+            "p_retailprice": retail.astype(np.float64),
+            "p_comment": _comments(rng, n, words=2),
+        },
+        schema=spec.PART.schema,
+    )
+
+
+def _part_suppliers(partkeys: np.ndarray, n_suppliers: int) -> np.ndarray:
+    """The (deterministic) supplier slots for each part — column ``i`` is
+    the i-th supplier of the part (TPC-H-style spreading formula)."""
+    slots = []
+    for i in range(_SUPPLIERS_PER_PART):
+        slots.append(
+            (partkeys - 1 + i * (n_suppliers // _SUPPLIERS_PER_PART + 1))
+            % n_suppliers + 1
+        )
+    return np.stack(slots, axis=1)
+
+
+def generate_partsupp(n_parts: int, n_suppliers: int,
+                      rng: np.random.Generator) -> DataFrame:
+    partkeys = np.arange(1, n_parts + 1, dtype=np.int64)
+    slots = _part_suppliers(partkeys, n_suppliers)
+    ps_partkey = np.repeat(partkeys, _SUPPLIERS_PER_PART)
+    ps_suppkey = slots.reshape(-1)
+    n = len(ps_partkey)
+    return DataFrame(
+        {
+            "ps_partkey": ps_partkey,
+            "ps_suppkey": ps_suppkey.astype(np.int64),
+            "ps_availqty": rng.integers(1, 10_000, size=n).astype(
+                np.int64),
+            "ps_supplycost": _money(rng, n, 1.0, 1000.0),
+            "ps_comment": _comments(rng, n, words=3),
+        },
+        schema=spec.PARTSUPP.schema,
+    )
+
+
+def generate_orders_and_lineitem(
+    n_orders: int,
+    n_customers: int,
+    part_frame: DataFrame,
+    n_suppliers: int,
+    rng: np.random.Generator,
+) -> tuple[DataFrame, DataFrame]:
+    orderkeys = np.arange(1, n_orders + 1, dtype=np.int64)
+    # TPC-H rule: customers with custkey % 3 == 0 place no orders (one
+    # third of customers are order-less — Q13's zero bucket, Q22's
+    # anti-join population).
+    eligible = np.arange(1, n_customers + 1, dtype=np.int64)
+    eligible = eligible[eligible % 3 != 0]
+    custkeys = rng.choice(eligible, size=n_orders).astype(np.int64)
+    orderdates = rng.integers(_ORDER_DATE_LO, _ORDER_DATE_HI,
+                              size=n_orders).astype(np.int64)
+    priorities = np.array(spec.ORDER_PRIORITIES)[
+        rng.integers(0, len(spec.ORDER_PRIORITIES), size=n_orders)
+    ]
+    clerks = np.array(
+        [f"Clerk#{c:09d}" for c in
+         rng.integers(1, max(2, n_orders // 100), size=n_orders).tolist()]
+    )
+
+    # lineitems: 1..7 per order
+    lines_per_order = rng.integers(1, 8, size=n_orders)
+    l_orderkey = np.repeat(orderkeys, lines_per_order)
+    n_lines = len(l_orderkey)
+    l_linenumber = (
+        np.arange(n_lines, dtype=np.int64)
+        - np.repeat(np.cumsum(lines_per_order) - lines_per_order,
+                    lines_per_order)
+        + 1
+    )
+    n_parts = part_frame.n_rows
+    l_partkey = rng.integers(1, n_parts + 1, size=n_lines).astype(
+        np.int64)
+    slot = rng.integers(0, _SUPPLIERS_PER_PART, size=n_lines)
+    slots = _part_suppliers(l_partkey, n_suppliers)
+    l_suppkey = slots[np.arange(n_lines), slot].astype(np.int64)
+
+    quantity = rng.integers(1, 51, size=n_lines).astype(np.float64)
+    retail = part_frame.column("p_retailprice")[l_partkey - 1]
+    extendedprice = np.round(retail * quantity / 10.0, 2)
+    discount = np.round(rng.integers(0, 11, size=n_lines) / 100.0, 2)
+    tax = np.round(rng.integers(0, 9, size=n_lines) / 100.0, 2)
+
+    order_date_per_line = np.repeat(orderdates, lines_per_order)
+    shipdate = order_date_per_line + rng.integers(1, 122, size=n_lines)
+    commitdate = order_date_per_line + rng.integers(30, 91, size=n_lines)
+    receiptdate = shipdate + rng.integers(1, 31, size=n_lines)
+
+    returnflag = np.where(
+        receiptdate <= _CURRENT_DATE,
+        np.where(rng.random(n_lines) < 0.5, "R", "A"),
+        "N",
+    )
+    linestatus = np.where(shipdate > _CURRENT_DATE, "O", "F")
+    shipinstruct = np.array(spec.SHIP_INSTRUCTIONS)[
+        rng.integers(0, len(spec.SHIP_INSTRUCTIONS), size=n_lines)
+    ]
+    shipmode = np.array(spec.SHIP_MODES)[
+        rng.integers(0, len(spec.SHIP_MODES), size=n_lines)
+    ]
+
+    lineitem = DataFrame(
+        {
+            "l_orderkey": l_orderkey,
+            "l_partkey": l_partkey,
+            "l_suppkey": l_suppkey,
+            "l_linenumber": l_linenumber,
+            "l_quantity": quantity,
+            "l_extendedprice": extendedprice,
+            "l_discount": discount,
+            "l_tax": tax,
+            "l_returnflag": returnflag,
+            "l_linestatus": linestatus,
+            "l_shipdate": shipdate.astype(np.int64),
+            "l_commitdate": commitdate.astype(np.int64),
+            "l_receiptdate": receiptdate.astype(np.int64),
+            "l_shipinstruct": shipinstruct,
+            "l_shipmode": shipmode,
+            "l_comment": _comments(rng, n_lines, words=3),
+        },
+        schema=spec.LINEITEM.schema,
+    )
+
+    # order totals / status derived from their lines
+    line_charge = extendedprice * (1 + tax) * (1 - discount)
+    totalprice = np.round(
+        np.bincount(
+            np.repeat(np.arange(n_orders), lines_per_order),
+            weights=line_charge, minlength=n_orders,
+        ),
+        2,
+    )
+    open_lines = np.bincount(
+        np.repeat(np.arange(n_orders), lines_per_order),
+        weights=(linestatus == "O").astype(np.float64),
+        minlength=n_orders,
+    )
+    status = np.where(
+        open_lines == lines_per_order, "O",
+        np.where(open_lines == 0, "F", "P"),
+    )
+    orders = DataFrame(
+        {
+            "o_orderkey": orderkeys,
+            "o_custkey": custkeys,
+            "o_orderstatus": status,
+            "o_totalprice": totalprice,
+            "o_orderdate": orderdates,
+            "o_orderpriority": priorities,
+            "o_clerk": clerks,
+            "o_shippriority": np.zeros(n_orders, dtype=np.int64),
+            "o_comment": _comments(
+                rng, n_orders, words=4,
+                inject="special packages requests",
+                inject_rate=0.02,
+            ),
+        },
+        schema=spec.ORDERS.schema,
+    )
+    return orders, lineitem
+
+
+def generate(scale_factor: float = 0.01, seed: int = 42) -> TpchTables:
+    """Generate all eight tables at the given scale factor.
+
+    Row counts follow the spec bases (orders = 1.5M·SF, etc.) with floors
+    so that tiny scale factors still produce non-degenerate tables.
+    """
+    if scale_factor <= 0:
+        raise ValueError(f"scale_factor must be positive: {scale_factor}")
+    rng = np.random.default_rng(seed)
+    n_suppliers = max(10, int(spec.SUPPLIER.rows_per_sf * scale_factor))
+    n_parts = max(40, int(spec.PART.rows_per_sf * scale_factor))
+    n_customers = max(30, int(spec.CUSTOMER.rows_per_sf * scale_factor))
+    n_orders = max(150, int(spec.ORDERS.rows_per_sf * scale_factor))
+
+    part = generate_part(n_parts, rng)
+    orders, lineitem = generate_orders_and_lineitem(
+        n_orders, n_customers, part, n_suppliers, rng
+    )
+    return TpchTables(
+        {
+            "region": generate_region(),
+            "nation": generate_nation(),
+            "supplier": generate_supplier(n_suppliers, rng),
+            "customer": generate_customer(n_customers, rng),
+            "part": part,
+            "partsupp": generate_partsupp(n_parts, n_suppliers, rng),
+            "orders": orders,
+            "lineitem": lineitem,
+        }
+    )

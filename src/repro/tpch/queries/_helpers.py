@@ -1,0 +1,23 @@
+"""Shared helpers for reference implementations (exact, kernel-level)."""
+
+from __future__ import annotations
+
+from repro.dataframe import DataFrame
+from repro.dataframe.expr import Expr
+
+
+def mask(frame: DataFrame, predicate: Expr) -> DataFrame:
+    """Filter a frame by an expression (reference-side convenience)."""
+    return frame.mask(predicate.evaluate(frame))
+
+
+def add(frame: DataFrame, name: str, expr: Expr) -> DataFrame:
+    """Append a derived column from an expression."""
+    return frame.with_column(name, expr.evaluate(frame))
+
+
+def revenue_expr():
+    """The TPC-H revenue expression l_extendedprice * (1 − l_discount)."""
+    from repro.dataframe import col, lit
+
+    return col("l_extendedprice") * (lit(1.0) - col("l_discount"))

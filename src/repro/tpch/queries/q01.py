@@ -1,0 +1,73 @@
+"""TPC-H Q1: pricing summary report.
+
+Category "mape" (§8.3): group-by on low-cardinality non-clustered keys
+(returnflag × linestatus) — estimates converge, recall hits 100% early.
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    date,
+    group_aggregate,
+    lit,
+    sort_frame,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask
+
+NAME = "q01"
+CATEGORY = "mape"
+DEFAULTS = {"delta_days": 90}
+
+_AGGS = [
+    ("sum", "l_quantity", "sum_qty"),
+    ("sum", "l_extendedprice", "sum_base_price"),
+    ("sum", "disc_price", "sum_disc_price"),
+    ("sum", "charge", "sum_charge"),
+    ("avg", "l_quantity", "avg_qty"),
+    ("avg", "l_extendedprice", "avg_price"),
+    ("avg", "l_discount", "avg_disc"),
+    ("count", None, "count_order"),
+]
+
+
+def _disc_price():
+    return col("l_extendedprice") * (lit(1.0) - col("l_discount"))
+
+
+def _charge():
+    return _disc_price() * (lit(1.0) + col("l_tax"))
+
+
+def build(ctx, delta_days):
+    cutoff = date("1998-12-01") - delta_days
+    li = ctx.table("lineitem").filter(col("l_shipdate") <= cutoff)
+    enriched = li.select(
+        l_returnflag="l_returnflag",
+        l_linestatus="l_linestatus",
+        l_quantity="l_quantity",
+        l_extendedprice="l_extendedprice",
+        l_discount="l_discount",
+        disc_price=_disc_price(),
+        charge=_charge(),
+    )
+    from repro.api.functions import AggExpr
+
+    aggs = [AggExpr(fn, column, alias) for fn, column, alias in _AGGS]
+    out = enriched.agg(*aggs, by=["l_returnflag", "l_linestatus"])
+    return out.sort(["l_returnflag", "l_linestatus"])
+
+
+def reference(tables, delta_days):
+    cutoff = date("1998-12-01") - delta_days
+    li = mask(tables["lineitem"], col("l_shipdate") <= cutoff)
+    li = add(li, "disc_price", _disc_price())
+    li = add(li, "charge", _charge())
+    out = group_aggregate(
+        li,
+        ["l_returnflag", "l_linestatus"],
+        [AggSpec(fn, column, alias) for fn, column, alias in _AGGS],
+    )
+    return sort_frame(out, ["l_returnflag", "l_linestatus"])

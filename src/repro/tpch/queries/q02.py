@@ -1,0 +1,76 @@
+"""TPC-H Q2: minimum-cost supplier.
+
+Category "mixed": the argmin (ps_supplycost = min per part) gives on-off
+recall/precision as the running minimum moves (§8.3's note on Q2/Q15).
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    group_aggregate,
+    hash_join,
+    top_k,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import mask
+
+NAME = "q02"
+CATEGORY = "mixed"
+DEFAULTS = {"size": 15, "type_suffix": "BRASS", "region": "EUROPE",
+            "limit": 100}
+
+_SORT = ["s_acctbal", "n_name", "s_name", "ps_partkey"]
+_DESC = [True, False, False, False]
+_OUT = ["s_acctbal", "s_name", "n_name", "ps_partkey", "p_mfgr",
+        "s_address", "s_phone", "s_comment"]
+
+
+def build(ctx, size, type_suffix, region, limit):
+    region_f = ctx.table("region").filter(col("r_name") == region)
+    nations = ctx.table("nation").join(
+        region_f, on=[("n_regionkey", "r_regionkey")]
+    )
+    supp_eu = ctx.table("supplier").join(
+        nations, on=[("s_nationkey", "n_nationkey")]
+    )
+    ps_eu = ctx.table("partsupp").join(
+        supp_eu, on=[("ps_suppkey", "s_suppkey")]
+    )
+    part_f = ctx.table("part").filter(
+        (col("p_size") == size) & col("p_type").endswith(type_suffix)
+    )
+    target = ps_eu.join(part_f, on=[("ps_partkey", "p_partkey")])
+    min_cost = target.agg(
+        F.min("ps_supplycost").alias("min_cost"), by=["ps_partkey"]
+    )
+    matched = target.join(
+        min_cost, on=[("ps_partkey", "ps_partkey")], suffix="_mc"
+    ).filter(col("ps_supplycost") == col("min_cost"))
+    out = matched.project(*_OUT)
+    return out.top_k(_SORT, limit, desc=_DESC)
+
+
+def reference(tables, size, type_suffix, region, limit):
+    region_f = mask(tables["region"], col("r_name") == region)
+    nations = hash_join(tables["nation"], region_f,
+                        ["n_regionkey"], ["r_regionkey"])
+    supp_eu = hash_join(tables["supplier"], nations,
+                        ["s_nationkey"], ["n_nationkey"])
+    ps_eu = hash_join(tables["partsupp"], supp_eu,
+                      ["ps_suppkey"], ["s_suppkey"])
+    part_f = mask(
+        tables["part"],
+        (col("p_size") == size) & col("p_type").endswith(type_suffix),
+    )
+    target = hash_join(ps_eu, part_f, ["ps_partkey"], ["p_partkey"])
+    min_cost = group_aggregate(
+        target, ["ps_partkey"],
+        [AggSpec("min", "ps_supplycost", "min_cost")],
+    )
+    matched = hash_join(target, min_cost, ["ps_partkey"], ["ps_partkey"],
+                        suffix="_mc")
+    matched = mask(matched, col("ps_supplycost") == col("min_cost"))
+    return top_k(matched.select(_OUT), _SORT, limit,
+                 ascending=[not d for d in _DESC])

@@ -1,0 +1,56 @@
+"""TPC-H Q3: shipping priority.
+
+Category "recall": the final group-by contains the clustering key
+(l_orderkey), so aggregate values are exact while recall grows (§8.3
+category 2).
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    date,
+    group_aggregate,
+    hash_join,
+    top_k,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask, revenue_expr
+
+NAME = "q03"
+CATEGORY = "recall"
+DEFAULTS = {"segment": "BUILDING", "cutoff": "1995-03-15", "limit": 10}
+
+_KEYS = ["l_orderkey", "o_orderdate", "o_shippriority"]
+
+
+def build(ctx, segment, cutoff, limit):
+    cut = date(cutoff)
+    cust = ctx.table("customer").filter(col("c_mktsegment") == segment)
+    orders_f = ctx.table("orders").filter(col("o_orderdate") < cut)
+    oc = orders_f.join(cust, on=[("o_custkey", "c_custkey")])
+    li = ctx.table("lineitem").filter(col("l_shipdate") > cut)
+    lo = li.join(oc, on=[("l_orderkey", "o_orderkey")])
+    enriched = lo.select(
+        l_orderkey="l_orderkey",
+        o_orderdate="o_orderdate",
+        o_shippriority="o_shippriority",
+        rev=revenue_expr(),
+    )
+    out = enriched.agg(F.sum("rev").alias("revenue"), by=_KEYS)
+    return out.top_k(["revenue", "o_orderdate", "l_orderkey"], limit,
+                     desc=[True, False, False])
+
+
+def reference(tables, segment, cutoff, limit):
+    cut = date(cutoff)
+    cust = mask(tables["customer"], col("c_mktsegment") == segment)
+    orders_f = mask(tables["orders"], col("o_orderdate") < cut)
+    oc = hash_join(orders_f, cust, ["o_custkey"], ["c_custkey"])
+    li = mask(tables["lineitem"], col("l_shipdate") > cut)
+    lo = hash_join(li, oc, ["l_orderkey"], ["o_orderkey"])
+    lo = add(lo, "rev", revenue_expr())
+    out = group_aggregate(lo, _KEYS, [AggSpec("sum", "rev", "revenue")])
+    return top_k(out, ["revenue", "o_orderdate", "l_orderkey"], limit,
+                 ascending=[False, True, True])

@@ -1,0 +1,60 @@
+"""TPC-H Q4: order priority checking (EXISTS decorrelated to a merge
+semi-join over the distinct late-commit order keys).
+
+Category "mape".
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    date,
+    add_months,
+    group_aggregate,
+    hash_join,
+    sort_frame,
+)
+from repro.api import F
+from repro.dataframe.groupby import distinct_rows
+from repro.tpch.queries._helpers import mask
+
+NAME = "q04"
+CATEGORY = "mape"
+DEFAULTS = {"start": "1993-07-01", "months": 3}
+
+
+def build(ctx, start, months):
+    lo = date(start)
+    hi = add_months(lo, months)
+    late = (
+        ctx.table("lineitem")
+        .filter(col("l_commitdate") < col("l_receiptdate"))
+        .distinct("l_orderkey")
+        .project("l_orderkey")
+    )
+    orders_f = ctx.table("orders").filter(
+        col("o_orderdate").between(lo, hi)
+    )
+    matched = orders_f.join(
+        late, on=[("o_orderkey", "l_orderkey")], method="merge"
+    )
+    out = matched.agg(F.count().alias("order_count"),
+                      by=["o_orderpriority"])
+    return out.sort("o_orderpriority")
+
+
+def reference(tables, start, months):
+    lo = date(start)
+    hi = add_months(lo, months)
+    late = distinct_rows(
+        mask(tables["lineitem"],
+             col("l_commitdate") < col("l_receiptdate")),
+        ["l_orderkey"],
+    )
+    orders_f = mask(tables["orders"], col("o_orderdate").between(lo, hi))
+    matched = hash_join(orders_f, late, ["o_orderkey"], ["l_orderkey"],
+                        how="semi")
+    out = group_aggregate(matched, ["o_orderpriority"],
+                          [AggSpec("count", None, "order_count")])
+    return sort_frame(out, ["o_orderpriority"])

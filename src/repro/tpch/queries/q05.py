@@ -1,0 +1,66 @@
+"""TPC-H Q5: local supplier volume.  Category "mape"."""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    add_years,
+    col,
+    date,
+    group_aggregate,
+    hash_join,
+    sort_frame,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask, revenue_expr
+
+NAME = "q05"
+CATEGORY = "mape"
+DEFAULTS = {"region": "ASIA", "start": "1994-01-01", "years": 1}
+
+
+def build(ctx, region, start, years):
+    lo = date(start)
+    hi = add_years(lo, years)
+    region_f = ctx.table("region").filter(col("r_name") == region)
+    nations = ctx.table("nation").join(
+        region_f, on=[("n_regionkey", "r_regionkey")]
+    )
+    supp = ctx.table("supplier").join(
+        nations, on=[("s_nationkey", "n_nationkey")]
+    )
+    orders_f = ctx.table("orders").filter(
+        col("o_orderdate").between(lo, hi)
+    )
+    oc = orders_f.join(ctx.table("customer"),
+                       on=[("o_custkey", "c_custkey")])
+    lo_join = ctx.table("lineitem").join(
+        oc, on=[("l_orderkey", "o_orderkey")]
+    )
+    full = lo_join.join(supp, on=[("l_suppkey", "s_suppkey")]).filter(
+        col("c_nationkey") == col("s_nationkey")
+    )
+    enriched = full.select(n_name="n_name", rev=revenue_expr())
+    out = enriched.agg(F.sum("rev").alias("revenue"), by=["n_name"])
+    return out.sort("revenue", desc=True)
+
+
+def reference(tables, region, start, years):
+    lo = date(start)
+    hi = add_years(lo, years)
+    region_f = mask(tables["region"], col("r_name") == region)
+    nations = hash_join(tables["nation"], region_f, ["n_regionkey"],
+                        ["r_regionkey"])
+    supp = hash_join(tables["supplier"], nations, ["s_nationkey"],
+                     ["n_nationkey"])
+    orders_f = mask(tables["orders"], col("o_orderdate").between(lo, hi))
+    oc = hash_join(orders_f, tables["customer"], ["o_custkey"],
+                   ["c_custkey"])
+    lo_join = hash_join(tables["lineitem"], oc, ["l_orderkey"],
+                        ["o_orderkey"])
+    full = hash_join(lo_join, supp, ["l_suppkey"], ["s_suppkey"])
+    full = mask(full, col("c_nationkey") == col("s_nationkey"))
+    full = add(full, "rev", revenue_expr())
+    out = group_aggregate(full, ["n_name"],
+                          [AggSpec("sum", "rev", "revenue")])
+    return sort_frame(out, ["revenue"], ascending=False)

@@ -1,0 +1,92 @@
+"""TPC-H Q7: volume shipping between two nations.  Category "mape"."""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    date,
+    group_aggregate,
+    hash_join,
+    sort_frame,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask, revenue_expr
+
+NAME = "q07"
+CATEGORY = "mape"
+DEFAULTS = {"nation_a": "FRANCE", "nation_b": "GERMANY",
+            "ship_lo": "1995-01-01", "ship_hi": "1996-12-31"}
+
+_KEYS = ["supp_nation", "cust_nation", "l_year"]
+
+
+def _pair_filter(nation_a, nation_b):
+    return (
+        (col("supp_nation") == nation_a) & (col("cust_nation") == nation_b)
+    ) | (
+        (col("supp_nation") == nation_b) & (col("cust_nation") == nation_a)
+    )
+
+
+def build(ctx, nation_a, nation_b, ship_lo, ship_hi):
+    pair = [nation_a, nation_b]
+    n1 = ctx.table("nation").filter(col("n_name").isin(pair))
+    supp = (
+        ctx.table("supplier")
+        .join(n1, on=[("s_nationkey", "n_nationkey")])
+        .select(s_suppkey="s_suppkey", supp_nation="n_name")
+    )
+    n2 = ctx.table("nation", source_name="nation2").filter(
+        col("n_name").isin(pair)
+    )
+    cust = (
+        ctx.table("customer")
+        .join(n2, on=[("c_nationkey", "n_nationkey")])
+        .select(c_custkey="c_custkey", cust_nation="n_name")
+    )
+    orders_c = ctx.table("orders").join(
+        cust, on=[("o_custkey", "c_custkey")]
+    )
+    li = ctx.table("lineitem").filter(
+        (col("l_shipdate") >= date(ship_lo))
+        & (col("l_shipdate") <= date(ship_hi))
+    )
+    lo = li.join(orders_c, on=[("l_orderkey", "o_orderkey")])
+    full = lo.join(supp, on=[("l_suppkey", "s_suppkey")]).filter(
+        _pair_filter(nation_a, nation_b)
+    )
+    enriched = full.select(
+        supp_nation="supp_nation",
+        cust_nation="cust_nation",
+        l_year=col("l_shipdate").year(),
+        volume=revenue_expr(),
+    )
+    out = enriched.agg(F.sum("volume").alias("revenue"), by=_KEYS)
+    return out.sort(_KEYS)
+
+
+def reference(tables, nation_a, nation_b, ship_lo, ship_hi):
+    pair = [nation_a, nation_b]
+    n1 = mask(tables["nation"], col("n_name").isin(pair))
+    supp = hash_join(tables["supplier"], n1, ["s_nationkey"],
+                     ["n_nationkey"])
+    supp = supp.rename({"n_name": "supp_nation"})
+    cust = hash_join(tables["customer"], n1, ["c_nationkey"],
+                     ["n_nationkey"])
+    cust = cust.rename({"n_name": "cust_nation"})
+    orders_c = hash_join(tables["orders"], cust, ["o_custkey"],
+                         ["c_custkey"])
+    li = mask(
+        tables["lineitem"],
+        (col("l_shipdate") >= date(ship_lo))
+        & (col("l_shipdate") <= date(ship_hi)),
+    )
+    lo = hash_join(li, orders_c, ["l_orderkey"], ["o_orderkey"])
+    full = hash_join(lo, supp, ["l_suppkey"], ["s_suppkey"])
+    full = mask(full, _pair_filter(nation_a, nation_b))
+    full = add(full, "l_year", col("l_shipdate").year())
+    full = add(full, "volume", revenue_expr())
+    out = group_aggregate(full, _KEYS,
+                          [AggSpec("sum", "volume", "revenue")])
+    return sort_frame(out, _KEYS)

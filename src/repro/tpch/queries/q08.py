@@ -1,0 +1,106 @@
+"""TPC-H Q8: national market share (aggregation-over-aggregation via the
+ratio select).  Category "mape" — Fig 8's left panel uses this query.
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    date,
+    group_aggregate,
+    hash_join,
+    lit,
+    sort_frame,
+    when,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask, revenue_expr
+
+NAME = "q08"
+CATEGORY = "mape"
+DEFAULTS = {"nation": "BRAZIL", "region": "AMERICA",
+            "p_type": "ECONOMY ANODIZED STEEL",
+            "date_lo": "1995-01-01", "date_hi": "1996-12-31"}
+
+
+def build(ctx, nation, region, p_type, date_lo, date_hi):
+    part_f = ctx.table("part").filter(col("p_type") == p_type)
+    li = ctx.table("lineitem").join(
+        part_f, on=[("l_partkey", "p_partkey")]
+    )
+    orders_f = ctx.table("orders").filter(
+        (col("o_orderdate") >= date(date_lo))
+        & (col("o_orderdate") <= date(date_hi))
+    )
+    lo = li.join(orders_f, on=[("l_orderkey", "o_orderkey")])
+    region_f = ctx.table("region").filter(col("r_name") == region)
+    nations_am = ctx.table("nation").join(
+        region_f, on=[("n_regionkey", "r_regionkey")]
+    )
+    cust_am = (
+        ctx.table("customer")
+        .join(nations_am, on=[("c_nationkey", "n_nationkey")])
+        .project("c_custkey")
+    )
+    lco = lo.join(cust_am, on=[("o_custkey", "c_custkey")], how="semi")
+    supp_n = (
+        ctx.table("supplier")
+        .join(ctx.table("nation", source_name="nation2"),
+              on=[("s_nationkey", "n_nationkey")])
+        .select(s_suppkey="s_suppkey", supp_nation="n_name")
+    )
+    full = lco.join(supp_n, on=[("l_suppkey", "s_suppkey")])
+    enriched = full.select(
+        o_year=col("o_orderdate").year(),
+        volume=revenue_expr(),
+        brazil_volume=when(col("supp_nation") == nation, revenue_expr(),
+                           lit(0.0)),
+    )
+    sums = enriched.agg(
+        F.sum("brazil_volume").alias("nation_volume"),
+        F.sum("volume").alias("total_volume"),
+        by=["o_year"],
+    )
+    out = sums.select(
+        o_year="o_year",
+        mkt_share=col("nation_volume") / col("total_volume"),
+    )
+    return out.sort("o_year")
+
+
+def reference(tables, nation, region, p_type, date_lo, date_hi):
+    part_f = mask(tables["part"], col("p_type") == p_type)
+    li = hash_join(tables["lineitem"], part_f, ["l_partkey"],
+                   ["p_partkey"])
+    orders_f = mask(
+        tables["orders"],
+        (col("o_orderdate") >= date(date_lo))
+        & (col("o_orderdate") <= date(date_hi)),
+    )
+    lo = hash_join(li, orders_f, ["l_orderkey"], ["o_orderkey"])
+    region_f = mask(tables["region"], col("r_name") == region)
+    nations_am = hash_join(tables["nation"], region_f, ["n_regionkey"],
+                           ["r_regionkey"])
+    cust_am = hash_join(tables["customer"], nations_am, ["c_nationkey"],
+                        ["n_nationkey"])
+    lco = hash_join(lo, cust_am.select(["c_custkey"]), ["o_custkey"],
+                    ["c_custkey"], how="semi")
+    supp_n = hash_join(tables["supplier"], tables["nation"],
+                       ["s_nationkey"], ["n_nationkey"])
+    supp_n = supp_n.rename({"n_name": "supp_nation"})
+    full = hash_join(lco, supp_n, ["l_suppkey"], ["s_suppkey"])
+    full = add(full, "o_year", col("o_orderdate").year())
+    full = add(full, "volume", revenue_expr())
+    full = add(
+        full, "brazil_volume",
+        when(col("supp_nation") == nation, revenue_expr(), lit(0.0)),
+    )
+    sums = group_aggregate(
+        full, ["o_year"],
+        [AggSpec("sum", "brazil_volume", "nation_volume"),
+         AggSpec("sum", "volume", "total_volume")],
+    )
+    sums = add(sums, "mkt_share",
+               col("nation_volume") / col("total_volume"))
+    return sort_frame(sums.select(["o_year", "mkt_share"]), ["o_year"])

@@ -1,0 +1,70 @@
+"""TPC-H Q9: product-type profit measure.  Category "mape"."""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    group_aggregate,
+    hash_join,
+    sort_frame,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask, revenue_expr
+
+NAME = "q09"
+CATEGORY = "mape"
+DEFAULTS = {"color": "green"}
+
+_KEYS = ["nation", "o_year"]
+
+
+def _amount():
+    return revenue_expr() - col("ps_supplycost") * col("l_quantity")
+
+
+def build(ctx, color):
+    part_f = ctx.table("part").filter(
+        col("p_name").contains(color)
+    ).project("p_partkey")
+    li = ctx.table("lineitem").join(
+        part_f, on=[("l_partkey", "p_partkey")], how="semi"
+    )
+    lps = li.join(
+        ctx.table("partsupp"),
+        on=[("l_partkey", "ps_partkey"), ("l_suppkey", "ps_suppkey")],
+    )
+    lo = lps.join(ctx.table("orders"),
+                  on=[("l_orderkey", "o_orderkey")])
+    supp_n = (
+        ctx.table("supplier")
+        .join(ctx.table("nation"), on=[("s_nationkey", "n_nationkey")])
+        .select(s_suppkey="s_suppkey", nation="n_name")
+    )
+    full = lo.join(supp_n, on=[("l_suppkey", "s_suppkey")])
+    enriched = full.select(
+        nation="nation",
+        o_year=col("o_orderdate").year(),
+        amount=_amount(),
+    )
+    out = enriched.agg(F.sum("amount").alias("sum_profit"), by=_KEYS)
+    return out.sort(["nation", "o_year"], desc=[False, True])
+
+
+def reference(tables, color):
+    part_f = mask(tables["part"], col("p_name").contains(color))
+    li = hash_join(tables["lineitem"], part_f.select(["p_partkey"]),
+                   ["l_partkey"], ["p_partkey"], how="semi")
+    lps = hash_join(li, tables["partsupp"],
+                    ["l_partkey", "l_suppkey"],
+                    ["ps_partkey", "ps_suppkey"])
+    lo = hash_join(lps, tables["orders"], ["l_orderkey"], ["o_orderkey"])
+    supp_n = hash_join(tables["supplier"], tables["nation"],
+                       ["s_nationkey"], ["n_nationkey"])
+    supp_n = supp_n.rename({"n_name": "nation"})
+    full = hash_join(lo, supp_n, ["l_suppkey"], ["s_suppkey"])
+    full = add(full, "o_year", col("o_orderdate").year())
+    full = add(full, "amount", _amount())
+    out = group_aggregate(full, _KEYS,
+                          [AggSpec("sum", "amount", "sum_profit")])
+    return sort_frame(out, ["nation", "o_year"], ascending=[True, False])

@@ -1,0 +1,64 @@
+"""TPC-H Q10: returned-item reporting.
+
+Category "mixed" (§8.3): high-cardinality non-clustered group-by
+(c_custkey) — recall rises quickly but per-group samples are small, so
+MAPE drops slowly.
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    add_months,
+    col,
+    date,
+    group_aggregate,
+    hash_join,
+    top_k,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask, revenue_expr
+
+NAME = "q10"
+CATEGORY = "mixed"
+DEFAULTS = {"start": "1993-10-01", "months": 3, "limit": 20}
+
+_KEYS = ["c_custkey", "c_name", "c_acctbal", "c_phone", "n_name",
+         "c_address", "c_comment"]
+
+
+def build(ctx, start, months, limit):
+    lo_date = date(start)
+    hi_date = add_months(lo_date, months)
+    orders_f = ctx.table("orders").filter(
+        col("o_orderdate").between(lo_date, hi_date)
+    )
+    cust_n = ctx.table("customer").join(
+        ctx.table("nation"), on=[("c_nationkey", "n_nationkey")]
+    )
+    oc = orders_f.join(cust_n, on=[("o_custkey", "c_custkey")])
+    li = ctx.table("lineitem").filter(col("l_returnflag") == "R")
+    lo = li.join(oc, on=[("l_orderkey", "o_orderkey")])
+    names = {k: k for k in _KEYS}
+    names["c_custkey"] = "o_custkey"  # join key survives on probe side
+    enriched = lo.select(**names, rev=revenue_expr())
+    out = enriched.agg(F.sum("rev").alias("revenue"), by=_KEYS)
+    return out.top_k(["revenue", "c_custkey"], limit,
+                     desc=[True, False])
+
+
+def reference(tables, start, months, limit):
+    lo_date = date(start)
+    hi_date = add_months(lo_date, months)
+    orders_f = mask(tables["orders"],
+                    col("o_orderdate").between(lo_date, hi_date))
+    cust_n = hash_join(tables["customer"], tables["nation"],
+                       ["c_nationkey"], ["n_nationkey"])
+    oc = hash_join(orders_f, cust_n, ["o_custkey"], ["c_custkey"])
+    li = mask(tables["lineitem"], col("l_returnflag") == "R")
+    lo = hash_join(li, oc, ["l_orderkey"], ["o_orderkey"])
+    lo = lo.with_column("c_custkey", lo.column("o_custkey"))
+    lo = add(lo, "rev", revenue_expr())
+    out = group_aggregate(lo, _KEYS, [AggSpec("sum", "rev", "revenue")])
+    return top_k(out, ["revenue", "c_custkey"], limit,
+                 ascending=[False, True])

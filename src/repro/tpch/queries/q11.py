@@ -1,0 +1,66 @@
+"""TPC-H Q11: important stock identification.
+
+Deep OLA case: a grouped aggregate compared against a *scalar* global
+aggregate of the same stream (HAVING sum > fraction × total), kept
+OLA-interactive by a live cross join.  Category "mixed".
+
+``fraction`` defaults to 0.01 rather than the spec's 0.0001/SF (which
+degenerates at laptop scale factors).
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    global_aggregate,
+    group_aggregate,
+    hash_join,
+    sort_frame,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask
+
+NAME = "q11"
+CATEGORY = "mixed"
+DEFAULTS = {"nation": "GERMANY", "fraction": 0.01}
+
+
+def build(ctx, nation, fraction):
+    nation_f = ctx.table("nation").filter(col("n_name") == nation)
+    supp = ctx.table("supplier").join(
+        nation_f, on=[("s_nationkey", "n_nationkey")]
+    ).project("s_suppkey")
+    ps = ctx.table("partsupp").join(
+        supp, on=[("ps_suppkey", "s_suppkey")], how="semi"
+    )
+    val = ps.select(
+        ps_partkey="ps_partkey",
+        part_value=col("ps_supplycost") * col("ps_availqty"),
+    )
+    by_part = val.agg(F.sum("part_value").alias("value"),
+                      by=["ps_partkey"])
+    total = val.agg(F.sum("part_value").alias("total"))
+    out = (
+        by_part.cross_join(total)
+        .filter(col("value") > col("total") * fraction)
+        .project("ps_partkey", "value")
+    )
+    return out.sort(["value", "ps_partkey"], desc=[True, False])
+
+
+def reference(tables, nation, fraction):
+    nation_f = mask(tables["nation"], col("n_name") == nation)
+    supp = hash_join(tables["supplier"], nation_f, ["s_nationkey"],
+                     ["n_nationkey"])
+    ps = hash_join(tables["partsupp"], supp.select(["s_suppkey"]),
+                   ["ps_suppkey"], ["s_suppkey"], how="semi")
+    ps = add(ps, "part_value",
+             col("ps_supplycost") * col("ps_availqty"))
+    by_part = group_aggregate(ps, ["ps_partkey"],
+                              [AggSpec("sum", "part_value", "value")])
+    total = global_aggregate(ps, [AggSpec("sum", "part_value", "total")])
+    threshold = total.column("total")[0] * fraction
+    out = mask(by_part, col("value") > threshold)
+    return sort_frame(out.select(["ps_partkey", "value"]),
+                      ["value", "ps_partkey"], ascending=[False, True])

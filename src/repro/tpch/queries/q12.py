@@ -1,0 +1,77 @@
+"""TPC-H Q12: shipping-mode / order-priority.  Category "mape"."""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    add_years,
+    col,
+    date,
+    group_aggregate,
+    hash_join,
+    lit,
+    sort_frame,
+    when,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask
+
+NAME = "q12"
+CATEGORY = "mape"
+DEFAULTS = {"modes": ("MAIL", "SHIP"), "start": "1994-01-01", "years": 1}
+
+_HIGH = ("1-URGENT", "2-HIGH")
+
+
+def _line_filter(modes, lo, hi):
+    return (
+        col("l_shipmode").isin(list(modes))
+        & (col("l_commitdate") < col("l_receiptdate"))
+        & (col("l_shipdate") < col("l_commitdate"))
+        & col("l_receiptdate").between(lo, hi)
+    )
+
+
+def build(ctx, modes, start, years):
+    lo = date(start)
+    hi = add_years(lo, years)
+    li = ctx.table("lineitem").filter(_line_filter(modes, lo, hi))
+    joined = li.join(ctx.table("orders"),
+                     on=[("l_orderkey", "o_orderkey")])
+    enriched = joined.select(
+        l_shipmode="l_shipmode",
+        high=when(col("o_orderpriority").isin(list(_HIGH)), lit(1.0),
+                  lit(0.0)),
+        low=when(col("o_orderpriority").isin(list(_HIGH)), lit(0.0),
+                 lit(1.0)),
+    )
+    out = enriched.agg(
+        F.sum("high").alias("high_line_count"),
+        F.sum("low").alias("low_line_count"),
+        by=["l_shipmode"],
+    )
+    return out.sort("l_shipmode")
+
+
+def reference(tables, modes, start, years):
+    lo = date(start)
+    hi = add_years(lo, years)
+    li = mask(tables["lineitem"], _line_filter(modes, lo, hi))
+    joined = hash_join(li, tables["orders"], ["l_orderkey"],
+                       ["o_orderkey"])
+    joined = add(
+        joined, "high",
+        when(col("o_orderpriority").isin(list(_HIGH)), lit(1.0),
+             lit(0.0)),
+    )
+    joined = add(
+        joined, "low",
+        when(col("o_orderpriority").isin(list(_HIGH)), lit(0.0),
+             lit(1.0)),
+    )
+    out = group_aggregate(
+        joined, ["l_shipmode"],
+        [AggSpec("sum", "high", "high_line_count"),
+         AggSpec("sum", "low", "low_line_count")],
+    )
+    return sort_frame(out, ["l_shipmode"])

@@ -1,0 +1,58 @@
+"""TPC-H Q13: customer distribution (count-of-counts; the paper's hard
+case for the growth model, §8.3).  Category "mixed".
+
+The '%special%requests%' LIKE is approximated as containing both words
+(the generator injects the phrase in order, so the two coincide).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    group_aggregate,
+    hash_join,
+    sort_frame,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import mask
+
+NAME = "q13"
+CATEGORY = "mixed"
+DEFAULTS = {"word1": "special", "word2": "requests"}
+
+
+def build(ctx, word1, word2):
+    orders_f = ctx.table("orders").filter(
+        ~(col("o_comment").contains(word1)
+          & col("o_comment").contains(word2))
+    )
+    co = ctx.table("customer").join(
+        orders_f, on=[("c_custkey", "o_custkey")], how="left"
+    )
+    per_cust = co.agg(F.count("o_orderkey").alias("c_count"),
+                      by=["c_custkey"])
+    dist = per_cust.agg(F.count().alias("custdist"), by=["c_count"])
+    return dist.sort(["custdist", "c_count"], desc=[True, True])
+
+
+def reference(tables, word1, word2):
+    orders_f = mask(
+        tables["orders"],
+        ~(col("o_comment").contains(word1)
+          & col("o_comment").contains(word2)),
+    )
+    co = hash_join(tables["customer"], orders_f, ["c_custkey"],
+                   ["o_custkey"], how="left")
+    per_cust = group_aggregate(
+        co, ["c_custkey"], [AggSpec("count", "o_orderkey", "c_count")]
+    )
+    per_cust = per_cust.with_column(
+        "c_count", per_cust.column("c_count").astype(np.float64)
+    )
+    dist = group_aggregate(per_cust, ["c_count"],
+                           [AggSpec("count", None, "custdist")])
+    return sort_frame(dist, ["custdist", "c_count"],
+                      ascending=[False, False])

@@ -1,0 +1,65 @@
+"""TPC-H Q14: promotion effect (ratio of two global sums).
+
+Category "mape".  The query of the §8.5 confidence-interval experiment
+(Fig 10): a weighted average over a join of two tables with filters.
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    add_months,
+    col,
+    date,
+    global_aggregate,
+    hash_join,
+    lit,
+    when,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask, revenue_expr
+
+NAME = "q14"
+CATEGORY = "mape"
+DEFAULTS = {"start": "1995-09-01", "months": 1}
+
+
+def build(ctx, start, months):
+    lo = date(start)
+    hi = add_months(lo, months)
+    li = ctx.table("lineitem").filter(
+        col("l_shipdate").between(lo, hi)
+    )
+    lp = li.join(ctx.table("part"), on=[("l_partkey", "p_partkey")])
+    enriched = lp.select(
+        promo=when(col("p_type").startswith("PROMO"), revenue_expr(),
+                   lit(0.0)),
+        rev=revenue_expr(),
+    )
+    sums = enriched.agg(
+        F.sum("promo").alias("promo_sum"),
+        F.sum("rev").alias("rev_sum"),
+    )
+    return sums.select(
+        promo_revenue=lit(100.0) * col("promo_sum") / col("rev_sum")
+    )
+
+
+def reference(tables, start, months):
+    lo = date(start)
+    hi = add_months(lo, months)
+    li = mask(tables["lineitem"], col("l_shipdate").between(lo, hi))
+    lp = hash_join(li, tables["part"], ["l_partkey"], ["p_partkey"])
+    lp = add(lp, "promo",
+             when(col("p_type").startswith("PROMO"), revenue_expr(),
+                  lit(0.0)))
+    lp = add(lp, "rev", revenue_expr())
+    sums = global_aggregate(
+        lp,
+        [AggSpec("sum", "promo", "promo_sum"),
+         AggSpec("sum", "rev", "rev_sum")],
+    )
+    return add(
+        sums, "promo_revenue",
+        lit(100.0) * col("promo_sum") / col("rev_sum"),
+    ).select(["promo_revenue"])

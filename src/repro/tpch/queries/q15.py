@@ -1,0 +1,70 @@
+"""TPC-H Q15: top supplier (argmax against a derived view).
+
+Category "mixed": §8.3 notes Q15's on-off recall/precision, caused by the
+running argmax flipping between suppliers while estimates evolve — this
+plan reproduces that artifact via the live cross join of the revenue view
+with its own running maximum.
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    add_months,
+    col,
+    date,
+    global_aggregate,
+    group_aggregate,
+    hash_join,
+    sort_frame,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask, revenue_expr
+
+NAME = "q15"
+CATEGORY = "mixed"
+DEFAULTS = {"start": "1996-01-01", "months": 3}
+
+_OUT = ["s_suppkey", "s_name", "s_address", "s_phone", "total_revenue"]
+
+
+def build(ctx, start, months):
+    lo = date(start)
+    hi = add_months(lo, months)
+    li = ctx.table("lineitem").filter(
+        col("l_shipdate").between(lo, hi)
+    ).select(l_suppkey="l_suppkey", rev=revenue_expr())
+    view = li.agg(F.sum("rev").alias("total_revenue"),
+                  by=["l_suppkey"])
+    best = view.agg(F.max("total_revenue").alias("max_revenue"))
+    top = view.cross_join(best).filter(
+        col("total_revenue") == col("max_revenue")
+    )
+    named = top.join(ctx.table("supplier"),
+                     on=[("l_suppkey", "s_suppkey")])
+    out = named.select(
+        s_suppkey="l_suppkey",
+        s_name="s_name",
+        s_address="s_address",
+        s_phone="s_phone",
+        total_revenue="total_revenue",
+    )
+    return out.sort("s_suppkey")
+
+
+def reference(tables, start, months):
+    lo = date(start)
+    hi = add_months(lo, months)
+    li = mask(tables["lineitem"], col("l_shipdate").between(lo, hi))
+    li = add(li, "rev", revenue_expr())
+    view = group_aggregate(li, ["l_suppkey"],
+                           [AggSpec("sum", "rev", "total_revenue")])
+    best = global_aggregate(
+        view, [AggSpec("max", "total_revenue", "max_revenue")]
+    )
+    top = mask(view,
+               col("total_revenue") == best.column("max_revenue")[0])
+    named = hash_join(top, tables["supplier"], ["l_suppkey"],
+                      ["s_suppkey"])
+    named = named.rename({"l_suppkey": "s_suppkey"})
+    return sort_frame(named.select(_OUT), ["s_suppkey"])

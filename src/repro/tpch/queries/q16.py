@@ -1,0 +1,72 @@
+"""TPC-H Q16: parts/supplier relationship (count-distinct over an anti
+join).  Category "mape".
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    group_aggregate,
+    hash_join,
+    sort_frame,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import mask
+
+NAME = "q16"
+CATEGORY = "mape"
+DEFAULTS = {
+    "brand": "Brand#45",
+    "type_prefix": "MEDIUM POLISHED",
+    "sizes": (49, 14, 23, 45, 19, 3, 36, 9),
+}
+
+_KEYS = ["p_brand", "p_type", "p_size"]
+
+
+def _part_filter(brand, type_prefix, sizes):
+    return (
+        (col("p_brand") != brand)
+        & ~col("p_type").startswith(type_prefix)
+        & col("p_size").isin(list(sizes))
+    )
+
+
+def _complaint_filter():
+    return (col("s_comment").contains("Customer")
+            & col("s_comment").contains("Complaints"))
+
+
+def build(ctx, brand, type_prefix, sizes):
+    part_f = ctx.table("part").filter(
+        _part_filter(brand, type_prefix, sizes)
+    )
+    ps = ctx.table("partsupp").join(
+        part_f, on=[("ps_partkey", "p_partkey")]
+    )
+    bad_supp = ctx.table("supplier").filter(
+        _complaint_filter()
+    ).project("s_suppkey")
+    good = ps.join(bad_supp, on=[("ps_suppkey", "s_suppkey")],
+                   how="anti")
+    out = good.agg(
+        F.count_distinct("ps_suppkey").alias("supplier_cnt"), by=_KEYS
+    )
+    return out.sort(["supplier_cnt", *_KEYS],
+                    desc=[True, False, False, False])
+
+
+def reference(tables, brand, type_prefix, sizes):
+    part_f = mask(tables["part"], _part_filter(brand, type_prefix, sizes))
+    ps = hash_join(tables["partsupp"], part_f, ["ps_partkey"],
+                   ["p_partkey"])
+    bad_supp = mask(tables["supplier"], _complaint_filter())
+    good = hash_join(ps, bad_supp.select(["s_suppkey"]), ["ps_suppkey"],
+                     ["s_suppkey"], how="anti")
+    out = group_aggregate(
+        good, _KEYS,
+        [AggSpec("count_distinct", "ps_suppkey", "supplier_cnt")],
+    )
+    return sort_frame(out, ["supplier_cnt", *_KEYS],
+                      ascending=[False, True, True, True])

@@ -1,0 +1,61 @@
+"""TPC-H Q17: small-quantity-order revenue (correlated scalar subquery
+decorrelated into an avg-per-part join).
+
+Category "mape".  The paper (§8.2) notes Q17 must compute the subquery's
+aggregate before producing a first result — here the avg-per-part
+aggregate is a REPLACE build side, which blocks the probe exactly the
+same way.
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    global_aggregate,
+    group_aggregate,
+    hash_join,
+    lit,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask
+
+NAME = "q17"
+CATEGORY = "mape"
+DEFAULTS = {"brand": "Brand#23", "container": "MED BOX"}
+
+
+def build(ctx, brand, container):
+    part_f = ctx.table("part").filter(
+        (col("p_brand") == brand) & (col("p_container") == container)
+    ).project("p_partkey")
+    li_p = ctx.table("lineitem").join(
+        part_f, on=[("l_partkey", "p_partkey")], how="semi"
+    )
+    avg_q = li_p.agg(F.avg("l_quantity").alias("avg_qty"),
+                     by=["l_partkey"])
+    joined = li_p.join(avg_q, on=[("l_partkey", "l_partkey")],
+                       suffix="_aq")
+    small = joined.filter(
+        col("l_quantity") < lit(0.2) * col("avg_qty")
+    )
+    total = small.agg(F.sum("l_extendedprice").alias("total"))
+    return total.select(avg_yearly=col("total") / lit(7.0))
+
+
+def reference(tables, brand, container):
+    part_f = mask(
+        tables["part"],
+        (col("p_brand") == brand) & (col("p_container") == container),
+    )
+    li_p = hash_join(tables["lineitem"], part_f.select(["p_partkey"]),
+                     ["l_partkey"], ["p_partkey"], how="semi")
+    avg_q = group_aggregate(li_p, ["l_partkey"],
+                            [AggSpec("avg", "l_quantity", "avg_qty")])
+    joined = hash_join(li_p, avg_q, ["l_partkey"], ["l_partkey"],
+                       suffix="_aq")
+    small = mask(joined, col("l_quantity") < lit(0.2) * col("avg_qty"))
+    total = global_aggregate(small,
+                             [AggSpec("sum", "l_extendedprice", "total")])
+    return add(total, "avg_yearly",
+               col("total") / lit(7.0)).select(["avg_yearly"])

@@ -1,0 +1,70 @@
+"""TPC-H Q18: large-volume customers — the paper's motivating session
+(§1, Fig 6) verbatim: sum per order (local agg on the clustering key),
+filter on the now-constant total, merge join orders, hash join customer,
+re-aggregate, top-k.
+
+Category "recall": values exact, recall grows linearly (§8.3, Fig 8
+middle panel).
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    group_aggregate,
+    hash_join,
+    top_k,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import mask
+
+NAME = "q18"
+CATEGORY = "recall"
+DEFAULTS = {"threshold": 300, "limit": 100}
+
+_KEYS = ["c_name", "c_custkey", "l_orderkey", "o_orderdate",
+         "o_totalprice"]
+
+
+def build(ctx, threshold, limit):
+    order_qty = ctx.table("lineitem").agg(
+        F.sum("l_quantity").alias("order_qty"), by=["l_orderkey"]
+    )
+    lg_orders = order_qty.filter(col("order_qty") > threshold)
+    with_orders = lg_orders.join(
+        ctx.table("orders"), on=[("l_orderkey", "o_orderkey")]
+    )
+    with_cust = with_orders.join(
+        ctx.table("customer"), on=[("o_custkey", "c_custkey")]
+    ).select(
+        c_name="c_name",
+        c_custkey="o_custkey",  # join key survives on the probe side
+        l_orderkey="l_orderkey",
+        o_orderdate="o_orderdate",
+        o_totalprice="o_totalprice",
+        order_qty="order_qty",
+    )
+    out = with_cust.agg(F.sum("order_qty").alias("total_qty"),
+                        by=_KEYS)
+    return out.top_k(["o_totalprice", "o_orderdate", "l_orderkey"],
+                     limit, desc=[True, False, False])
+
+
+def reference(tables, threshold, limit):
+    order_qty = group_aggregate(
+        tables["lineitem"], ["l_orderkey"],
+        [AggSpec("sum", "l_quantity", "order_qty")],
+    )
+    lg_orders = mask(order_qty, col("order_qty") > threshold)
+    with_orders = hash_join(lg_orders, tables["orders"], ["l_orderkey"],
+                            ["o_orderkey"])
+    with_cust = hash_join(with_orders, tables["customer"],
+                          ["o_custkey"], ["c_custkey"])
+    with_cust = with_cust.with_column(
+        "c_custkey", with_cust.column("o_custkey")
+    )
+    out = group_aggregate(with_cust, _KEYS,
+                          [AggSpec("sum", "order_qty", "total_qty")])
+    return top_k(out, ["o_totalprice", "o_orderdate", "l_orderkey"],
+                 limit, ascending=[False, True, True])

@@ -1,0 +1,66 @@
+"""TPC-H Q19: discounted revenue (three OR'd condition branches).
+Category "mape".
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    global_aggregate,
+    hash_join,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask, revenue_expr
+
+NAME = "q19"
+CATEGORY = "mape"
+DEFAULTS = {
+    "brand1": "Brand#12", "qty1": 1,
+    "brand2": "Brand#23", "qty2": 10,
+    "brand3": "Brand#34", "qty3": 20,
+}
+
+_CONTAINERS_1 = ("SM CASE", "SM BOX", "SM PACK", "SM PKG")
+_CONTAINERS_2 = ("MED BAG", "MED BOX", "MED PKG", "MED PACK")
+_CONTAINERS_3 = ("LG CASE", "LG BOX", "LG PACK", "LG PKG")
+
+
+def _branch(brand, containers, qty_lo, size_hi):
+    return (
+        (col("p_brand") == brand)
+        & col("p_container").isin(list(containers))
+        & (col("l_quantity") >= qty_lo)
+        & (col("l_quantity") <= qty_lo + 10)
+        & (col("p_size") >= 1)
+        & (col("p_size") <= size_hi)
+    )
+
+
+def _predicate(brand1, qty1, brand2, qty2, brand3, qty3):
+    common = col("l_shipmode").isin(["AIR", "REG AIR"]) & (
+        col("l_shipinstruct") == "DELIVER IN PERSON"
+    )
+    return common & (
+        _branch(brand1, _CONTAINERS_1, qty1, 5)
+        | _branch(brand2, _CONTAINERS_2, qty2, 10)
+        | _branch(brand3, _CONTAINERS_3, qty3, 15)
+    )
+
+
+def build(ctx, brand1, qty1, brand2, qty2, brand3, qty3):
+    lp = ctx.table("lineitem").join(
+        ctx.table("part"), on=[("l_partkey", "p_partkey")]
+    )
+    kept = lp.filter(_predicate(brand1, qty1, brand2, qty2, brand3,
+                                qty3))
+    enriched = kept.select(rev=revenue_expr())
+    return enriched.agg(F.sum("rev").alias("revenue"))
+
+
+def reference(tables, brand1, qty1, brand2, qty2, brand3, qty3):
+    lp = hash_join(tables["lineitem"], tables["part"], ["l_partkey"],
+                   ["p_partkey"])
+    kept = mask(lp, _predicate(brand1, qty1, brand2, qty2, brand3, qty3))
+    kept = add(kept, "rev", revenue_expr())
+    return global_aggregate(kept, [AggSpec("sum", "rev", "revenue")])

@@ -1,0 +1,78 @@
+"""TPC-H Q20: potential part promotion (nested IN subqueries decorrelated
+through a grouped-quantity join).  Category "mixed".
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    add_years,
+    col,
+    date,
+    group_aggregate,
+    hash_join,
+    lit,
+    sort_frame,
+)
+from repro.api import F
+from repro.dataframe.groupby import distinct_rows
+from repro.tpch.queries._helpers import mask
+
+NAME = "q20"
+CATEGORY = "mixed"
+DEFAULTS = {"color": "forest", "start": "1994-01-01", "years": 1,
+            "nation": "CANADA"}
+
+
+def build(ctx, color, start, years, nation):
+    lo = date(start)
+    hi = add_years(lo, years)
+    part_f = ctx.table("part").filter(
+        col("p_name").startswith(color)
+    ).project("p_partkey")
+    li = ctx.table("lineitem").filter(
+        col("l_shipdate").between(lo, hi)
+    )
+    qty_ps = li.agg(F.sum("l_quantity").alias("qty"),
+                    by=["l_partkey", "l_suppkey"])
+    ps_f = ctx.table("partsupp").join(
+        part_f, on=[("ps_partkey", "p_partkey")], how="semi"
+    )
+    psq = ps_f.join(
+        qty_ps,
+        on=[("ps_partkey", "l_partkey"), ("ps_suppkey", "l_suppkey")],
+    )
+    excess = psq.filter(
+        col("ps_availqty") > lit(0.5) * col("qty")
+    ).project("ps_suppkey").distinct("ps_suppkey")
+    nation_f = ctx.table("nation").filter(col("n_name") == nation)
+    supp = ctx.table("supplier").join(
+        nation_f, on=[("s_nationkey", "n_nationkey")]
+    )
+    out = supp.join(excess, on=[("s_suppkey", "ps_suppkey")],
+                    how="semi")
+    return out.project("s_name", "s_address").sort("s_name")
+
+
+def reference(tables, color, start, years, nation):
+    lo = date(start)
+    hi = add_years(lo, years)
+    part_f = mask(tables["part"], col("p_name").startswith(color))
+    li = mask(tables["lineitem"], col("l_shipdate").between(lo, hi))
+    qty_ps = group_aggregate(li, ["l_partkey", "l_suppkey"],
+                             [AggSpec("sum", "l_quantity", "qty")])
+    ps_f = hash_join(tables["partsupp"], part_f.select(["p_partkey"]),
+                     ["ps_partkey"], ["p_partkey"], how="semi")
+    psq = hash_join(ps_f, qty_ps, ["ps_partkey", "ps_suppkey"],
+                    ["l_partkey", "l_suppkey"])
+    excess = distinct_rows(
+        mask(psq, col("ps_availqty") > lit(0.5) * col("qty"))
+        .select(["ps_suppkey"]),
+        ["ps_suppkey"],
+    )
+    nation_f = mask(tables["nation"], col("n_name") == nation)
+    supp = hash_join(tables["supplier"], nation_f, ["s_nationkey"],
+                     ["n_nationkey"])
+    out = hash_join(supp, excess, ["s_suppkey"], ["ps_suppkey"],
+                    how="semi")
+    return sort_frame(out.select(["s_name", "s_address"]), ["s_name"])

@@ -1,0 +1,80 @@
+"""TPC-H Q21: suppliers who kept orders waiting (EXISTS / NOT EXISTS
+decorrelated through per-order distinct-supplier counts).
+
+Category "mixed": Fig 8's right panel uses Q21 — recall rises quickly but
+MAPE drops slowly because the group-by key (s_name) is diverse.
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    group_aggregate,
+    hash_join,
+    top_k,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import mask
+
+NAME = "q21"
+CATEGORY = "mixed"
+DEFAULTS = {"nation": "SAUDI ARABIA", "limit": 100}
+
+
+def build(ctx, nation, limit):
+    lineitem = ctx.table("lineitem")
+    late = lineitem.filter(
+        col("l_receiptdate") > col("l_commitdate")
+    )
+    nsupp = lineitem.agg(
+        F.count_distinct("l_suppkey").alias("nsupp"), by=["l_orderkey"]
+    )
+    nlate = late.agg(
+        F.count_distinct("l_suppkey").alias("nlate"), by=["l_orderkey"]
+    )
+    enriched = late.join(
+        nsupp, on=[("l_orderkey", "l_orderkey")], suffix="_ns"
+    ).join(
+        nlate, on=[("l_orderkey", "l_orderkey")], suffix="_nl"
+    ).filter((col("nsupp") >= 2) & (col("nlate") == 1))
+    orders_f = ctx.table("orders").filter(col("o_orderstatus") == "F")
+    with_orders = enriched.join(
+        orders_f, on=[("l_orderkey", "o_orderkey")]
+    )
+    nation_f = ctx.table("nation").filter(col("n_name") == nation)
+    supp = ctx.table("supplier").join(
+        nation_f, on=[("s_nationkey", "n_nationkey")]
+    )
+    named = with_orders.join(supp, on=[("l_suppkey", "s_suppkey")])
+    out = named.agg(F.count().alias("numwait"), by=["s_name"])
+    return out.top_k(["numwait", "s_name"], limit, desc=[True, False])
+
+
+def reference(tables, nation, limit):
+    lineitem = tables["lineitem"]
+    late = mask(lineitem, col("l_receiptdate") > col("l_commitdate"))
+    nsupp = group_aggregate(
+        lineitem, ["l_orderkey"],
+        [AggSpec("count_distinct", "l_suppkey", "nsupp")],
+    )
+    nlate = group_aggregate(
+        late, ["l_orderkey"],
+        [AggSpec("count_distinct", "l_suppkey", "nlate")],
+    )
+    enriched = hash_join(late, nsupp, ["l_orderkey"], ["l_orderkey"],
+                         suffix="_ns")
+    enriched = hash_join(enriched, nlate, ["l_orderkey"],
+                         ["l_orderkey"], suffix="_nl")
+    enriched = mask(enriched, (col("nsupp") >= 2) & (col("nlate") == 1))
+    orders_f = mask(tables["orders"], col("o_orderstatus") == "F")
+    with_orders = hash_join(enriched, orders_f, ["l_orderkey"],
+                            ["o_orderkey"])
+    nation_f = mask(tables["nation"], col("n_name") == nation)
+    supp = hash_join(tables["supplier"], nation_f, ["s_nationkey"],
+                     ["n_nationkey"])
+    named = hash_join(with_orders, supp, ["l_suppkey"], ["s_suppkey"])
+    out = group_aggregate(named, ["s_name"],
+                          [AggSpec("count", None, "numwait")])
+    return top_k(out, ["numwait", "s_name"], limit,
+                 ascending=[False, True])

@@ -1,0 +1,62 @@
+"""TPC-H Q22: global sales opportunity (scalar-subquery threshold plus an
+anti join on orders).  Category "mape".
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import (
+    AggSpec,
+    col,
+    global_aggregate,
+    group_aggregate,
+    hash_join,
+    sort_frame,
+)
+from repro.api import F
+from repro.tpch.queries._helpers import add, mask
+
+NAME = "q22"
+CATEGORY = "mape"
+DEFAULTS = {"codes": ("13", "31", "23", "29", "30", "18", "17")}
+
+
+def build(ctx, codes):
+    cust = ctx.table("customer").select(
+        c_custkey="c_custkey",
+        c_acctbal="c_acctbal",
+        cntrycode=col("c_phone").substr(1, 2),
+    ).filter(col("cntrycode").isin(list(codes)))
+    avg_bal = cust.filter(col("c_acctbal") > 0.0).agg(
+        F.avg("c_acctbal").alias("avg_bal")
+    )
+    rich = cust.cross_join(avg_bal).filter(
+        col("c_acctbal") > col("avg_bal")
+    )
+    no_orders = rich.join(
+        ctx.table("orders"), on=[("c_custkey", "o_custkey")], how="anti"
+    )
+    out = no_orders.agg(
+        F.count().alias("numcust"),
+        F.sum("c_acctbal").alias("totacctbal"),
+        by=["cntrycode"],
+    )
+    return out.sort("cntrycode")
+
+
+def reference(tables, codes):
+    cust = add(tables["customer"], "cntrycode",
+               col("c_phone").substr(1, 2))
+    cust = mask(cust, col("cntrycode").isin(list(codes)))
+    positive = mask(cust, col("c_acctbal") > 0.0)
+    avg_bal = global_aggregate(
+        positive, [AggSpec("avg", "c_acctbal", "avg_bal")]
+    ).column("avg_bal")[0]
+    rich = mask(cust, col("c_acctbal") > avg_bal)
+    no_orders = hash_join(rich, tables["orders"], ["c_custkey"],
+                          ["o_custkey"], how="anti")
+    out = group_aggregate(
+        no_orders, ["cntrycode"],
+        [AggSpec("count", None, "numcust"),
+         AggSpec("sum", "c_acctbal", "totacctbal")],
+    )
+    return sort_frame(out, ["cntrycode"])

@@ -1,0 +1,190 @@
+"""TPC-H table schemas, keys, and clustering (paper §8.1).
+
+Tables are clustered exactly as the paper's setup implies: the fact tables
+``lineitem`` and ``orders`` are clustered on their order keys (enabling
+Wake's progressive merge join and local aggregation paths, Fig 6), and
+every other table on its primary key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataframe import DType, Field, Schema
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Static description of one TPC-H table."""
+
+    name: str
+    schema: Schema
+    primary_key: tuple[str, ...]
+    clustering_key: tuple[str, ...]
+    #: Rows per unit scale factor (None = fixed-size table).
+    rows_per_sf: int | None
+
+
+def _s(name: str) -> Field:
+    return Field(name, DType.STRING)
+
+
+def _i(name: str) -> Field:
+    return Field(name, DType.INT64)
+
+
+def _f(name: str) -> Field:
+    return Field(name, DType.FLOAT64)
+
+
+def _d(name: str) -> Field:
+    return Field(name, DType.DATE)
+
+
+REGION = TableSpec(
+    "region",
+    Schema([_i("r_regionkey"), _s("r_name"), _s("r_comment")]),
+    primary_key=("r_regionkey",),
+    clustering_key=("r_regionkey",),
+    rows_per_sf=None,
+)
+
+NATION = TableSpec(
+    "nation",
+    Schema([_i("n_nationkey"), _s("n_name"), _i("n_regionkey"),
+            _s("n_comment")]),
+    primary_key=("n_nationkey",),
+    clustering_key=("n_nationkey",),
+    rows_per_sf=None,
+)
+
+SUPPLIER = TableSpec(
+    "supplier",
+    Schema([_i("s_suppkey"), _s("s_name"), _s("s_address"),
+            _i("s_nationkey"), _s("s_phone"), _f("s_acctbal"),
+            _s("s_comment")]),
+    primary_key=("s_suppkey",),
+    clustering_key=("s_suppkey",),
+    rows_per_sf=10_000,
+)
+
+CUSTOMER = TableSpec(
+    "customer",
+    Schema([_i("c_custkey"), _s("c_name"), _s("c_address"),
+            _i("c_nationkey"), _s("c_phone"), _f("c_acctbal"),
+            _s("c_mktsegment"), _s("c_comment")]),
+    primary_key=("c_custkey",),
+    clustering_key=("c_custkey",),
+    rows_per_sf=150_000,
+)
+
+PART = TableSpec(
+    "part",
+    Schema([_i("p_partkey"), _s("p_name"), _s("p_mfgr"), _s("p_brand"),
+            _s("p_type"), _i("p_size"), _s("p_container"),
+            _f("p_retailprice"), _s("p_comment")]),
+    primary_key=("p_partkey",),
+    clustering_key=("p_partkey",),
+    rows_per_sf=200_000,
+)
+
+PARTSUPP = TableSpec(
+    "partsupp",
+    Schema([_i("ps_partkey"), _i("ps_suppkey"), _i("ps_availqty"),
+            _f("ps_supplycost"), _s("ps_comment")]),
+    primary_key=("ps_partkey", "ps_suppkey"),
+    clustering_key=("ps_partkey",),
+    rows_per_sf=800_000,
+)
+
+ORDERS = TableSpec(
+    "orders",
+    Schema([_i("o_orderkey"), _i("o_custkey"), _s("o_orderstatus"),
+            _f("o_totalprice"), _d("o_orderdate"), _s("o_orderpriority"),
+            _s("o_clerk"), _i("o_shippriority"), _s("o_comment")]),
+    primary_key=("o_orderkey",),
+    clustering_key=("o_orderkey",),
+    rows_per_sf=1_500_000,
+)
+
+LINEITEM = TableSpec(
+    "lineitem",
+    Schema([_i("l_orderkey"), _i("l_partkey"), _i("l_suppkey"),
+            _i("l_linenumber"), _f("l_quantity"), _f("l_extendedprice"),
+            _f("l_discount"), _f("l_tax"), _s("l_returnflag"),
+            _s("l_linestatus"), _d("l_shipdate"), _d("l_commitdate"),
+            _d("l_receiptdate"), _s("l_shipinstruct"), _s("l_shipmode"),
+            _s("l_comment")]),
+    primary_key=("l_orderkey", "l_linenumber"),
+    clustering_key=("l_orderkey",),
+    rows_per_sf=None,  # ~4x orders, derived from order line counts
+)
+
+TABLES: dict[str, TableSpec] = {
+    spec.name: spec
+    for spec in (REGION, NATION, SUPPLIER, CUSTOMER, PART, PARTSUPP,
+                 ORDERS, LINEITEM)
+}
+
+#: The 25 nations (key, name, regionkey) and 5 regions from the TPC-H spec
+#: — queries Q2/Q5/Q7/Q8/Q9/Q21 filter on these exact names.
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+
+MKT_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                "MACHINERY")
+
+ORDER_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                    "5-LOW")
+
+SHIP_MODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+
+SHIP_INSTRUCTIONS = ("DELIVER IN PERSON", "COLLECT COD", "NONE",
+                     "TAKE BACK RETURN")
+
+TYPE_SYLLABLE_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                   "PROMO")
+TYPE_SYLLABLE_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                   "BRUSHED")
+TYPE_SYLLABLE_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+
+CONTAINER_SYLLABLE_1 = ("SM", "LG", "MED", "JUMBO", "WRAP")
+CONTAINER_SYLLABLE_2 = ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
+                        "CAN", "DRUM")
+
+#: Color vocabulary for p_name (Q9 matches '%green%').
+PART_COLORS = (
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque",
+    "black", "blanched", "blue", "blush", "brown", "burlywood",
+    "chartreuse", "chocolate", "coral", "cornflower", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral",
+    "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green",
+    "grey", "honeydew", "hot", "indian", "ivory", "khaki", "lace",
+    "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta",
+    "maroon", "medium", "metallic", "midnight", "mint", "misty",
+    "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale",
+    "papaya", "peach", "peru", "pink", "plum", "powder", "puff",
+    "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow",
+    "spring", "steel", "tan", "thistle", "tomato", "turquoise",
+    "violet", "wheat", "white", "yellow",
+)
+
+#: Filler vocabulary for comments.
+COMMENT_WORDS = (
+    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits",
+    "packages", "accounts", "requests", "instructions", "foxes",
+    "pinto", "beans", "theodolites", "dependencies", "platelets",
+    "ideas", "asymptotes", "somas", "dugouts", "sauternes", "warhorses",
+    "sheaves", "sleep", "nag", "haggle", "bold", "final", "express",
+    "regular", "even", "ironic", "pending", "unusual", "silent",
+)

@@ -1,0 +1,55 @@
+"""Tests for the exact all-at-once engine."""
+
+import pytest
+
+from repro.baselines import ExactEngine
+from repro.errors import QueryError
+from repro.tpch.queries import QUERIES
+
+
+class TestExactEngine:
+    def test_memory_mode_matches_reference(self, tpch):
+        catalog, tables = tpch
+        engine = ExactEngine(tables=tables, mode="memory")
+        result = engine.run(QUERIES[6])
+        expected = QUERIES[6].run_reference(tables.tables)
+        assert result.frame.equals(expected)
+        assert result.wall_time > 0
+        assert result.rows_scanned > 0
+
+    def test_scan_mode_reads_catalog(self, tpch):
+        catalog, tables = tpch
+        engine = ExactEngine(catalog=catalog, mode="scan")
+        result = engine.run(QUERIES[6])
+        expected = QUERIES[6].run_reference(tables.tables)
+        assert result.frame.equals(expected)
+
+    def test_scan_slower_than_memory(self, tpch):
+        catalog, tables = tpch
+        memory = ExactEngine(tables=tables, mode="memory")
+        scan = ExactEngine(catalog=catalog, mode="scan")
+        fast = min(memory.run(QUERIES[1]).wall_time for _ in range(2))
+        slow = min(scan.run(QUERIES[1]).wall_time for _ in range(2))
+        assert slow > fast
+
+    def test_memory_tracking(self, tpch):
+        _catalog, tables = tpch
+        engine = ExactEngine(tables=tables, mode="memory")
+        result = engine.run(QUERIES[6], track_memory=True)
+        assert result.peak_bytes > 0
+
+    def test_param_overrides(self, tpch):
+        _catalog, tables = tpch
+        engine = ExactEngine(tables=tables, mode="memory")
+        spec_result = engine.run(QUERIES[18])
+        relaxed = engine.run(QUERIES[18], threshold=100)
+        assert relaxed.frame.n_rows >= spec_result.frame.n_rows
+
+    def test_mode_validation(self, tpch):
+        catalog, tables = tpch
+        with pytest.raises(QueryError):
+            ExactEngine(tables=tables, mode="gpu")
+        with pytest.raises(QueryError):
+            ExactEngine(mode="memory")
+        with pytest.raises(QueryError):
+            ExactEngine(tables=tables, mode="scan")

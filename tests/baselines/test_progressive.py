@@ -1,0 +1,100 @@
+"""Tests for the ProgressiveDB-like baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ProgressiveQuery, ProgressiveScan
+from repro.dataframe import AggSpec, col
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def scan(catalog):
+    return ProgressiveScan(catalog.table("sales"), chunk_rows=10,
+                           middleware_overhead=0.0)
+
+
+class TestProgressiveScan:
+    def test_global_sum_converges_exact(self, scan, sales_frame):
+        query = ProgressiveQuery(
+            table="sales",
+            aggregates=[AggSpec("sum", "qty", "total")],
+        )
+        estimates = scan.run(query)
+        assert len(estimates) == 6
+        exact = sales_frame.column("qty").sum()
+        assert estimates[-1].t == 1.0
+        assert estimates[-1].frame.column("total")[0] == pytest.approx(
+            exact)
+
+    def test_uniform_scaling_midway(self, scan, sales_frame):
+        query = ProgressiveQuery(
+            table="sales",
+            aggregates=[AggSpec("count", None, "n")],
+        )
+        estimates = scan.run(query)
+        mid = estimates[2]  # t = 0.5
+        assert mid.t == pytest.approx(0.5)
+        assert mid.frame.column("n")[0] == pytest.approx(60.0)
+
+    def test_grouped_avg(self, scan, sales_frame):
+        query = ProgressiveQuery(
+            table="sales",
+            aggregates=[AggSpec("avg", "qty", "avg_qty")],
+            by=["region"],
+        )
+        final = scan.run(query)[-1].frame
+        for region in ("east", "west"):
+            keep = sales_frame.column("region") == region
+            expected = sales_frame.column("qty")[keep].mean()
+            idx = final.column("region").tolist().index(region)
+            assert final.column("avg_qty")[idx] == pytest.approx(expected)
+
+    def test_predicate_and_derived(self, scan, sales_frame):
+        query = ProgressiveQuery(
+            table="sales",
+            aggregates=[AggSpec("sum", "double_qty", "total")],
+            predicate=col("region") == "east",
+            derived={"double_qty": col("qty") * 2},
+        )
+        final = scan.run(query)[-1].frame
+        keep = sales_frame.column("region") == "east"
+        expected = 2 * sales_frame.column("qty")[keep].sum()
+        assert final.column("total")[0] == pytest.approx(expected)
+
+    def test_estimates_converge_monotonically_in_expectation(
+            self, scan, sales_frame):
+        query = ProgressiveQuery(
+            table="sales", aggregates=[AggSpec("sum", "qty", "total")]
+        )
+        estimates = scan.run(query)
+        exact = sales_frame.column("qty").sum()
+        first_err = abs(estimates[0].frame.column("total")[0] - exact)
+        last_err = abs(estimates[-1].frame.column("total")[0] - exact)
+        assert last_err <= first_err
+
+    def test_unsupported_aggregate(self):
+        with pytest.raises(QueryError, match="supports"):
+            ProgressiveQuery(
+                table="sales",
+                aggregates=[AggSpec("count_distinct", "cust", "d")],
+            )
+
+    def test_wrong_table(self, scan):
+        query = ProgressiveQuery(
+            table="orders", aggregates=[AggSpec("count", None, "n")]
+        )
+        with pytest.raises(QueryError, match="targets"):
+            scan.run(query)
+
+    def test_middleware_overhead_slows_scan(self, catalog):
+        query = ProgressiveQuery(
+            table="sales", aggregates=[AggSpec("count", None, "n")]
+        )
+        fast = ProgressiveScan(catalog.table("sales"), chunk_rows=30,
+                               middleware_overhead=0.0)
+        slow = ProgressiveScan(catalog.table("sales"), chunk_rows=30,
+                               middleware_overhead=0.01)
+        t_fast = fast.run(query)[-1].wall_time
+        t_slow = slow.run(query)[-1].wall_time
+        assert t_slow > t_fast

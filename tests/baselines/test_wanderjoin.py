@@ -1,0 +1,129 @@
+"""Tests for the WanderJoin-like baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import WalkQuery, WalkStep, WanderJoinEngine
+from repro.dataframe import DataFrame, col
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def star_tables():
+    """Small star schema with a known exact join-sum."""
+    rng = np.random.default_rng(5)
+    n_orders = 40
+    n_lines = 400
+    orders = DataFrame(
+        {
+            "okey": np.arange(n_orders, dtype=np.int64),
+            "flag": np.array(["y" if i % 2 == 0 else "n"
+                              for i in range(n_orders)]),
+        }
+    )
+    lines = DataFrame(
+        {
+            "lkey": np.arange(n_lines, dtype=np.int64),
+            "okey": rng.integers(0, n_orders, size=n_lines).astype(
+                np.int64),
+            "value": rng.uniform(1.0, 10.0, size=n_lines),
+        }
+    )
+    return {"orders": orders, "lineitem": lines}
+
+
+def exact_answer(tables):
+    from repro.dataframe import hash_join
+
+    joined = hash_join(tables["lineitem"], tables["orders"], ["okey"],
+                       ["okey"])
+    keep = joined.column("flag") == "y"
+    return joined.column("value")[keep].sum()
+
+
+class TestWanderJoin:
+    def test_estimate_converges_near_exact(self, star_tables):
+        engine = WanderJoinEngine(star_tables, seed=1)
+        query = WalkQuery(
+            first_table="lineitem",
+            first_predicate=None,
+            steps=(WalkStep("orders", "okey", "okey",
+                            predicate=col("flag") == "y"),),
+            value=col("value"),
+        )
+        estimates = engine.run(query, max_walks=4000, report_every=1000)
+        exact = exact_answer(star_tables)
+        final = estimates[-1].estimate
+        assert final == pytest.approx(exact, rel=0.1)
+
+    def test_estimates_are_unbiased_across_seeds(self, star_tables):
+        exact = exact_answer(star_tables)
+        query = WalkQuery(
+            first_table="lineitem",
+            first_predicate=None,
+            steps=(WalkStep("orders", "okey", "okey",
+                            predicate=col("flag") == "y"),),
+            value=col("value"),
+        )
+        means = []
+        for seed in range(8):
+            engine = WanderJoinEngine(star_tables, seed=seed)
+            means.append(engine.run(query, max_walks=800,
+                                    report_every=800)[-1].estimate)
+        assert np.mean(means) == pytest.approx(exact, rel=0.05)
+
+    def test_does_not_converge_exactly(self, star_tables):
+        """The defining WanderJoin property (paper §8.4): sampling noise
+        persists — the estimate is not exactly the answer."""
+        engine = WanderJoinEngine(star_tables, seed=3)
+        query = WalkQuery(
+            first_table="lineitem",
+            first_predicate=None,
+            steps=(WalkStep("orders", "okey", "okey"),),
+            value=col("value"),
+        )
+        final = engine.run(query, max_walks=2000,
+                           report_every=2000)[-1].estimate
+        exact = exact_answer({"lineitem": star_tables["lineitem"],
+                              "orders": star_tables["orders"].with_column(
+                                  "flag",
+                                  np.array(["y"] * 40))})
+        assert final != pytest.approx(exact, rel=1e-6)
+
+    def test_first_predicate_filters(self, star_tables):
+        engine = WanderJoinEngine(star_tables, seed=2)
+        query = WalkQuery(
+            first_table="lineitem",
+            first_predicate=col("value") > 5.0,
+            steps=(WalkStep("orders", "okey", "okey"),),
+            value=col("value"),
+        )
+        estimates = engine.run(query, max_walks=2000, report_every=500)
+        li = star_tables["lineitem"]
+        exact = li.column("value")[li.column("value") > 5.0].sum()
+        assert estimates[-1].estimate == pytest.approx(exact, rel=0.15)
+        assert len(estimates) == 4
+
+    def test_empty_first_table_rejected(self, star_tables):
+        engine = WanderJoinEngine(star_tables, seed=0)
+        query = WalkQuery(
+            first_table="lineitem",
+            first_predicate=col("value") > 1e9,
+            steps=(),
+            value=col("value"),
+        )
+        with pytest.raises(QueryError, match="empty"):
+            engine.run(query, max_walks=10)
+
+    def test_wall_times_increase(self, star_tables):
+        engine = WanderJoinEngine(star_tables, seed=0)
+        query = WalkQuery(
+            first_table="lineitem",
+            first_predicate=None,
+            steps=(WalkStep("orders", "okey", "okey"),),
+            value=col("value"),
+        )
+        estimates = engine.run(query, max_walks=1500, report_every=500)
+        times = [e.wall_time for e in estimates]
+        assert times == sorted(times)
+        assert [e.walks for e in estimates] == [500, 1000, 1500]

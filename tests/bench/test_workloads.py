@@ -1,0 +1,138 @@
+"""Tests for benchmark workloads: modified queries, deep queries,
+partition sweeps."""
+
+import numpy as np
+import pytest
+
+from repro import WakeContext
+from repro.baselines import ProgressiveScan, WanderJoinEngine
+from repro.bench import workloads
+from repro.tpch.queries import QUERIES
+
+
+class TestMetricColumns:
+    def test_covers_all_queries(self):
+        assert sorted(workloads.METRIC_COLUMNS) == list(range(1, 23))
+
+    def test_columns_exist_in_reference_output(self, tpch_tables):
+        for number, (keys, values) in workloads.METRIC_COLUMNS.items():
+            overrides = {18: {"threshold": 150},
+                         11: {"fraction": 0.005}}.get(number, {})
+            frame = QUERIES[number].run_reference(tpch_tables.tables,
+                                                  **overrides)
+            for column in (*keys, *values):
+                assert column in frame.column_names, (
+                    f"q{number:02d} missing metric column {column!r}"
+                )
+
+
+class TestModifiedQueries:
+    def test_q1_wake_matches_exact(self, tpch):
+        catalog, tables = tpch
+        ctx = WakeContext(catalog)
+        final = workloads.modified_q1_wake(ctx).final()
+        exact = workloads.modified_q1_exact(tables.tables)
+        got = dict(zip(zip(final.column("l_returnflag").tolist(),
+                           final.column("l_linestatus").tolist()),
+                       final.column("sum_qty").tolist()))
+        expected = dict(zip(zip(exact.column("l_returnflag").tolist(),
+                                exact.column("l_linestatus").tolist()),
+                            exact.column("sum_qty").tolist()))
+        assert got == pytest.approx(expected)
+
+    def test_q1_progressive_converges(self, tpch):
+        catalog, tables = tpch
+        scan = ProgressiveScan(catalog.table("lineitem"),
+                               chunk_rows=5000, middleware_overhead=0.0)
+        estimates = scan.run(workloads.modified_q1_progressive())
+        exact = workloads.modified_q1_exact(tables.tables)
+        final = estimates[-1].frame
+        got = dict(zip(zip(final.column("l_returnflag").tolist(),
+                           final.column("l_linestatus").tolist()),
+                       final.column("sum_qty").tolist()))
+        expected = dict(zip(zip(exact.column("l_returnflag").tolist(),
+                                exact.column("l_linestatus").tolist()),
+                            exact.column("sum_qty").tolist()))
+        assert got == pytest.approx(expected)
+
+    def test_q6_wake_and_progressive_agree(self, tpch):
+        catalog, tables = tpch
+        ctx = WakeContext(catalog)
+        wake_final = workloads.modified_q6_wake(ctx).final()
+        exact = workloads.modified_q6_exact(tables.tables)
+        assert wake_final.column("revenue")[0] == pytest.approx(
+            exact.column("revenue")[0])
+        scan = ProgressiveScan(catalog.table("lineitem"),
+                               chunk_rows=5000, middleware_overhead=0.0)
+        prog_final = scan.run(workloads.modified_q6_progressive())[-1]
+        assert prog_final.frame.column("revenue")[0] == pytest.approx(
+            exact.column("revenue")[0])
+
+    @pytest.mark.parametrize("name", ["q3", "q7", "q10"])
+    def test_walk_queries_estimate_join_sums(self, tpch, name):
+        catalog, tables = tpch
+        walk = getattr(workloads, f"modified_{name}_walk")()
+        exact = getattr(workloads, f"modified_{name}_exact")(
+            tables.tables)
+        engine = WanderJoinEngine(tables.tables, seed=17)
+        estimate = engine.run(walk, max_walks=3000,
+                              report_every=3000)[-1].estimate
+        assert estimate == pytest.approx(exact, rel=0.35)
+
+    @pytest.mark.parametrize("name", ["q3", "q7", "q10"])
+    def test_wake_modified_queries_exact(self, tpch, name):
+        catalog, tables = tpch
+        ctx = WakeContext(catalog)
+        plan = getattr(workloads, f"modified_{name}_wake")(ctx)
+        exact = getattr(workloads, f"modified_{name}_exact")(
+            tables.tables)
+        assert plan.final().column("revenue")[0] == pytest.approx(exact)
+
+
+class TestDeepQueries:
+    @pytest.fixture(scope="class")
+    def deep(self, tmp_path_factory):
+        return workloads.generate_deep_dataset(
+            tmp_path_factory.mktemp("deep"), n_rows=5_000,
+            n_partitions=5, seed=1,
+        )
+
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_wake_matches_reference(self, deep, depth):
+        ctx = WakeContext(deep.catalog)
+        plan = workloads.build_deep_query(ctx, depth)
+        got = plan.final()
+        expected = workloads.deep_query_reference(deep.table, depth)
+        assert got.n_rows == expected.n_rows
+        alias = f"agg{depth + 1}" if depth else "agg0"
+        assert got.column(alias)[0] == pytest.approx(
+            expected.column(alias)[0])
+
+    def test_depth_validation(self, deep):
+        ctx = WakeContext(deep.catalog)
+        with pytest.raises(ValueError):
+            workloads.build_deep_query(ctx, -1)
+        with pytest.raises(ValueError):
+            workloads.build_deep_query(ctx, 11)
+
+    def test_dataset_shape(self, deep):
+        assert deep.table.n_rows == 5_000
+        assert deep.catalog.table("deep").n_partitions == 5
+        for i in range(1, 11):
+            uniques = np.unique(deep.table.column(f"c{i}"))
+            assert len(uniques) == workloads.DEEP_UNIQUES
+
+
+class TestPartitionSweep:
+    def test_reload_with_partitions(self, tpch, tmp_path):
+        _catalog, tables = tpch
+        catalog4 = workloads.reload_with_partitions(
+            tables, tmp_path / "p4", fact_partitions=4)
+        catalog16 = workloads.reload_with_partitions(
+            tables, tmp_path / "p16", fact_partitions=16)
+        assert catalog4.table("lineitem").n_partitions == 4
+        assert catalog16.table("lineitem").n_partitions == 16
+        assert (
+            catalog4.table("lineitem").total_tuples
+            == catalog16.table("lineitem").total_tuples
+        )

@@ -1,0 +1,79 @@
+"""Shared fixtures: small partitioned tables for engine/API tests, plus
+the session-scoped TPC-H dataset used by the tpch/baseline/bench tests."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.storage import Catalog, write_table
+
+
+@pytest.fixture(scope="session")
+def tpch(tmp_path_factory):
+    """(catalog, tables) at SF 0.005 with 8 fact partitions."""
+    from repro.tpch import generate_and_load
+
+    directory = tmp_path_factory.mktemp("tpch")
+    catalog, tables = generate_and_load(
+        directory, scale_factor=0.005, seed=7, fact_partitions=8,
+        dimension_partitions=2,
+    )
+    return catalog, tables
+
+
+@pytest.fixture
+def tpch_ctx(tpch):
+    from repro import WakeContext
+
+    catalog, _tables = tpch
+    return WakeContext(catalog)
+
+
+@pytest.fixture
+def tpch_tables(tpch):
+    _catalog, tables = tpch
+    return tables
+
+
+@pytest.fixture
+def sales_frame():
+    """60 rows: okey 0..29 (2 rows each, sorted), qty, cust, region."""
+    rng = np.random.default_rng(12345)
+    okey = np.repeat(np.arange(30, dtype=np.int64), 2)
+    qty = rng.integers(1, 50, size=60).astype(np.float64)
+    cust = np.array([f"c{k % 5}" for k in okey])
+    region = np.array(["east" if k % 2 == 0 else "west" for k in okey])
+    return DataFrame(
+        {"okey": okey, "qty": qty, "cust": cust, "region": region}
+    )
+
+
+@pytest.fixture
+def customers_frame():
+    return DataFrame(
+        {
+            "ckey": np.array([f"c{i}" for i in range(5)]),
+            "name": np.array(
+                ["alice", "bob", "carol", "dave", "erin"]
+            ),
+            "segment": np.array(["A", "B", "A", "B", "A"]),
+        }
+    )
+
+
+@pytest.fixture
+def catalog(tmp_path, sales_frame, customers_frame):
+    """Catalog with a clustered fact table (6 partitions) and a small
+    dimension table (1 partition)."""
+    cat = Catalog(root=str(tmp_path))
+    write_table(
+        cat, tmp_path / "sales", "sales", sales_frame,
+        rows_per_partition=10,
+        primary_key=["okey"], clustering_key=["okey"],
+    )
+    write_table(
+        cat, tmp_path / "customers", "customers", customers_frame,
+        rows_per_partition=100,
+        primary_key=["ckey"],
+    )
+    return cat

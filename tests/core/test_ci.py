@@ -1,0 +1,168 @@
+"""Unit tests for the confidence-interval machinery (paper §6, Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, col
+from repro.core.ci import (
+    chebyshev_k,
+    interval,
+    propagate_map_variance,
+    proxy_var_distinct_count,
+    value_variance,
+    var_avg,
+    var_count,
+    var_count_distinct,
+    var_partial_sum,
+    var_sum,
+    CIConfig,
+    sigma_column,
+)
+from repro.errors import InferenceError
+
+
+class TestChebyshev:
+    def test_95_percent_k(self):
+        # the paper: "k ≈ 4.5 for 95% CI"
+        assert chebyshev_k(0.95) == pytest.approx(4.47, abs=0.03)
+
+    def test_higher_confidence_wider(self):
+        assert chebyshev_k(0.99) > chebyshev_k(0.9)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(InferenceError):
+            chebyshev_k(0.0)
+        with pytest.raises(InferenceError):
+            chebyshev_k(1.0)
+
+    def test_config_k(self):
+        assert CIConfig(0.95).k == chebyshev_k(0.95)
+
+    def test_interval(self):
+        lo, hi = interval(np.array([10.0]), np.array([2.0]), k=3.0)
+        assert lo[0] == pytest.approx(4.0)
+        assert hi[0] == pytest.approx(16.0)
+
+    def test_interval_nan_sigma(self):
+        lo, hi = interval(np.array([10.0]), np.array([np.nan]), k=3.0)
+        assert np.isnan(lo[0]) and np.isnan(hi[0])
+
+    def test_sigma_column_name(self):
+        assert sigma_column("revenue") == "revenue__sigma"
+
+
+class TestInitialVariances:
+    def test_var_count_zero_at_completion(self):
+        assert var_count(np.array([100.0]), 1.0, 0.5).tolist() == [0.0]
+
+    def test_var_count_grows_with_var_w(self):
+        small = var_count(np.array([100.0]), 0.5, 0.01)
+        big = var_count(np.array([100.0]), 0.5, 0.1)
+        assert big[0] > small[0]
+
+    def test_var_count_formula(self):
+        x_hat, t, vw = 50.0, 0.25, 0.04
+        expected = (x_hat * np.log(1 / t)) ** 2 * vw
+        got = var_count(np.array([x_hat]), t, vw)
+        assert got[0] == pytest.approx(expected)
+
+    def test_value_variance_matches_numpy(self):
+        vals = np.array([1.0, 5.0, 9.0, 13.0])
+        s2 = value_variance(
+            np.array([4.0]), np.array([vals.sum()]),
+            np.array([(vals**2).sum()]),
+        )
+        assert s2[0] == pytest.approx(np.var(vals, ddof=1))
+
+    def test_var_partial_sum(self):
+        assert var_partial_sum(np.array([10.0]),
+                               np.array([4.0])).tolist() == [40.0]
+
+    def test_var_sum_formula(self):
+        y, x, xh = 100.0, 10.0, 40.0
+        vy, vxh = 25.0, 9.0
+        expected = (vy * xh**2 + vxh * y**2) / x**2
+        got = var_sum(np.array([y]), np.array([x]), np.array([xh]),
+                      np.array([vy]), np.array([vxh]))
+        assert got[0] == pytest.approx(expected)
+
+    def test_var_sum_zero_cardinality(self):
+        got = var_sum(np.array([0.0]), np.array([0.0]), np.array([0.0]),
+                      np.array([0.0]), np.array([0.0]))
+        assert got[0] == 0.0
+
+    def test_var_avg_clt(self):
+        assert var_avg(np.array([8.0]), np.array([4.0]))[0] == 2.0
+
+    def test_proxy_var_distinct(self):
+        v = proxy_var_distinct_count(np.array([10.0]), np.array([40.0]))
+        assert v[0] == pytest.approx(10.0 * (1 - 0.25))
+
+    def test_var_count_distinct_valid_region(self):
+        out = var_count_distinct(
+            y=np.array([20.0]),
+            x=np.array([100.0]),
+            x_hat=np.array([400.0]),
+            solution=np.array([30.0]),
+            var_y=np.array([4.0]),
+            var_x_hat=np.array([100.0]),
+        )
+        assert out[0] >= 0.0
+        assert np.isfinite(out[0])
+
+    def test_var_count_distinct_degenerate_zero(self):
+        out = var_count_distinct(
+            y=np.array([0.0]), x=np.array([0.0]),
+            x_hat=np.array([0.0]), solution=np.array([0.0]),
+            var_y=np.array([0.0]), var_x_hat=np.array([0.0]),
+        )
+        assert out[0] == 0.0
+
+
+class TestMapPropagation:
+    def frame(self):
+        return DataFrame(
+            {
+                "a": np.array([2.0, 4.0]),
+                "b": np.array([10.0, 20.0]),
+            }
+        )
+
+    def test_linear_map_exact(self):
+        # Var(3a) = 9 Var(a)
+        var = propagate_map_variance(
+            self.frame(), col("a") * 3, {"a": np.array([1.0, 2.0])}
+        )
+        np.testing.assert_allclose(var, [9.0, 18.0], rtol=1e-4)
+
+    def test_sum_of_independent(self):
+        var = propagate_map_variance(
+            self.frame(),
+            col("a") + col("b"),
+            {"a": np.array([1.0, 1.0]), "b": np.array([4.0, 4.0])},
+        )
+        np.testing.assert_allclose(var, [5.0, 5.0], rtol=1e-4)
+
+    def test_ratio_matches_delta_method(self):
+        # f = a/b; Var ≈ (1/b)² Var(a) + (a/b²)² Var(b)
+        frame = self.frame()
+        var_a = np.array([0.5, 0.5])
+        var_b = np.array([2.0, 2.0])
+        got = propagate_map_variance(
+            frame, col("a") / col("b"), {"a": var_a, "b": var_b}
+        )
+        a, b = frame.column("a"), frame.column("b")
+        expected = (1 / b) ** 2 * var_a + (a / b**2) ** 2 * var_b
+        np.testing.assert_allclose(got, expected, rtol=1e-4)
+
+    def test_exact_columns_contribute_nothing(self):
+        var = propagate_map_variance(
+            self.frame(), col("a") * col("b"), {"b": np.zeros(2)}
+        )
+        np.testing.assert_allclose(var, [0.0, 0.0], atol=1e-12)
+
+    def test_unreferenced_variance_ignored(self):
+        var = propagate_map_variance(
+            self.frame(), col("a"), {"b": np.array([100.0, 100.0])}
+        )
+        np.testing.assert_allclose(var, [0.0, 0.0])

@@ -1,0 +1,90 @@
+"""Unit tests for the user-visible evolving-data-frame handle."""
+
+import numpy as np
+import pytest
+
+from repro.core.edf import EdfSnapshot, EvolvingDataFrame
+from repro.core.properties import Progress
+from repro.dataframe import DataFrame
+from repro.errors import ExecutionError
+
+
+def snapshot(seq, done, total, value):
+    return EdfSnapshot(
+        frame=DataFrame({"v": np.array([value])}),
+        progress=Progress(done={"t": done}, total={"t": total}),
+        sequence=seq,
+        wall_time=0.1 * (seq + 1),
+        rows_processed=done,
+    )
+
+
+class TestEvolvingDataFrame:
+    def test_empty_handle_raises(self):
+        edf = EvolvingDataFrame("x")
+        assert not edf.is_final
+        with pytest.raises(ExecutionError, match="no snapshots"):
+            edf.get()
+        with pytest.raises(ExecutionError):
+            edf.first()
+        with pytest.raises(ExecutionError):
+            edf.get_final()
+
+    def test_get_returns_latest(self):
+        edf = EvolvingDataFrame()
+        edf.append(snapshot(0, 5, 10, 1.0))
+        edf.append(snapshot(1, 10, 10, 2.0))
+        assert edf.get().column("v")[0] == 2.0
+        assert edf.first().frame.column("v")[0] == 1.0
+        assert len(edf) == 2
+        assert [s.sequence for s in edf] == [0, 1]
+
+    def test_get_final_requires_completion(self):
+        edf = EvolvingDataFrame()
+        edf.append(snapshot(0, 5, 10, 1.0))
+        assert not edf.is_final
+        with pytest.raises(ExecutionError, match="not reached t=1"):
+            edf.get_final()
+        edf.append(snapshot(1, 10, 10, 2.0))
+        assert edf.is_final
+        assert edf.get_final().column("v")[0] == 2.0
+
+    def test_snapshot_properties(self):
+        s = snapshot(0, 5, 10, 1.0)
+        assert s.t == 0.5
+        assert not s.is_final
+        assert snapshot(1, 10, 10, 1.0).is_final
+
+    def test_consistency_enforced(self):
+        edf = EvolvingDataFrame("demo")
+        edf.append(snapshot(0, 5, 10, 1.0))
+        bad = EdfSnapshot(
+            frame=DataFrame({"other": np.array([1.0])}),
+            progress=Progress(done={"t": 10}, total={"t": 10}),
+            sequence=1,
+            wall_time=0.5,
+            rows_processed=10,
+        )
+        with pytest.raises(ExecutionError, match="consistency"):
+            edf.append(bad)
+
+    def test_snapshots_tuple_is_immutable_view(self):
+        edf = EvolvingDataFrame()
+        edf.append(snapshot(0, 5, 10, 1.0))
+        view = edf.snapshots
+        edf.append(snapshot(1, 10, 10, 2.0))
+        assert len(view) == 1
+        assert len(edf.snapshots) == 2
+
+    def test_describe(self):
+        edf = EvolvingDataFrame()
+        edf.append(snapshot(0, 5, 10, 1.0))
+        edf.append(snapshot(1, 10, 10, 2.0))
+        trace = edf.describe()
+        assert trace.n_rows == 2
+        assert trace.column("t").tolist() == [0.5, 1.0]
+        assert trace.column("rows_processed").tolist() == [5, 10]
+        assert trace.column("result_rows").tolist() == [1, 1]
+
+    def test_describe_empty(self):
+        assert EvolvingDataFrame().describe().n_rows == 0

@@ -1,0 +1,165 @@
+"""Unit + statistical tests for aggregate estimators (paper §5.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimators import (
+    estimate_avg,
+    estimate_count,
+    estimate_count_distinct,
+    estimate_order_statistic,
+    estimate_sum,
+    estimate_variance,
+)
+
+
+class TestSimpleEstimators:
+    def test_count_is_xhat(self):
+        np.testing.assert_allclose(
+            estimate_count(np.array([10.0, 40.0])), [10.0, 40.0]
+        )
+
+    def test_sum_scales_by_cardinality_ratio(self):
+        # observed 25 over 5 rows, projecting 20 rows -> 100
+        est = estimate_sum(np.array([25.0]), np.array([5.0]),
+                           np.array([20.0]))
+        assert est[0] == pytest.approx(100.0)
+
+    def test_sum_identity_at_full_progress(self):
+        est = estimate_sum(np.array([25.0]), np.array([5.0]),
+                           np.array([5.0]))
+        assert est[0] == pytest.approx(25.0)
+
+    def test_sum_zero_cardinality(self):
+        est = estimate_sum(np.array([0.0]), np.array([0.0]),
+                           np.array([0.0]))
+        assert est[0] == 0.0
+
+    def test_avg_is_ratio(self):
+        est = estimate_avg(np.array([10.0, 0.0]), np.array([4.0, 0.0]))
+        assert est[0] == pytest.approx(2.5)
+        assert np.isnan(est[1])
+
+    def test_order_statistic_identity(self):
+        np.testing.assert_allclose(
+            estimate_order_statistic(np.array([3.0])), [3.0]
+        )
+
+    def test_variance_matches_numpy(self):
+        values = np.array([1.0, 4.0, 9.0, 16.0])
+        est = estimate_variance(
+            np.array([4.0]),
+            np.array([values.sum()]),
+            np.array([(values**2).sum()]),
+        )
+        assert est[0] == pytest.approx(np.var(values, ddof=1))
+
+    def test_variance_single_sample_nan(self):
+        est = estimate_variance(np.array([1.0]), np.array([3.0]),
+                                np.array([9.0]))
+        assert np.isnan(est[0])
+
+
+class TestCountDistinct:
+    def test_exact_when_complete(self):
+        # x >= x_hat: sample is the population -> identity
+        est = estimate_count_distinct(
+            np.array([7.0]), np.array([100.0]), np.array([100.0])
+        )
+        assert est[0] == pytest.approx(7.0)
+
+    def test_all_distinct_extrapolates_to_all_distinct(self):
+        est = estimate_count_distinct(
+            np.array([50.0]), np.array([50.0]), np.array([200.0])
+        )
+        assert est[0] == pytest.approx(200.0)
+
+    def test_single_value_stays_near_one(self):
+        # 50 rows, 1 distinct value; projecting 200 rows -> ~1 distinct
+        est = estimate_count_distinct(
+            np.array([1.0]), np.array([50.0]), np.array([200.0])
+        )
+        assert 1.0 <= est[0] <= 1.5
+
+    def test_monotone_in_observed_distinct(self):
+        xs = np.full(3, 100.0)
+        xh = np.full(3, 1000.0)
+        ys = np.array([10.0, 40.0, 90.0])
+        est = estimate_count_distinct(ys, xs, xh)
+        assert est[0] < est[1] < est[2]
+
+    def test_bounds(self):
+        ys = np.array([10.0, 40.0, 90.0])
+        est = estimate_count_distinct(ys, np.full(3, 100.0),
+                                      np.full(3, 1000.0))
+        assert (est >= ys).all()
+        assert (est <= 1000.0 + 1e-6).all()
+
+    def test_zero_rows_passthrough(self):
+        est = estimate_count_distinct(
+            np.array([0.0]), np.array([0.0]), np.array([100.0])
+        )
+        assert est[0] == 0.0
+
+    def test_vectorized_mixed_cases(self):
+        ys = np.array([0.0, 5.0, 50.0, 20.0])
+        xs = np.array([0.0, 5.0, 100.0, 100.0])
+        xh = np.array([10.0, 50.0, 100.0, 400.0])
+        est = estimate_count_distinct(ys, xs, xh)
+        assert est[0] == 0.0
+        assert est[1] == pytest.approx(50.0)  # all distinct
+        assert est[2] == pytest.approx(50.0)  # complete
+        assert est[3] > 20.0  # proper estimation
+
+    @pytest.mark.parametrize("n_distinct", [5, 25, 100])
+    def test_statistical_recovery_equal_frequencies(self, n_distinct):
+        """Sampling x of X tuples spread equally over D values: the MoM
+        estimate should land near D (within ~15% for these sizes)."""
+        rng = np.random.default_rng(42)
+        population_size = 2000
+        population = np.repeat(
+            np.arange(n_distinct), population_size // n_distinct
+        )
+        sample = rng.choice(population, size=500, replace=False)
+        y = len(np.unique(sample))
+        est = estimate_count_distinct(
+            np.array([float(y)]),
+            np.array([500.0]),
+            np.array([float(len(population))]),
+        )
+        assert est[0] == pytest.approx(n_distinct, rel=0.15)
+
+
+@given(
+    y=st.floats(1.0, 500.0),
+    x_mult=st.floats(1.0, 10.0),
+    xh_mult=st.floats(1.1, 20.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_count_distinct_always_bracketed(y, x_mult, xh_mult):
+    """Property: estimates stay in [y, x̂] and never NaN/inf."""
+    x = y * x_mult
+    x_hat = x * xh_mult
+    est = estimate_count_distinct(
+        np.array([y]), np.array([x]), np.array([x_hat])
+    )
+    assert np.isfinite(est[0])
+    assert y - 1e-9 <= est[0] <= x_hat + 1e-6
+
+
+@given(
+    values=st.lists(st.floats(-1000, 1000), min_size=2, max_size=100),
+    fraction=st.floats(0.1, 1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_sum_estimator_is_linear_scaling(values, fraction):
+    """Property: f_sum equals raw-sum times x̂/x for arbitrary inputs."""
+    arr = np.array(values)
+    x = float(len(arr))
+    x_hat = x / fraction
+    est = estimate_sum(np.array([arr.sum()]), np.array([x]),
+                       np.array([x_hat]))
+    assert est[0] == pytest.approx(arr.sum() / fraction, rel=1e-9,
+                                   abs=1e-6)

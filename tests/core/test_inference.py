@@ -1,0 +1,225 @@
+"""Unit tests for growth-based inference (paper §5.1) including the §4.2
+worked example's extrinsic states and the §6 CI columns."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import AggSpec, DataFrame
+from repro.core.ci import CIConfig, sigma_column
+from repro.core.growth import GrowthModel
+from repro.core.inference import AggregateInference
+from repro.core.state import GroupedAggregateState
+
+
+def students_partition_1():
+    return DataFrame(
+        {"id": np.array([1, 2, 3]), "state": np.array(["IL", "IL", "MI"])}
+    )
+
+
+def students_partition_2():
+    return DataFrame(
+        {"id": np.array([4, 5]), "state": np.array(["IL", "MI"])}
+    )
+
+
+def count_by_state_inference():
+    state = GroupedAggregateState(
+        by=("state",), specs=(AggSpec("count", None, "n"),)
+    )
+    inference = AggregateInference(GrowthModel(prior_w=1.0))
+    return state, inference
+
+
+class TestPaperStudentExample:
+    """§4.2: with 1/10 partitions read and counts [(IL,2),(MI,1)], the
+    extrinsic state scales to [(IL,20),(MI,10)]; after 2/10 partitions and
+    merged counts [(IL,3),(MI,2)] it becomes [(IL,15),(MI,10)]."""
+
+    def test_first_partition_scaling(self):
+        state, inference = count_by_state_inference()
+        state.consume_delta(students_partition_1())
+        out = inference.infer(state, t=0.1)
+        got = dict(zip(out.column("state").tolist(),
+                       out.column("n").tolist()))
+        assert got == {"IL": 20.0, "MI": 10.0}
+
+    def test_second_partition_scaling(self):
+        state, inference = count_by_state_inference()
+        state.consume_delta(students_partition_1())
+        inference.observe(state, 0.1)
+        state.consume_delta(students_partition_2())
+        out = inference.infer(state, t=0.2)
+        got = dict(zip(out.column("state").tolist(),
+                       out.column("n").tolist()))
+        assert got == {"IL": 15.0, "MI": 10.0}
+
+    def test_output_schema_kinds(self):
+        state, inference = count_by_state_inference()
+        state.consume_delta(students_partition_1())
+        out = inference.infer(state, t=0.1)
+        assert out.schema.kind("state").value == "constant"
+        assert out.schema.kind("n").value == "mutable"
+
+
+class TestConvergenceAtFullProgress:
+    """2C convergence: at t=1 every estimator returns the exact value."""
+
+    def full_state(self, specs):
+        frame = DataFrame(
+            {
+                "g": np.array(["a", "a", "b"]),
+                "v": np.array([2.0, 4.0, 10.0]),
+            }
+        )
+        state = GroupedAggregateState(by=("g",), specs=specs)
+        state.consume_delta(frame)
+        return state
+
+    def test_all_aggregates_exact(self):
+        specs = (
+            AggSpec("sum", "v", "s"),
+            AggSpec("count", None, "n"),
+            AggSpec("avg", "v", "m"),
+            AggSpec("min", "v", "lo"),
+            AggSpec("max", "v", "hi"),
+            AggSpec("count_distinct", "v", "d"),
+        )
+        state = self.full_state(specs)
+        inference = AggregateInference(GrowthModel(prior_w=1.0))
+        out = inference.infer(state, t=1.0)
+        row = {
+            g: vals
+            for g, *vals in zip(
+                out.column("g").tolist(),
+                out.column("s").tolist(),
+                out.column("n").tolist(),
+                out.column("m").tolist(),
+                out.column("lo").tolist(),
+                out.column("hi").tolist(),
+                out.column("d").tolist(),
+            )
+        }
+        assert row["a"] == [6.0, 2.0, 3.0, 2.0, 4.0, 2.0]
+        assert row["b"] == [10.0, 1.0, 10.0, 10.0, 10.0, 1.0]
+
+
+class TestScalingBehaviour:
+    def test_sum_scales_with_prior_linear_growth(self):
+        state = GroupedAggregateState(
+            by=(), specs=(AggSpec("sum", "v", "s"),)
+        )
+        state.consume_delta(DataFrame({"v": np.array([5.0, 5.0])}))
+        inference = AggregateInference(GrowthModel(prior_w=1.0))
+        out = inference.infer(state, t=0.25)
+        assert out.column("s")[0] == pytest.approx(40.0)  # 10 / 0.25
+
+    def test_pinned_zero_growth_never_scales(self):
+        state = GroupedAggregateState(
+            by=("g",), specs=(AggSpec("sum", "v", "s"),)
+        )
+        state.consume_delta(
+            DataFrame({"g": np.array(["x"]), "v": np.array([7.0])})
+        )
+        inference = AggregateInference(GrowthModel.pinned(0.0))
+        out = inference.infer(state, t=0.1)
+        assert out.column("s")[0] == pytest.approx(7.0)
+
+    def test_avg_is_scale_free(self):
+        state = GroupedAggregateState(
+            by=(), specs=(AggSpec("avg", "v", "m"),)
+        )
+        state.consume_delta(DataFrame({"v": np.array([2.0, 4.0])}))
+        inference = AggregateInference(GrowthModel(prior_w=1.0))
+        out = inference.infer(state, t=0.2)
+        assert out.column("m")[0] == pytest.approx(3.0)
+
+    def test_fitted_growth_drives_scaling(self):
+        # feed sub-linear growth (w=0.5): at t the mean card is 8*sqrt(t)
+        state = GroupedAggregateState(
+            by=(), specs=(AggSpec("count", None, "n"),)
+        )
+        inference = AggregateInference(GrowthModel(prior_w=1.0))
+        for t, rows in ((0.25, 4), (0.5, 2), (0.75, 2)):
+            # cumulative rows ~ 8*sqrt(t): 4, ~5.66, ~6.93 -> feed deltas
+            state.consume_delta(
+                DataFrame({"v": np.zeros(rows)})
+            )
+            inference.observe(state, t)
+        snap = inference.growth.snapshot()
+        assert 0.2 < snap.w < 0.8  # clearly sub-linear
+
+    def test_count_column_scales_like_sum(self):
+        f = DataFrame({"v": np.array([1.0, np.nan, 3.0, 4.0])})
+        state = GroupedAggregateState(
+            by=(), specs=(AggSpec("count", "v", "n"),)
+        )
+        state.consume_delta(f)
+        inference = AggregateInference(GrowthModel(prior_w=1.0))
+        out = inference.infer(state, t=0.5)
+        # 3 non-nan over 4 rows; xhat = 8 -> 3/4*8 = 6
+        assert out.column("n")[0] == pytest.approx(6.0)
+
+
+class TestCIColumns:
+    def make(self, specs, track_moments=True):
+        state = GroupedAggregateState(
+            by=("g",), specs=specs, track_moments=track_moments
+        )
+        frame = DataFrame(
+            {
+                "g": np.array(["a"] * 50),
+                "v": np.arange(50, dtype=np.float64),
+            }
+        )
+        state.consume_delta(frame)
+        inference = AggregateInference(
+            GrowthModel(prior_w=1.0), ci=CIConfig(0.95)
+        )
+        # two growth observations so Var(w) is defined (still 0 noise)
+        inference.observe(state, 0.25)
+        return state, inference
+
+    def test_sigma_columns_emitted(self):
+        state, inference = self.make((AggSpec("sum", "v", "s"),))
+        out = inference.infer(state, t=0.25)
+        assert sigma_column("s") in out.column_names
+        assert np.isfinite(out.column(sigma_column("s"))[0])
+
+    def test_sum_sigma_positive_when_values_vary(self):
+        state, inference = self.make((AggSpec("sum", "v", "s"),))
+        out = inference.infer(state, t=0.25)
+        assert out.column(sigma_column("s"))[0] > 0.0
+
+    def test_avg_sigma_matches_clt_with_fpc(self):
+        state, inference = self.make((AggSpec("avg", "v", "m"),))
+        out = inference.infer(state, t=0.25)
+        values = np.arange(50, dtype=np.float64)
+        # CLT standard error shrunk by the finite-population factor
+        expected = np.sqrt(np.var(values, ddof=1) / 50 * (1 - 0.25))
+        assert out.column(sigma_column("m"))[0] == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_sigma_vanishes_at_completion(self):
+        state, inference = self.make(
+            (AggSpec("sum", "v", "s"), AggSpec("avg", "v", "m"),
+             AggSpec("count", None, "n"))
+        )
+        out = inference.infer(state, t=1.0)
+        assert out.column(sigma_column("s"))[0] == pytest.approx(0.0)
+        assert out.column(sigma_column("m"))[0] == pytest.approx(0.0)
+        assert out.column(sigma_column("n"))[0] == pytest.approx(0.0)
+
+    def test_min_sigma_is_nan(self):
+        state, inference = self.make((AggSpec("min", "v", "lo"),))
+        out = inference.infer(state, t=0.25)
+        assert np.isnan(out.column(sigma_column("lo"))[0])
+
+    def test_count_distinct_sigma_finite(self):
+        state, inference = self.make(
+            (AggSpec("count_distinct", "v", "d"),)
+        )
+        out = inference.infer(state, t=0.25)
+        assert np.isfinite(out.column(sigma_column("d"))[0])
+        assert out.column(sigma_column("d"))[0] >= 0.0

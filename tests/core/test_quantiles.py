@@ -1,0 +1,162 @@
+"""Tests for median/quantile order statistics (paper §5.3/§5.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import F, WakeContext
+from repro.dataframe import AggSpec, DataFrame, group_aggregate
+from repro.dataframe.groupby import group_quantile
+from repro.core.growth import GrowthModel
+from repro.core.inference import AggregateInference
+from repro.core.state import GroupedAggregateState
+from repro.errors import QueryError
+
+
+class TestAggSpecValidation:
+    def test_quantile_requires_param(self):
+        with pytest.raises(QueryError, match="param"):
+            AggSpec("quantile", "x", "q")
+        with pytest.raises(QueryError, match="param"):
+            AggSpec("quantile", "x", "q", param=1.5)
+
+    def test_median_fraction(self):
+        assert AggSpec("median", "x", "m").quantile_fraction == 0.5
+        assert AggSpec("quantile", "x", "q",
+                       param=0.9).quantile_fraction == 0.9
+
+    def test_non_quantile_fraction_rejected(self):
+        with pytest.raises(QueryError):
+            AggSpec("sum", "x", "s").quantile_fraction
+
+
+class TestGroupQuantileKernel:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 4, size=200).astype(np.int64)
+        values = rng.normal(size=200)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            got = group_quantile(codes, 4, values, q)
+            for g in range(4):
+                expected = np.quantile(values[codes == g], q)
+                assert got[g] == pytest.approx(expected)
+
+    def test_empty_group_nan(self):
+        got = group_quantile(np.array([0]), 2, np.array([5.0]), 0.5)
+        assert got[0] == 5.0
+        assert np.isnan(got[1])
+
+    def test_empty_input(self):
+        got = group_quantile(np.empty(0, dtype=np.int64), 3,
+                             np.empty(0), 0.5)
+        assert np.isnan(got).all()
+
+
+class TestGroupAggregateMedian:
+    def test_exact_median(self):
+        f = DataFrame(
+            {
+                "g": np.array(["a"] * 5 + ["b"] * 4),
+                "v": np.array([1.0, 2.0, 3.0, 4.0, 100.0,
+                               10.0, 20.0, 30.0, 40.0]),
+            }
+        )
+        out = group_aggregate(
+            f, ["g"],
+            [AggSpec("median", "v", "med"),
+             AggSpec("quantile", "v", "p75", param=0.75)],
+        )
+        med = dict(zip(out.column("g").tolist(),
+                       out.column("med").tolist()))
+        assert med == {"a": 3.0, "b": 25.0}
+
+
+class TestIncrementalQuantiles:
+    def test_value_buffer_merges_to_exact(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=300)
+        frame = DataFrame(
+            {"g": np.zeros(300, dtype=np.int64), "v": values}
+        )
+        state = GroupedAggregateState(
+            by=("g",), specs=(AggSpec("median", "v", "med"),)
+        )
+        for start in range(0, 300, 50):
+            state.consume_delta(frame.slice(start, start + 50))
+        got = state.sample_quantiles(state.specs[0])
+        assert got[0] == pytest.approx(np.median(values))
+
+    def test_inference_emits_sample_quantile(self):
+        frame = DataFrame(
+            {"v": np.array([1.0, 2.0, 3.0, 4.0, 5.0])}
+        )
+        state = GroupedAggregateState(
+            by=(), specs=(AggSpec("median", "v", "med"),)
+        )
+        state.consume_delta(frame)
+        inference = AggregateInference(GrowthModel(prior_w=1.0))
+        out = inference.infer(state, t=0.5)
+        assert out.column("med")[0] == 3.0  # identity, no scaling
+
+    def test_snapshot_reset_clears_buffer(self):
+        state = GroupedAggregateState(
+            by=(), specs=(AggSpec("median", "v", "med"),)
+        )
+        state.consume_delta(DataFrame({"v": np.array([100.0] * 10)}))
+        state.consume_snapshot(DataFrame({"v": np.array([1.0, 3.0])}))
+        assert state.sample_quantiles(state.specs[0])[0] == 2.0
+
+
+class TestEndToEnd:
+    def test_engine_median_converges(self, catalog, sales_frame):
+        ctx = WakeContext(catalog)
+        plan = ctx.table("sales").agg(
+            F.median("qty").alias("med"),
+            F.quantile("qty", 0.9).alias("p90"),
+            by=["region"],
+        )
+        edf = ctx.run(plan)
+        final = edf.get_final()
+        for region in ("east", "west"):
+            keep = sales_frame.column("region") == region
+            idx = final.column("region").tolist().index(region)
+            assert final.column("med")[idx] == pytest.approx(
+                np.median(sales_frame.column("qty")[keep])
+            )
+            assert final.column("p90")[idx] == pytest.approx(
+                np.quantile(sales_frame.column("qty")[keep], 0.9)
+            )
+
+    def test_estimates_track_sample(self, catalog):
+        """Intermediate medians are the sample median of observed rows
+        (the paper's f_order identity estimator)."""
+        ctx = WakeContext(catalog)
+        plan = ctx.table("sales").agg(F.median("qty").alias("med"))
+        edf = ctx.run(plan)
+        assert len(edf) >= 2
+        for snapshot in edf.snapshots:
+            assert np.isfinite(snapshot.frame.column("med")[0])
+
+
+@given(
+    values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=120),
+    n_parts=st.integers(1, 6),
+    q=st.sampled_from([0.1, 0.5, 0.9]),
+)
+@settings(max_examples=40, deadline=None)
+def test_quantile_merge_invariance(values, n_parts, q):
+    """Property: quantile over any partitioning equals one-shot numpy."""
+    frame = DataFrame(
+        {"g": np.zeros(len(values), dtype=np.int64),
+         "v": np.array(values, dtype=np.float64)}
+    )
+    state = GroupedAggregateState(
+        by=("g",), specs=(AggSpec("quantile", "v", "q", param=q),)
+    )
+    bounds = np.linspace(0, len(values), n_parts + 1).astype(int)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        state.consume_delta(frame.slice(int(lo), int(hi)))
+    got = state.sample_quantiles(state.specs[0])[0]
+    assert got == pytest.approx(np.quantile(np.array(values), q),
+                                rel=1e-9, abs=1e-9)

@@ -1,0 +1,67 @@
+"""Unit tests for date helpers."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe.dates import (
+    add_months,
+    add_years,
+    date,
+    date_str,
+    dates,
+    years_of,
+)
+
+
+class TestRoundTrip:
+    def test_epoch(self):
+        assert date("1970-01-01") == 0
+        assert date_str(0) == "1970-01-01"
+
+    @pytest.mark.parametrize(
+        "iso", ["1992-01-02", "1995-06-17", "1998-12-01", "2000-02-29"]
+    )
+    def test_roundtrip(self, iso):
+        assert date_str(date(iso)) == iso
+
+    def test_ordering(self):
+        assert date("1994-01-01") < date("1994-01-02") < date("1995-01-01")
+
+    def test_vectorized(self):
+        arr = dates(["1970-01-01", "1970-01-11"])
+        assert arr.tolist() == [0, 10]
+        assert arr.dtype == np.int64
+
+
+class TestIntervalArithmetic:
+    def test_add_months_simple(self):
+        assert date_str(add_months(date("1993-07-01"), 3)) == "1993-10-01"
+
+    def test_add_months_year_rollover(self):
+        assert date_str(add_months(date("1993-11-15"), 3)) == "1994-02-15"
+
+    def test_add_months_clamps_day(self):
+        assert date_str(add_months(date("1993-01-31"), 1)) == "1993-02-28"
+        assert date_str(add_months(date("1996-01-31"), 1)) == "1996-02-29"
+
+    def test_add_months_negative(self):
+        assert date_str(add_months(date("1994-03-31"), -1)) == "1994-02-28"
+
+    def test_add_years(self):
+        assert date_str(add_years(date("1994-01-01"), 1)) == "1995-01-01"
+        assert date_str(add_years(date("1996-02-29"), 1)) == "1997-02-28"
+
+    def test_tpch_q1_predicate_shape(self):
+        # l_shipdate <= date '1998-12-01' - interval '90' day
+        cutoff = date("1998-12-01") - 90
+        assert date_str(cutoff) == "1998-09-02"
+
+
+class TestYearExtraction:
+    def test_years_of(self):
+        arr = dates(["1992-12-31", "1993-01-01", "1997-06-15"])
+        assert years_of(arr).tolist() == [1992, 1993, 1997]
+
+    def test_years_of_epoch_boundary(self):
+        assert years_of(np.array([0, 364, 365])).tolist() == [
+            1970, 1970, 1971]

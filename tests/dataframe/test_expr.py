@@ -1,0 +1,135 @@
+"""Unit tests for the expression language."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, col, date, lit, when
+from repro.errors import ColumnNotFoundError
+
+
+@pytest.fixture
+def frame():
+    return DataFrame(
+        {
+            "x": np.array([1.0, 2.0, 3.0, 4.0]),
+            "y": np.array([10, 20, 30, 40]),
+            "s": np.array(["apple", "banana", "cherry", "apricot"]),
+            "d": np.array(
+                [date("1994-01-01"), date("1994-06-15"),
+                 date("1995-01-01"), date("1996-03-01")]
+            ),
+        }
+    )
+
+
+class TestArithmetic:
+    def test_add_sub_mul_div(self, frame):
+        assert (col("x") + 1).evaluate(frame).tolist() == [2, 3, 4, 5]
+        assert (col("x") - col("x")).evaluate(frame).tolist() == [0] * 4
+        assert (col("x") * 2).evaluate(frame).tolist() == [2, 4, 6, 8]
+        assert (col("y") / 10).evaluate(frame).tolist() == [1, 2, 3, 4]
+
+    def test_reflected_ops(self, frame):
+        assert (1 + col("x")).evaluate(frame).tolist() == [2, 3, 4, 5]
+        assert (10 - col("x")).evaluate(frame).tolist() == [9, 8, 7, 6]
+        assert (2 * col("x")).evaluate(frame).tolist() == [2, 4, 6, 8]
+        np.testing.assert_allclose(
+            (12 / col("x")).evaluate(frame), [12, 6, 4, 3]
+        )
+
+    def test_neg_abs(self, frame):
+        assert (-col("x")).evaluate(frame).tolist() == [-1, -2, -3, -4]
+        assert (-col("x")).abs().evaluate(frame).tolist() == [1, 2, 3, 4]
+
+    def test_tpch_revenue_shape(self, frame):
+        # l_extendedprice * (1 - l_discount) pattern
+        expr = col("x") * (lit(1.0) - col("x") / 10)
+        np.testing.assert_allclose(
+            expr.evaluate(frame), [0.9, 1.6, 2.1, 2.4]
+        )
+
+
+class TestComparisons:
+    def test_ordering(self, frame):
+        assert (col("x") > 2).evaluate(frame).tolist() == [
+            False, False, True, True]
+        assert (col("x") >= 2).evaluate(frame).tolist() == [
+            False, True, True, True]
+        assert (col("x") < 2).evaluate(frame).tolist() == [
+            True, False, False, False]
+        assert (col("x") <= 2).evaluate(frame).tolist() == [
+            True, True, False, False]
+
+    def test_equality(self, frame):
+        assert (col("s") == "banana").evaluate(frame).tolist() == [
+            False, True, False, False]
+        assert (col("s") != "banana").evaluate(frame).tolist() == [
+            True, False, True, True]
+
+    def test_boolean_combinators(self, frame):
+        both = (col("x") > 1) & (col("x") < 4)
+        assert both.evaluate(frame).tolist() == [False, True, True, False]
+        either = (col("x") <= 1) | (col("x") >= 4)
+        assert either.evaluate(frame).tolist() == [True, False, False, True]
+        assert (~(col("x") > 1)).evaluate(frame).tolist() == [
+            True, False, False, False]
+
+
+class TestStringOps:
+    def test_startswith(self, frame):
+        assert col("s").startswith("ap").evaluate(frame).tolist() == [
+            True, False, False, True]
+
+    def test_endswith(self, frame):
+        assert col("s").endswith("y").evaluate(frame).tolist() == [
+            False, False, True, False]
+
+    def test_contains(self, frame):
+        assert col("s").contains("an").evaluate(frame).tolist() == [
+            False, True, False, False]
+
+    def test_isin(self, frame):
+        mask = col("s").isin(["apple", "cherry"]).evaluate(frame)
+        assert mask.tolist() == [True, False, True, False]
+
+
+class TestDatesAndCase:
+    def test_between(self, frame):
+        in_1994 = col("d").between(date("1994-01-01"), date("1995-01-01"))
+        assert in_1994.evaluate(frame).tolist() == [True, True, False, False]
+
+    def test_year(self, frame):
+        assert col("d").year().evaluate(frame).tolist() == [
+            1994, 1994, 1995, 1996]
+
+    def test_when(self, frame):
+        expr = when(col("x") > 2, col("y"), 0)
+        assert expr.evaluate(frame).tolist() == [0, 0, 30, 40]
+
+    def test_when_nested_columns(self, frame):
+        expr = when(col("s") == "banana", col("x") * 100, col("x"))
+        assert expr.evaluate(frame).tolist() == [1.0, 200.0, 3.0, 4.0]
+
+
+class TestColumnsTracking:
+    def test_columns_of_composite(self):
+        expr = (col("a") + col("b")) > col("c")
+        assert expr.columns() == frozenset({"a", "b", "c"})
+
+    def test_literal_has_no_columns(self):
+        assert lit(5).columns() == frozenset()
+
+    def test_string_and_isin_track(self):
+        assert col("s").contains("x").columns() == frozenset({"s"})
+        assert col("s").isin(["a"]).columns() == frozenset({"s"})
+        assert col("d").year().columns() == frozenset({"d"})
+        assert when(col("a") > 1, col("b"), col("c")).columns() == frozenset(
+            {"a", "b", "c"})
+
+    def test_missing_column_raises_at_eval(self, frame):
+        with pytest.raises(ColumnNotFoundError):
+            col("nope").evaluate(frame)
+
+    def test_repr_is_informative(self):
+        text = repr((col("a") + 1) > 2)
+        assert "col('a')" in text and ">" in text

@@ -1,0 +1,195 @@
+"""Unit tests for the columnar DataFrame."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import AttributeKind, DataFrame, DType, Field, Schema
+from repro.errors import ColumnNotFoundError, SchemaError
+
+
+@pytest.fixture
+def frame():
+    return DataFrame(
+        {
+            "k": np.array([1, 2, 3, 4]),
+            "name": np.array(["a", "b", "c", "d"]),
+            "v": np.array([1.0, 2.0, 3.0, 4.0]),
+        }
+    )
+
+
+class TestConstruction:
+    def test_infers_schema(self, frame):
+        assert frame.schema.dtype("k") == DType.INT64
+        assert frame.schema.dtype("name") == DType.STRING
+        assert frame.schema.dtype("v") == DType.FLOAT64
+        assert frame.n_rows == 4
+        assert len(frame) == 4
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError, match="length"):
+            DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_2d_rejected(self):
+        with pytest.raises(SchemaError, match="1-D"):
+            DataFrame({"a": np.zeros((2, 2))})
+
+    def test_object_strings_normalized(self):
+        f = DataFrame({"s": np.array(["x", "yy"], dtype=object)})
+        assert f.column("s").dtype.kind == "U"
+
+    def test_explicit_schema_name_mismatch(self):
+        schema = Schema([Field("other", DType.INT64)])
+        with pytest.raises(SchemaError, match="schema names"):
+            DataFrame({"a": [1]}, schema=schema)
+
+    def test_empty(self):
+        schema = Schema([Field("a", DType.INT64), Field("s", DType.STRING)])
+        f = DataFrame.empty(schema)
+        assert f.n_rows == 0
+        assert f.schema == schema
+
+    def test_from_rows(self):
+        f = DataFrame.from_rows(["a", "b"], [(1, "x"), (2, "y")])
+        assert f.column("a").tolist() == [1, 2]
+        assert f.column("b").tolist() == ["x", "y"]
+
+    def test_from_rows_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            DataFrame.from_rows(["a"], [])
+
+
+class TestAccess:
+    def test_column_and_getitem(self, frame):
+        assert frame.column("k").tolist() == [1, 2, 3, 4]
+        assert frame["k"].tolist() == [1, 2, 3, 4]
+        assert "k" in frame and "zz" not in frame
+
+    def test_missing_column(self, frame):
+        with pytest.raises(ColumnNotFoundError, match="missing"):
+            frame.column("missing")
+
+    def test_row_and_records(self, frame):
+        assert frame.row(1) == {"k": 2, "name": "b", "v": 2.0}
+        assert frame.to_records()[0] == (1, "a", 1.0)
+        assert list(frame.iter_rows())[-1] == (4, "d", 4.0)
+
+    def test_to_pydict(self, frame):
+        d = frame.to_pydict()
+        assert d["name"] == ["a", "b", "c", "d"]
+
+    def test_nbytes_positive(self, frame):
+        assert frame.nbytes() > 0
+
+
+class TestProjection:
+    def test_select_orders(self, frame):
+        out = frame.select(["v", "k"])
+        assert out.column_names == ("v", "k")
+
+    def test_drop(self, frame):
+        assert frame.drop(["name"]).column_names == ("k", "v")
+
+    def test_rename(self, frame):
+        out = frame.rename({"k": "key"})
+        assert out.column_names == ("key", "name", "v")
+        with pytest.raises(ColumnNotFoundError):
+            frame.rename({"zzz": "a"})
+
+    def test_with_column_appends(self, frame):
+        out = frame.with_column("w", frame["v"] * 2)
+        assert out.column("w").tolist() == [2.0, 4.0, 6.0, 8.0]
+        assert out.schema.kind("w") == AttributeKind.CONSTANT
+
+    def test_with_column_replaces(self, frame):
+        out = frame.with_column("v", np.zeros(4))
+        assert out.column("v").tolist() == [0.0] * 4
+        assert out.column_names == frame.column_names
+
+    def test_with_column_mutable_kind(self, frame):
+        out = frame.with_column("est", np.ones(4), kind=AttributeKind.MUTABLE)
+        assert out.schema.kind("est") == AttributeKind.MUTABLE
+
+    def test_with_column_wrong_length(self, frame):
+        with pytest.raises(SchemaError, match="length"):
+            frame.with_column("bad", np.zeros(3))
+
+    def test_with_column_preserves_date_type(self):
+        schema = Schema([Field("d", DType.DATE)])
+        f = DataFrame({"d": np.array([10], dtype=np.int64)}, schema=schema)
+        out = f.with_column("d", np.array([20], dtype=np.int64))
+        assert out.schema.dtype("d") == DType.DATE
+
+
+class TestRowSelection:
+    def test_take(self, frame):
+        out = frame.take(np.array([3, 0]))
+        assert out.column("k").tolist() == [4, 1]
+        assert out.schema == frame.schema
+
+    def test_mask(self, frame):
+        out = frame.mask(frame["v"] > 2.5)
+        assert out.column("k").tolist() == [3, 4]
+
+    def test_mask_wrong_length(self, frame):
+        with pytest.raises(SchemaError):
+            frame.mask(np.array([True]))
+
+    def test_slice_and_head(self, frame):
+        assert frame.slice(1, 3).column("k").tolist() == [2, 3]
+        assert frame.head(2).n_rows == 2
+        assert frame.head(0).n_rows == 0
+        assert frame.head(100).n_rows == 4
+
+
+class TestConcat:
+    def test_concat_two(self, frame):
+        out = DataFrame.concat([frame, frame])
+        assert out.n_rows == 8
+        assert out.column("k").tolist() == [1, 2, 3, 4, 1, 2, 3, 4]
+
+    def test_concat_single_returns_same(self, frame):
+        assert DataFrame.concat([frame]) is frame
+
+    def test_concat_empty_list_rejected(self):
+        with pytest.raises(SchemaError):
+            DataFrame.concat([])
+
+    def test_concat_layout_mismatch(self, frame):
+        other = frame.rename({"k": "key"})
+        with pytest.raises(SchemaError, match="layout"):
+            DataFrame.concat([frame, other])
+
+    def test_concat_string_width_promotion(self):
+        a = DataFrame({"s": np.array(["x"])})
+        b = DataFrame({"s": np.array(["longer-string"])})
+        out = DataFrame.concat([a, b])
+        assert out.column("s").tolist() == ["x", "longer-string"]
+
+
+class TestEquality:
+    def test_equals_exact(self, frame):
+        assert frame.equals(frame.select(list(frame.column_names)))
+
+    def test_equals_float_tolerance(self, frame):
+        bumped = frame.with_column("v", frame["v"] + 1e-13)
+        assert frame.equals(bumped)
+        moved = frame.with_column("v", frame["v"] + 1.0)
+        assert not frame.equals(moved)
+
+    def test_equals_nan(self):
+        a = DataFrame({"v": np.array([np.nan, 1.0])})
+        assert a.equals(DataFrame({"v": np.array([np.nan, 1.0])}))
+
+    def test_not_equals_layout(self, frame):
+        assert not frame.equals(frame.drop(["v"]))
+        assert not frame.equals(frame.head(2))
+
+    def test_repr_contains_preview(self, frame):
+        text = repr(frame)
+        assert "DataFrame[4 rows]" in text
+        assert "k:int64" in text
+
+    def test_repr_truncates(self):
+        f = DataFrame({"a": np.arange(20)})
+        assert "more rows" in repr(f)

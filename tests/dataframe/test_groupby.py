@@ -1,0 +1,305 @@
+"""Unit + property tests for group-by kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import AggSpec, DataFrame
+from repro.dataframe.groupby import (
+    factorize,
+    global_aggregate,
+    group_aggregate,
+    group_codes,
+    group_count,
+    group_max,
+    group_min,
+    group_nunique,
+    group_sum,
+    group_var_components,
+    merge_var_components,
+)
+from repro.dataframe.schema import AttributeKind
+from repro.errors import QueryError, SchemaError
+
+
+@pytest.fixture
+def sales():
+    return DataFrame(
+        {
+            "state": np.array(["IL", "IL", "MI", "IL", "MI", "CA"]),
+            "city": np.array(["c1", "c1", "d1", "c2", "d1", "e1"]),
+            "amount": np.array([10.0, 20.0, 5.0, 7.0, 3.0, 100.0]),
+            "qty": np.array([1, 2, 3, 4, 5, 6]),
+        }
+    )
+
+
+class TestAggSpec:
+    def test_validates_function(self):
+        with pytest.raises(QueryError, match="unknown aggregate"):
+            AggSpec("mode", "x", "m")
+
+    def test_count_allows_no_column(self):
+        spec = AggSpec("count", None, "n")
+        assert spec.column is None
+
+    def test_non_count_requires_column(self):
+        with pytest.raises(QueryError, match="requires a column"):
+            AggSpec("sum", None, "s")
+
+
+class TestFactorize:
+    def test_roundtrip(self):
+        codes, uniques = factorize(np.array(["b", "a", "b", "c"]))
+        assert uniques.tolist() == ["a", "b", "c"]
+        assert (uniques[codes] == np.array(["b", "a", "b", "c"])).all()
+
+    def test_ints(self):
+        codes, uniques = factorize(np.array([5, 5, 1]))
+        assert uniques.tolist() == [1, 5]
+        assert codes.tolist() == [1, 1, 0]
+
+
+class TestGroupCodes:
+    def test_single_key(self, sales):
+        codes, keys, n = group_codes(sales, ["state"])
+        assert n == 3
+        assert sorted(keys.column("state").tolist()) == ["CA", "IL", "MI"]
+        # every row's code maps back to its own key value
+        for row, code in enumerate(codes):
+            assert keys.column("state")[code] == sales.column("state")[row]
+
+    def test_multi_key(self, sales):
+        codes, keys, n = group_codes(sales, ["state", "city"])
+        assert n == 4
+        pairs = set(zip(keys.column("state").tolist(),
+                        keys.column("city").tolist()))
+        assert pairs == {("IL", "c1"), ("IL", "c2"), ("MI", "d1"),
+                         ("CA", "e1")}
+        assert len(codes) == sales.n_rows
+
+    def test_empty_frame(self):
+        empty = DataFrame({"k": np.array([], dtype=np.int64)})
+        codes, keys, n = group_codes(empty, ["k"])
+        assert n == 0
+        assert len(codes) == 0
+        assert keys.n_rows == 0
+
+    def test_requires_keys(self, sales):
+        with pytest.raises(QueryError):
+            group_codes(sales, [])
+
+
+class TestKernels:
+    def test_group_sum_skips_nan(self):
+        codes = np.array([0, 0, 1])
+        vals = np.array([1.0, np.nan, 2.0])
+        assert group_sum(codes, 2, vals).tolist() == [1.0, 2.0]
+
+    def test_group_count_with_valid_mask(self):
+        codes = np.array([0, 0, 1])
+        valid = np.array([True, False, True])
+        assert group_count(codes, 2, valid).tolist() == [1, 1]
+
+    def test_group_min_max(self):
+        codes = np.array([1, 0, 1, 0])
+        vals = np.array([5.0, 2.0, 3.0, 8.0])
+        assert group_min(codes, 2, vals).tolist() == [2.0, 3.0]
+        assert group_max(codes, 2, vals).tolist() == [8.0, 5.0]
+
+    def test_group_min_missing_group_is_nan(self):
+        codes = np.array([0])
+        out = group_min(codes, 2, np.array([1.0]))
+        assert out[0] == 1.0
+        assert np.isnan(out[1])
+
+    def test_group_nunique(self):
+        codes = np.array([0, 0, 0, 1, 1])
+        vals = np.array([7, 7, 8, 9, 9])
+        assert group_nunique(codes, 2, vals).tolist() == [2, 1]
+
+    def test_group_nunique_empty(self):
+        assert group_nunique(
+            np.empty(0, dtype=np.int64), 3, np.empty(0)
+        ).tolist() == [0, 0, 0]
+
+    def test_var_components_match_numpy(self):
+        codes = np.array([0, 0, 0, 1, 1])
+        vals = np.array([1.0, 2.0, 4.0, 10.0, 20.0])
+        count, total, m2 = group_var_components(codes, 2, vals)
+        assert count.tolist() == [3.0, 2.0]
+        assert total.tolist() == [7.0, 30.0]
+        np.testing.assert_allclose(
+            m2[0], np.var(vals[:3]) * 3, rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            m2[1], np.var(vals[3:]) * 2, rtol=1e-12
+        )
+
+    def test_merge_var_components_equals_direct(self):
+        rng = np.random.default_rng(0)
+        a_vals = rng.normal(size=50)
+        b_vals = rng.normal(size=70)
+        zero = np.zeros(1, dtype=np.int64)
+        a = group_var_components(np.zeros(50, dtype=np.int64), 1, a_vals)
+        b = group_var_components(np.zeros(70, dtype=np.int64), 1, b_vals)
+        n, s, m2 = merge_var_components(a, b)
+        direct = group_var_components(
+            np.zeros(120, dtype=np.int64), 1, np.concatenate([a_vals, b_vals])
+        )
+        np.testing.assert_allclose(n, direct[0])
+        np.testing.assert_allclose(s, direct[1])
+        np.testing.assert_allclose(m2, direct[2], rtol=1e-9)
+        del zero
+
+
+class TestGroupAggregate:
+    def test_basic_sums(self, sales):
+        out = group_aggregate(
+            sales, ["state"], [AggSpec("sum", "amount", "total")]
+        )
+        d = dict(zip(out.column("state").tolist(),
+                     out.column("total").tolist()))
+        assert d == {"IL": 37.0, "MI": 8.0, "CA": 100.0}
+
+    def test_aggregates_marked_mutable(self, sales):
+        out = group_aggregate(
+            sales, ["state"], [AggSpec("sum", "amount", "total")]
+        )
+        assert out.schema.kind("total") == AttributeKind.MUTABLE
+        assert out.schema.kind("state") == AttributeKind.CONSTANT
+
+    def test_multiple_aggs(self, sales):
+        out = group_aggregate(
+            sales,
+            ["state"],
+            [
+                AggSpec("count", None, "n"),
+                AggSpec("avg", "amount", "mean_amt"),
+                AggSpec("min", "qty", "min_q"),
+                AggSpec("max", "qty", "max_q"),
+                AggSpec("count_distinct", "city", "cities"),
+            ],
+        )
+        row = {
+            s: (n, m, mn, mx, c)
+            for s, n, m, mn, mx, c in zip(
+                out.column("state").tolist(),
+                out.column("n").tolist(),
+                out.column("mean_amt").tolist(),
+                out.column("min_q").tolist(),
+                out.column("max_q").tolist(),
+                out.column("cities").tolist(),
+            )
+        }
+        assert row["IL"] == (3, 37.0 / 3, 1.0, 4.0, 2)
+        assert row["MI"] == (2, 4.0, 3.0, 5.0, 1)
+        assert row["CA"] == (1, 100.0, 6.0, 6.0, 1)
+
+    def test_var_and_stddev(self, sales):
+        out = group_aggregate(
+            sales,
+            ["state"],
+            [AggSpec("var", "amount", "v"), AggSpec("stddev", "amount", "s")],
+        )
+        d = dict(zip(out.column("state").tolist(), out.column("v").tolist()))
+        np.testing.assert_allclose(
+            d["MI"], np.var([5.0, 3.0], ddof=1), rtol=1e-12
+        )
+        s = dict(zip(out.column("state").tolist(), out.column("s").tolist()))
+        np.testing.assert_allclose(s["MI"], np.sqrt(d["MI"]), rtol=1e-12)
+        # single-row group: sample variance undefined -> NaN
+        assert np.isnan(d["CA"])
+
+    def test_requires_specs(self, sales):
+        with pytest.raises(QueryError):
+            group_aggregate(sales, ["state"], [])
+
+    def test_duplicate_aliases_rejected(self, sales):
+        with pytest.raises(SchemaError, match="duplicate"):
+            group_aggregate(
+                sales,
+                ["state"],
+                [AggSpec("sum", "amount", "x"), AggSpec("count", None, "x")],
+            )
+
+    def test_count_skips_nan_column(self):
+        f = DataFrame(
+            {"k": np.array([1, 1, 2]), "v": np.array([1.0, np.nan, 2.0])}
+        )
+        out = group_aggregate(f, ["k"], [AggSpec("count", "v", "n")])
+        assert out.column("n").tolist() == [1, 1]
+
+
+class TestGlobalAggregate:
+    def test_single_row(self, sales):
+        out = global_aggregate(
+            sales,
+            [AggSpec("sum", "amount", "total"), AggSpec("count", None, "n")],
+        )
+        assert out.n_rows == 1
+        assert out.column("total")[0] == pytest.approx(145.0)
+        assert out.column("n")[0] == 6
+
+    def test_empty_frame(self):
+        f = DataFrame({"v": np.array([], dtype=np.float64)})
+        out = global_aggregate(
+            f, [AggSpec("sum", "v", "s"), AggSpec("count", None, "n")]
+        )
+        assert out.column("s")[0] == 0.0
+        assert out.column("n")[0] == 0
+
+
+# ---------------------------------------------------------------------------
+# Property tests: the mergeability law op(d1 ∪ d2) == op(d1) ⊎ op(d2)
+# (paper §4.3) for the bincount-based kernels.
+# ---------------------------------------------------------------------------
+
+group_values = st.lists(
+    st.tuples(st.integers(0, 5), st.floats(-100, 100)), min_size=1,
+    max_size=60,
+)
+
+
+@given(group_values, group_values)
+@settings(max_examples=60, deadline=None)
+def test_sum_is_mergeable(part_a, part_b):
+    def frame(rows):
+        ks, vs = zip(*rows)
+        return DataFrame({"k": np.array(ks), "v": np.array(vs)})
+
+    both = group_aggregate(
+        DataFrame.concat([frame(part_a), frame(part_b)]),
+        ["k"],
+        [AggSpec("sum", "v", "s"), AggSpec("count", None, "n")],
+    )
+    merged: dict[int, tuple[float, int]] = {}
+    for rows in (part_a, part_b):
+        agg = group_aggregate(
+            frame(rows), ["k"], [AggSpec("sum", "v", "s"),
+                                 AggSpec("count", None, "n")]
+        )
+        for k, s, n in zip(agg.column("k").tolist(), agg.column("s").tolist(),
+                           agg.column("n").tolist()):
+            prev = merged.get(k, (0.0, 0))
+            merged[k] = (prev[0] + s, prev[1] + n)
+    for k, s, n in zip(both.column("k").tolist(), both.column("s").tolist(),
+                       both.column("n").tolist()):
+        assert merged[k][1] == n
+        assert merged[k][0] == pytest.approx(s, rel=1e-9, abs=1e-7)
+
+
+@given(group_values)
+@settings(max_examples=60, deadline=None)
+def test_group_sum_matches_python(rows):
+    ks, vs = zip(*rows)
+    f = DataFrame({"k": np.array(ks), "v": np.array(vs)})
+    out = group_aggregate(f, ["k"], [AggSpec("sum", "v", "s")])
+    expected: dict[int, float] = {}
+    for k, v in rows:
+        expected[k] = expected.get(k, 0.0) + v
+    got = dict(zip(out.column("k").tolist(), out.column("s").tolist()))
+    assert set(got) == set(expected)
+    for k in expected:
+        assert got[k] == pytest.approx(expected[k], rel=1e-9, abs=1e-7)

@@ -1,0 +1,218 @@
+"""Unit + property tests for join kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import DataFrame, DType, hash_join, merge_join
+from repro.dataframe.join import (
+    anti_join_mask,
+    inner_join_indices,
+    match_counts,
+    semi_join_mask,
+    shared_codes,
+)
+from repro.errors import QueryError, SchemaError
+
+
+@pytest.fixture
+def orders():
+    return DataFrame(
+        {
+            "okey": np.array([1, 2, 3, 4]),
+            "cust": np.array([10, 20, 10, 30]),
+            "total": np.array([5.0, 6.0, 7.0, 8.0]),
+        }
+    )
+
+
+@pytest.fixture
+def customers():
+    return DataFrame(
+        {
+            "ckey": np.array([10, 20, 40]),
+            "name": np.array(["alice", "bob", "dora"]),
+        }
+    )
+
+
+class TestSharedCodes:
+    def test_alignment(self):
+        left = [np.array([1, 2, 3])]
+        right = [np.array([3, 1])]
+        lc, rc = shared_codes(left, right)
+        assert lc[0] == rc[1]  # value 1
+        assert lc[2] == rc[0]  # value 3
+
+    def test_multi_column(self):
+        lc, rc = shared_codes(
+            [np.array([1, 1]), np.array(["a", "b"])],
+            [np.array([1]), np.array(["b"])],
+        )
+        assert lc[1] == rc[0]
+        assert lc[0] != rc[0]
+
+    def test_incompatible_dtypes(self):
+        with pytest.raises(SchemaError):
+            shared_codes([np.array([1])], [np.array(["a"])])
+
+    def test_int_float_compatible(self):
+        lc, rc = shared_codes([np.array([1, 2])], [np.array([2.0])])
+        assert lc[1] == rc[0]
+
+    def test_requires_keys(self):
+        with pytest.raises(QueryError):
+            shared_codes([], [])
+
+
+class TestIndexKernels:
+    def test_inner_indices(self):
+        li, ri = inner_join_indices(np.array([0, 1, 2]), np.array([1, 1, 3]))
+        pairs = set(zip(li.tolist(), ri.tolist()))
+        assert pairs == {(1, 0), (1, 1)}
+
+    def test_inner_no_matches(self):
+        li, ri = inner_join_indices(np.array([0]), np.array([9]))
+        assert len(li) == 0 and len(ri) == 0
+
+    def test_match_counts(self):
+        counts = match_counts(np.array([5, 6, 7]), np.array([6, 6, 9]))
+        assert counts.tolist() == [0, 2, 0]
+
+    def test_semi_anti_masks(self):
+        left = np.array([1, 2, 3])
+        right = np.array([2, 2])
+        assert semi_join_mask(left, right).tolist() == [False, True, False]
+        assert anti_join_mask(left, right).tolist() == [True, False, True]
+
+
+class TestHashJoin:
+    def test_inner(self, orders, customers):
+        out = hash_join(orders, customers, ["cust"], ["ckey"])
+        assert out.n_rows == 3
+        got = set(zip(out.column("okey").tolist(), out.column("name").tolist()))
+        assert got == {(1, "alice"), (3, "alice"), (2, "bob")}
+        # key column from the right side is dropped
+        assert "ckey" not in out.column_names
+
+    def test_inner_one_to_many(self, orders, customers):
+        out = hash_join(customers, orders, ["ckey"], ["cust"])
+        assert out.n_rows == 3
+        alice_orders = {
+            o for c, o in zip(out.column("name").tolist(),
+                              out.column("okey").tolist())
+            if c == "alice"
+        }
+        assert alice_orders == {1, 3}
+
+    def test_left_join_fills(self, orders, customers):
+        out = hash_join(orders, customers, ["cust"], ["ckey"], how="left")
+        assert out.n_rows == 4
+        by_okey = {
+            k: n for k, n in zip(out.column("okey").tolist(),
+                                 out.column("name").tolist())
+        }
+        assert by_okey[4] == ""  # unmatched string fill
+
+    def test_left_join_numeric_promotion(self, customers, orders):
+        out = hash_join(customers, orders, ["ckey"], ["cust"], how="left")
+        assert out.schema.dtype("okey") == DType.FLOAT64
+        dora = out.mask(out.column("name") == "dora")
+        assert np.isnan(dora.column("okey")).all()
+
+    def test_semi(self, orders, customers):
+        out = hash_join(orders, customers, ["cust"], ["ckey"], how="semi")
+        assert sorted(out.column("okey").tolist()) == [1, 2, 3]
+        assert out.column_names == orders.column_names
+
+    def test_anti(self, orders, customers):
+        out = hash_join(orders, customers, ["cust"], ["ckey"], how="anti")
+        assert out.column("okey").tolist() == [4]
+
+    def test_unknown_method(self, orders, customers):
+        with pytest.raises(QueryError, match="unknown join method"):
+            hash_join(orders, customers, ["cust"], ["ckey"], how="outer")
+
+    def test_name_collision_suffix(self):
+        left = DataFrame({"k": np.array([1]), "v": np.array([1.0])})
+        right = DataFrame({"k": np.array([1]), "v": np.array([2.0])})
+        out = hash_join(left, right, ["k"], ["k"])
+        assert out.column("v").tolist() == [1.0]
+        assert out.column("v_right").tolist() == [2.0]
+
+    def test_name_collision_failure(self):
+        left = DataFrame(
+            {"k": np.array([1]), "v": np.array([1.0]),
+             "v_x": np.array([0.0])}
+        )
+        right = DataFrame({"k": np.array([1]), "v": np.array([2.0])})
+        with pytest.raises(SchemaError, match="collides"):
+            hash_join(left, right, ["k"], ["k"], suffix="_x")
+
+    def test_multi_key_join(self):
+        left = DataFrame(
+            {"a": np.array([1, 1, 2]), "b": np.array(["x", "y", "x"]),
+             "v": np.array([1.0, 2.0, 3.0])}
+        )
+        right = DataFrame(
+            {"a": np.array([1, 2]), "b": np.array(["y", "x"]),
+             "w": np.array([10.0, 20.0])}
+        )
+        out = hash_join(left, right, ["a", "b"], ["a", "b"])
+        got = set(zip(out.column("v").tolist(), out.column("w").tolist()))
+        assert got == {(2.0, 10.0), (3.0, 20.0)}
+
+    def test_merge_join_equals_hash_join(self, orders, customers):
+        a = hash_join(orders, customers, ["cust"], ["ckey"])
+        b = merge_join(orders, customers, ["cust"], ["ckey"])
+        assert a.equals(b)
+
+    def test_empty_probe(self, customers):
+        empty = DataFrame(
+            {"cust": np.array([], dtype=np.int64)}
+        )
+        out = hash_join(empty, customers, ["cust"], ["ckey"])
+        assert out.n_rows == 0
+        assert "name" in out.column_names
+
+
+# ---------------------------------------------------------------------------
+# Property: the vectorized join equals a nested-loop reference join.
+# ---------------------------------------------------------------------------
+
+keys = st.lists(st.integers(0, 8), min_size=0, max_size=30)
+
+
+@given(keys, keys)
+@settings(max_examples=60, deadline=None)
+def test_inner_join_matches_nested_loop(left_keys, right_keys):
+    left = DataFrame(
+        {"k": np.array(left_keys, dtype=np.int64),
+         "lrow": np.arange(len(left_keys))}
+    )
+    right = DataFrame(
+        {"k": np.array(right_keys, dtype=np.int64),
+         "rrow": np.arange(len(right_keys))}
+    )
+    out = hash_join(left, right, ["k"], ["k"])
+    got = sorted(zip(out.column("lrow").tolist(), out.column("rrow").tolist()))
+    expected = sorted(
+        (i, j)
+        for i, lk in enumerate(left_keys)
+        for j, rk in enumerate(right_keys)
+        if lk == rk
+    )
+    assert got == expected
+
+
+@given(keys, keys)
+@settings(max_examples=60, deadline=None)
+def test_semi_anti_partition_left(left_keys, right_keys):
+    left = DataFrame({"k": np.array(left_keys, dtype=np.int64)})
+    right = DataFrame({"k": np.array(right_keys, dtype=np.int64)})
+    semi = hash_join(left, right, ["k"], ["k"], how="semi")
+    anti = hash_join(left, right, ["k"], ["k"], how="anti")
+    assert semi.n_rows + anti.n_rows == left.n_rows
+    assert set(semi.column("k").tolist()).issubset(set(right_keys))
+    assert not set(anti.column("k").tolist()) & set(right_keys)

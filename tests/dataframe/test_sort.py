@@ -1,0 +1,77 @@
+"""Unit tests for sort kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import DataFrame
+from repro.dataframe.sort import sort_frame, sort_indices, top_k
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def frame():
+    return DataFrame(
+        {
+            "g": np.array(["b", "a", "b", "a"]),
+            "v": np.array([2.0, 9.0, 1.0, 9.0]),
+            "i": np.array([0, 1, 2, 3]),
+        }
+    )
+
+
+class TestSort:
+    def test_single_key_ascending(self, frame):
+        out = sort_frame(frame, ["v"])
+        assert out.column("v").tolist() == [1.0, 2.0, 9.0, 9.0]
+
+    def test_single_key_descending(self, frame):
+        out = sort_frame(frame, ["v"], ascending=False)
+        assert out.column("v").tolist() == [9.0, 9.0, 2.0, 1.0]
+
+    def test_string_descending(self, frame):
+        out = sort_frame(frame, ["g"], ascending=False)
+        assert out.column("g").tolist() == ["b", "b", "a", "a"]
+
+    def test_multi_key_mixed_direction(self, frame):
+        out = sort_frame(frame, ["g", "v"], ascending=[True, False])
+        assert out.column("g").tolist() == ["a", "a", "b", "b"]
+        assert out.column("v").tolist() == [9.0, 9.0, 2.0, 1.0]
+
+    def test_stability(self, frame):
+        # v == 9.0 appears at input rows 1 and 3; stable sort keeps order
+        out = sort_frame(frame, ["v"], ascending=False)
+        assert out.column("i").tolist()[:2] == [1, 3]
+
+    def test_requires_keys(self, frame):
+        with pytest.raises(QueryError):
+            sort_indices(frame, [])
+
+    def test_flag_count_mismatch(self, frame):
+        with pytest.raises(QueryError):
+            sort_indices(frame, ["g"], ascending=[True, False])
+
+    def test_top_k(self, frame):
+        out = top_k(frame, ["v"], 2, ascending=False)
+        assert out.column("v").tolist() == [9.0, 9.0]
+
+    def test_top_k_beyond_length(self, frame):
+        assert top_k(frame, ["v"], 100).n_rows == 4
+
+    def test_bool_key(self):
+        f = DataFrame({"b": np.array([True, False, True])})
+        out = sort_frame(f, ["b"])
+        assert out.column("b").tolist() == [False, True, True]
+
+
+@given(st.lists(st.integers(-50, 50), min_size=0, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_sort_matches_python_sorted(values):
+    if not values:
+        return
+    f = DataFrame({"v": np.array(values, dtype=np.int64)})
+    out = sort_frame(f, ["v"])
+    assert out.column("v").tolist() == sorted(values)
+    out_desc = sort_frame(f, ["v"], ascending=False)
+    assert out_desc.column("v").tolist() == sorted(values, reverse=True)

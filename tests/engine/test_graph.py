@@ -1,0 +1,101 @@
+"""Unit tests for the query graph."""
+
+import pytest
+
+from repro.dataframe import AggSpec, col
+from repro.engine import QueryGraph
+from repro.engine.ops import (
+    AggregateOperator,
+    FilterOperator,
+    HashJoinOperator,
+    ReadOperator,
+)
+from repro.errors import QueryError
+
+
+class TestGraphConstruction:
+    def test_arity_validation(self, catalog):
+        graph = QueryGraph()
+        with pytest.raises(QueryError, match="needs 2 inputs"):
+            graph.add(HashJoinOperator("j", ["a"], ["b"]))
+
+    def test_unknown_input(self, catalog):
+        graph = QueryGraph()
+        read = graph.add(ReadOperator(catalog.table("sales")))
+        with pytest.raises(QueryError, match="does not exist"):
+            graph.add(FilterOperator("f", col("qty") > 1), (read + 99,))
+
+    def test_node_lookup(self, catalog):
+        graph = QueryGraph()
+        read = graph.add(ReadOperator(catalog.table("sales")))
+        assert graph.node(read).operator.name == "read(sales)"
+        with pytest.raises(QueryError):
+            graph.node(42)
+
+    def test_validate_output(self, catalog):
+        graph = QueryGraph()
+        graph.add(ReadOperator(catalog.table("sales")))
+        with pytest.raises(QueryError):
+            graph.validate_output(17)
+
+
+class TestResolution:
+    def test_resolve_is_cached(self, catalog):
+        graph = QueryGraph()
+        read = graph.add(ReadOperator(catalog.table("sales")))
+        first = graph.resolve()
+        assert graph.resolve() is first
+        graph.add(FilterOperator("f", col("qty") > 1), (read,))
+        second = graph.resolve()
+        assert second is not first
+
+    def test_subscribers(self, catalog):
+        graph = QueryGraph()
+        read = graph.add(ReadOperator(catalog.table("sales")))
+        f1 = graph.add(FilterOperator("f1", col("qty") > 1), (read,))
+        f2 = graph.add(FilterOperator("f2", col("qty") > 2), (read,))
+        subs = graph.subscribers()
+        assert subs[read] == [(f1, 0), (f2, 0)]
+        assert subs[f1] == []
+
+    def test_upstream_sources(self, catalog):
+        graph = QueryGraph()
+        sales = graph.add(ReadOperator(catalog.table("sales")))
+        cust = graph.add(ReadOperator(catalog.table("customers")))
+        join = graph.add(
+            HashJoinOperator("j", ["cust"], ["ckey"]), (sales, cust)
+        )
+        assert graph.upstream_sources(join) == {sales, cust}
+        assert graph.upstream_sources(cust) == {cust}
+
+    def test_priorities_nested_builds(self, catalog):
+        """A build subtree containing another join marks all its sources."""
+        graph = QueryGraph()
+        sales = graph.add(ReadOperator(catalog.table("sales")))
+        cust_a = graph.add(ReadOperator(catalog.table("customers")))
+        cust_b = graph.add(
+            ReadOperator(catalog.table("customers"),
+                         name="read(customers2)",
+                         source_name="customers2")
+        )
+        inner = graph.add(
+            HashJoinOperator("inner", ["ckey"], ["ckey"]),
+            (cust_a, cust_b),
+        )
+        graph.add(
+            HashJoinOperator("outer", ["cust"], ["ckey"]), (sales, inner)
+        )
+        priorities = graph.source_priorities()
+        assert priorities[cust_a] == 0
+        assert priorities[cust_b] == 0
+        assert priorities[sales] == 1
+
+    def test_agg_sources_stream(self, catalog):
+        graph = QueryGraph()
+        sales = graph.add(ReadOperator(catalog.table("sales")))
+        graph.add(
+            AggregateOperator("a", [AggSpec("sum", "qty", "s")],
+                              by=["cust"]),
+            (sales,),
+        )
+        assert graph.source_priorities()[sales] == 1

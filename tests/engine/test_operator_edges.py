@@ -1,0 +1,138 @@
+"""Edge-path tests for operators: buffered cross joins, REPLACE-input
+distinct, CI propagation through selects, ragged merge-join partitions."""
+
+import numpy as np
+import pytest
+
+from repro import CIConfig, F, WakeContext, col
+from repro.core.ci import sigma_column
+from repro.core.properties import Delivery
+from repro.dataframe import DataFrame
+from repro.storage import write_table
+
+
+class TestCrossJoinBufferedMode:
+    """Right side DELTA: buffered to EOF, then left streams through."""
+
+    def test_delta_right_buffers(self, catalog):
+        ctx = WakeContext(catalog)
+        left = ctx.table("sales")
+        right = ctx.table("customers").project("segment").distinct(
+            "segment")
+        crossed = left.cross_join(right)
+        info = crossed.stream_info()
+        assert info.delivery == Delivery.DELTA  # buffered, not live
+        final = crossed.final()
+        # 60 sales x 2 segments
+        assert final.n_rows == 120
+
+    def test_live_mode_replace_right(self, catalog):
+        ctx = WakeContext(catalog)
+        right = ctx.table("sales").agg(F.max("qty").alias("mx"))
+        crossed = ctx.table("sales").cross_join(right)
+        assert crossed.stream_info().delivery == Delivery.REPLACE
+        final = crossed.final()
+        assert final.n_rows == 60
+        expected = catalog.table("sales").read_all().column("qty").max()
+        assert (final.column("mx") == expected).all()
+
+
+class TestDistinctOnReplaceInput:
+    def test_distinct_after_aggregate(self, catalog):
+        ctx = WakeContext(catalog)
+        agg = ctx.table("sales").agg(
+            F.sum("qty").alias("s"), by=["cust", "region"]
+        )
+        # distinct over the REPLACE stream's constant key column
+        out = agg.project("region").distinct("region")
+        assert out.stream_info().delivery == Delivery.REPLACE
+        final = out.final()
+        assert sorted(final.column("region").tolist()) == [
+            "east", "west"]
+
+
+class TestSelectCIPropagation:
+    def test_ratio_sigma_propagates(self, catalog):
+        ctx = WakeContext(catalog, ci=CIConfig(0.95))
+        sums = ctx.table("sales").agg(
+            F.sum("qty").alias("a"), F.count(None).alias("b")
+        )
+        ratio = sums.select(r=col("a") / col("b"))
+        edf = ctx.run(ratio)
+        early = edf.snapshots[0].frame
+        assert sigma_column("r") in early.column_names
+        assert np.isfinite(early.column(sigma_column("r"))[0])
+        # delta-method: Var(a/b) > 0 while a has spread mid-stream
+        assert early.column(sigma_column("r"))[0] >= 0.0
+
+    def test_constant_projection_has_no_sigma(self, catalog):
+        ctx = WakeContext(catalog, ci=CIConfig(0.95))
+        out = ctx.table("sales").select(okey="okey", q=col("qty"))
+        frame = out.final()
+        assert sigma_column("q") not in frame.column_names
+
+
+class TestMergeJoinRaggedPartitions:
+    """Different partition geometries on the two sides: the watermark
+    logic must never emit early or drop boundary clusters."""
+
+    @pytest.mark.parametrize("rpp_b", [3, 7, 13, 60])
+    def test_join_complete_under_geometry(self, catalog, sales_frame,
+                                          tmp_path, rpp_b):
+        write_table(
+            catalog, tmp_path / f"g{rpp_b}", f"sales_{rpp_b}",
+            sales_frame, rows_per_partition=rpp_b,
+            primary_key=["okey"], clustering_key=["okey"],
+        )
+        ctx = WakeContext(catalog)
+        joined = ctx.table("sales").join(
+            ctx.table(f"sales_{rpp_b}"), on="okey", method="merge"
+        )
+        final = joined.final()
+        # 2 rows per okey on each side -> 4 joined rows per okey
+        assert final.n_rows == 30 * 4
+        counts = np.bincount(final.column("okey"), minlength=30)
+        assert (counts == 4).all()
+
+    def test_merge_join_no_duplicates_across_watermarks(
+            self, catalog, sales_frame, tmp_path):
+        write_table(
+            catalog, tmp_path / "dup", "sales_dup", sales_frame,
+            rows_per_partition=11,
+            primary_key=["okey"], clustering_key=["okey"],
+        )
+        ctx = WakeContext(catalog)
+        joined = ctx.table("sales").join(
+            ctx.table("sales_dup"), on="okey", method="merge"
+        )
+        edf = ctx.run(joined)
+        # DELTA stream: total rows across snapshots equals final rows
+        assert edf.get_final().n_rows == 120
+        # each snapshot only grows (no re-emission)
+        sizes = [s.frame.n_rows for s in edf.snapshots]
+        assert sizes == sorted(sizes)
+
+
+class TestLeftJoinThroughEngine:
+    def test_unmatched_rows_survive(self, catalog):
+        ctx = WakeContext(catalog)
+        east_sales = ctx.table("sales").filter(
+            col("region") == "east")
+        # customers c0..c4; east sales only involve even okey customers
+        out = ctx.table("customers").join(
+            east_sales.project("cust", "qty"),
+            on=[("ckey", "cust")], how="left",
+        )
+        final = out.final()
+        # every customer row appears at least once
+        assert set(final.column("ckey").tolist()) == {
+            f"c{i}" for i in range(5)}
+        # unmatched customers carry NaN qty
+        nan_rows = np.isnan(final.column("qty"))
+        matched = set(
+            np.asarray(final.column("ckey"))[~nan_rows].tolist()
+        )
+        unmatched = set(
+            np.asarray(final.column("ckey"))[nan_rows].tolist()
+        )
+        assert not (matched & unmatched)

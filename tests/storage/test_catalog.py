@@ -1,0 +1,144 @@
+"""Unit tests for the catalog and table writer."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.errors import StorageError
+from repro.storage import (
+    Catalog,
+    TableMeta,
+    partition_boundaries,
+    write_table,
+)
+
+
+@pytest.fixture
+def frame():
+    return DataFrame(
+        {
+            "okey": np.arange(100, dtype=np.int64),
+            "qty": np.arange(100, dtype=np.float64) * 2.0,
+        }
+    )
+
+
+@pytest.fixture
+def catalog(tmp_path, frame):
+    cat = Catalog(root=str(tmp_path))
+    write_table(
+        cat, tmp_path, "orders", frame, rows_per_partition=30,
+        primary_key=["okey"], clustering_key=["okey"],
+    )
+    return cat
+
+
+class TestPartitionBoundaries:
+    def test_even_split(self):
+        assert partition_boundaries(10, 5) == [(0, 5), (5, 10)]
+
+    def test_ragged_tail(self):
+        assert partition_boundaries(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_single_partition(self):
+        assert partition_boundaries(3, 100) == [(0, 3)]
+
+    def test_empty_table(self):
+        assert partition_boundaries(0, 10) == [(0, 0)]
+
+    def test_invalid_size(self):
+        with pytest.raises(StorageError):
+            partition_boundaries(10, 0)
+
+
+class TestWriteTable:
+    def test_partition_layout(self, catalog):
+        meta = catalog.table("orders")
+        assert meta.n_partitions == 4
+        assert meta.tuple_counts == (30, 30, 30, 10)
+        assert meta.total_tuples == 100
+        assert meta.clustering_key == ("okey",)
+
+    def test_read_partition_contents(self, catalog, frame):
+        meta = catalog.table("orders")
+        part1 = meta.read_partition(1)
+        assert part1.column("okey").tolist() == list(range(30, 60))
+
+    def test_read_partition_out_of_range(self, catalog):
+        meta = catalog.table("orders")
+        with pytest.raises(StorageError, match="out of range"):
+            meta.read_partition(4)
+
+    def test_read_all_reconstructs(self, catalog, frame):
+        assert catalog.table("orders").read_all().equals(frame)
+
+    def test_iter_partitions_shuffled(self, catalog):
+        meta = catalog.table("orders")
+        order = [3, 0, 2, 1]
+        seen = [idx for idx, _ in meta.iter_partitions(order)]
+        assert seen == order
+
+    def test_csv_format(self, tmp_path, frame):
+        cat = Catalog()
+        meta = write_table(
+            cat, tmp_path / "csvdir", "orders", frame, 40,
+            primary_key=["okey"], fmt="csv",
+        )
+        assert meta.files[0].endswith(".csv")
+        assert cat.table("orders").read_all().equals(frame)
+
+    def test_unknown_format(self, tmp_path, frame):
+        with pytest.raises(StorageError):
+            write_table(Catalog(), tmp_path, "t", frame, 10,
+                        primary_key=["okey"], fmt="orc")
+
+
+class TestCatalog:
+    def test_duplicate_table_rejected(self, catalog, tmp_path, frame):
+        with pytest.raises(StorageError, match="already registered"):
+            write_table(catalog, tmp_path, "orders", frame, 10,
+                        primary_key=["okey"])
+
+    def test_missing_table(self, catalog):
+        with pytest.raises(StorageError, match="not in catalog"):
+            catalog.table("lineitem")
+
+    def test_contains_and_names(self, catalog):
+        assert "orders" in catalog
+        assert catalog.names() == ("orders",)
+
+    def test_save_load_roundtrip(self, catalog, tmp_path, frame):
+        path = tmp_path / "catalog.json"
+        catalog.save(path)
+        loaded = Catalog.load(path)
+        meta = loaded.table("orders")
+        assert meta.tuple_counts == (30, 30, 30, 10)
+        assert meta.primary_key == ("okey",)
+        assert meta.schema == catalog.table("orders").schema
+        assert loaded.table("orders").read_all().equals(frame)
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(StorageError, match="not found"):
+            Catalog.load(tmp_path / "none.json")
+
+    def test_load_corrupt(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(StorageError, match="corrupt"):
+            Catalog.load(path)
+
+    def test_meta_validates_keys(self, catalog):
+        meta = catalog.table("orders")
+        with pytest.raises(StorageError, match="missing from"):
+            TableMeta(
+                name="x", files=("a",), tuple_counts=(1,),
+                schema=meta.schema, primary_key=("nope",),
+            )
+
+    def test_meta_validates_file_counts(self, catalog):
+        meta = catalog.table("orders")
+        with pytest.raises(StorageError, match="tuple counts"):
+            TableMeta(
+                name="x", files=("a", "b"), tuple_counts=(1,),
+                schema=meta.schema, primary_key=("okey",),
+            )

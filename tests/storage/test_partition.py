@@ -1,0 +1,119 @@
+"""Unit tests for partition file IO (npz + csv)."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import (
+    AttributeKind,
+    DataFrame,
+    DType,
+    Field,
+    Schema,
+    date,
+)
+from repro.errors import StorageError
+from repro.storage.partition import (
+    estimate_csv_bytes,
+    read_partition,
+    read_partition_csv,
+    read_partition_npz,
+    write_partition,
+    write_partition_csv,
+    write_partition_npz,
+)
+
+
+@pytest.fixture
+def frame():
+    schema = Schema(
+        [
+            Field("k", DType.INT64),
+            Field("d", DType.DATE),
+            Field("name", DType.STRING),
+            Field("flag", DType.BOOL),
+            Field("est", DType.FLOAT64, AttributeKind.MUTABLE),
+        ]
+    )
+    return DataFrame(
+        {
+            "k": np.array([1, 2, 3], dtype=np.int64),
+            "d": np.array([date("1994-01-01"), date("1995-06-01"), 0]),
+            "name": np.array(["alpha", "beta", "gamma"]),
+            "flag": np.array([True, False, True]),
+            "est": np.array([1.5, 2.5, 3.5]),
+        },
+        schema=schema,
+    )
+
+
+class TestNpz:
+    def test_roundtrip_preserves_schema(self, tmp_path, frame):
+        path = tmp_path / "part.npz"
+        write_partition_npz(path, frame)
+        loaded = read_partition_npz(path)
+        assert loaded.equals(frame)
+        assert loaded.schema == frame.schema  # kinds + DATE logical type
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError, match="not found"):
+            read_partition_npz(tmp_path / "nope.npz")
+
+    def test_non_partition_npz_rejected(self, tmp_path):
+        path = tmp_path / "raw.npz"
+        np.savez(path, a=np.arange(3))
+        with pytest.raises(StorageError, match="no schema"):
+            read_partition_npz(path)
+
+    def test_empty_frame_roundtrip(self, tmp_path, frame):
+        path = tmp_path / "empty.npz"
+        empty = frame.head(0)
+        write_partition_npz(path, empty)
+        loaded = read_partition_npz(path)
+        assert loaded.n_rows == 0
+        assert loaded.schema == frame.schema
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path, frame):
+        path = tmp_path / "part.csv"
+        write_partition_csv(path, frame)
+        loaded = read_partition_csv(path, frame.schema)
+        assert loaded.equals(frame)
+
+    def test_header_mismatch(self, tmp_path, frame):
+        path = tmp_path / "part.csv"
+        write_partition_csv(path, frame.rename({"k": "other"}))
+        with pytest.raises(StorageError, match="header"):
+            read_partition_csv(path, frame.schema)
+
+    def test_csv_requires_schema_via_dispatch(self, tmp_path, frame):
+        path = tmp_path / "part.csv"
+        write_partition(path, frame)
+        with pytest.raises(StorageError, match="requires a schema"):
+            read_partition(path)
+
+    def test_empty_file(self, tmp_path, frame):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        with pytest.raises(StorageError, match="empty"):
+            read_partition_csv(path, frame.schema)
+
+
+class TestDispatch:
+    def test_npz_dispatch(self, tmp_path, frame):
+        path = tmp_path / "part.npz"
+        write_partition(path, frame)
+        assert read_partition(path).equals(frame)
+
+    def test_unknown_suffix(self, tmp_path, frame):
+        with pytest.raises(StorageError, match="unknown partition format"):
+            write_partition(tmp_path / "part.parquet", frame)
+        with pytest.raises(StorageError, match="unknown partition format"):
+            read_partition(tmp_path / "part.parquet")
+
+    def test_estimate_csv_bytes_scales(self, frame):
+        small = estimate_csv_bytes(frame)
+        big = estimate_csv_bytes(
+            DataFrame.concat([frame] * 200)
+        )
+        assert big > small * 50

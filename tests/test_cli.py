@@ -1,0 +1,76 @@
+"""CLI tests: generate / explain / run round trip."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def cli_catalog(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli_tpch")
+    code = main([
+        "generate", str(directory), "--scale-factor", "0.002",
+        "--fact-partitions", "4", "--seed", "3",
+    ])
+    assert code == 0
+    return directory / "catalog.json"
+
+
+class TestGenerate:
+    def test_writes_catalog(self, cli_catalog):
+        assert cli_catalog.exists()
+
+    def test_table_summary_printed(self, tmp_path, capsys):
+        main(["generate", str(tmp_path), "--scale-factor", "0.002"])
+        out = capsys.readouterr().out
+        assert "lineitem" in out
+        assert "catalog written" in out
+
+
+class TestExplain:
+    def test_explain_prints_plan(self, cli_catalog, capsys):
+        assert main(["explain", str(cli_catalog), "6"]) == 0
+        out = capsys.readouterr().out
+        assert "read(lineitem)" in out
+        assert "delivery=" in out
+
+
+class TestRun:
+    def test_run_prints_snapshots_and_final(self, cli_catalog, capsys):
+        assert main(["run", str(cli_catalog), "6"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot" in out
+        assert "final answer" in out
+
+    def test_run_with_param_override(self, cli_catalog, capsys):
+        assert main([
+            "run", str(cli_catalog), "18", "--param", "threshold=100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "q18" in out
+
+    def test_run_threaded(self, cli_catalog, capsys):
+        assert main([
+            "run", str(cli_catalog), "1", "--executor", "threads",
+        ]) == 0
+        assert "q01" in capsys.readouterr().out
+
+    def test_bad_param_rejected(self, cli_catalog):
+        with pytest.raises(SystemExit, match="bad --param"):
+            main(["run", str(cli_catalog), "6", "--param", "oops"])
+
+    def test_invalid_query_number(self, cli_catalog):
+        with pytest.raises(SystemExit):
+            main(["run", str(cli_catalog), "99"])
+
+
+def test_module_entrypoint():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert completed.returncode == 0
+    assert "generate" in completed.stdout

@@ -1,0 +1,2 @@
+"""TPC-H test fixtures live in the top-level conftest (session-scoped
+dataset shared with baseline and bench tests)."""

@@ -1,0 +1,134 @@
+"""Sanity tests for the TPC-H generator: integrity constraints the
+queries rely on."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import date
+from repro.tpch import generate
+from repro.tpch.schema import NATIONS, REGIONS
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate(scale_factor=0.005, seed=11)
+
+
+class TestCardinalities:
+    def test_fixed_tables(self, tables):
+        assert tables["region"].n_rows == 5
+        assert tables["nation"].n_rows == 25
+
+    def test_scaled_tables(self, tables):
+        assert tables["orders"].n_rows == 7500
+        assert tables["customer"].n_rows == 750
+        assert tables["part"].n_rows == 1000
+        assert tables["partsupp"].n_rows == 4000
+        # 1..7 lines per order, mean 4
+        assert 3.0 < tables["lineitem"].n_rows / 7500 < 5.0
+
+    def test_determinism(self):
+        a = generate(0.002, seed=3)
+        b = generate(0.002, seed=3)
+        assert a["lineitem"].equals(b["lineitem"])
+        assert a["orders"].equals(b["orders"])
+
+    def test_seed_changes_data(self):
+        a = generate(0.002, seed=3)
+        b = generate(0.002, seed=4)
+        assert not a["lineitem"].equals(b["lineitem"])
+
+
+class TestReferentialIntegrity:
+    def test_lineitem_orderkeys_exist(self, tables):
+        okeys = set(tables["orders"].column("o_orderkey").tolist())
+        lkeys = set(tables["lineitem"].column("l_orderkey").tolist())
+        assert lkeys == okeys  # every order has >= 1 line
+
+    def test_lineitem_partsupp_pairs_exist(self, tables):
+        ps = set(
+            zip(tables["partsupp"].column("ps_partkey").tolist(),
+                tables["partsupp"].column("ps_suppkey").tolist())
+        )
+        li = set(
+            zip(tables["lineitem"].column("l_partkey").tolist(),
+                tables["lineitem"].column("l_suppkey").tolist())
+        )
+        assert li <= ps
+
+    def test_orders_custkeys_valid(self, tables):
+        n_cust = tables["customer"].n_rows
+        ckeys = tables["orders"].column("o_custkey")
+        assert ckeys.min() >= 1
+        assert ckeys.max() <= n_cust
+
+    def test_nation_region_names(self, tables):
+        assert tables["region"].column("r_name").tolist() == list(REGIONS)
+        assert tables["nation"].column("n_name").tolist() == [
+            n for n, _ in NATIONS]
+
+
+class TestDateLogic:
+    def test_ship_after_order(self, tables):
+        li = tables["lineitem"]
+        orders = tables["orders"]
+        odate = dict(zip(orders.column("o_orderkey").tolist(),
+                         orders.column("o_orderdate").tolist()))
+        ship = li.column("l_shipdate")
+        okey = li.column("l_orderkey")
+        base = np.array([odate[k] for k in okey.tolist()])
+        assert (ship > base).all()
+        assert (li.column("l_receiptdate") > ship).all()
+
+    def test_returnflag_consistent(self, tables):
+        li = tables["lineitem"]
+        current = date("1995-06-17")
+        flags = li.column("l_returnflag")
+        receipt = li.column("l_receiptdate")
+        assert set(flags[receipt > current].tolist()) == {"N"}
+        assert set(flags[receipt <= current].tolist()) <= {"R", "A"}
+
+    def test_linestatus_consistent(self, tables):
+        li = tables["lineitem"]
+        current = date("1995-06-17")
+        status = li.column("l_linestatus")
+        ship = li.column("l_shipdate")
+        assert set(status[ship > current].tolist()) == {"O"}
+        assert set(status[ship <= current].tolist()) == {"F"}
+
+
+class TestVocabularies:
+    def test_phone_country_codes(self, tables):
+        cust = tables["customer"]
+        codes = np.array([p[:2] for p in
+                          cust.column("c_phone").tolist()]).astype(int)
+        np.testing.assert_array_equal(
+            codes, cust.column("c_nationkey") + 10
+        )
+
+    def test_brands_shape(self, tables):
+        brands = set(tables["part"].column("p_brand").tolist())
+        assert all(b.startswith("Brand#") and len(b) == 8 for b in brands)
+
+    def test_comment_injections_present(self, tables):
+        o_comments = tables["orders"].column("o_comment")
+        special = np.char.find(o_comments, "special") >= 0
+        assert 0 < special.sum() < len(o_comments) * 0.1
+
+    def test_totalprice_matches_lines(self, tables):
+        li = tables["lineitem"]
+        orders = tables["orders"]
+        charge = (
+            li.column("l_extendedprice")
+            * (1 + li.column("l_tax"))
+            * (1 - li.column("l_discount"))
+        )
+        first_key = orders.column("o_orderkey")[0]
+        expected = charge[li.column("l_orderkey") == first_key].sum()
+        assert orders.column("o_totalprice")[0] == pytest.approx(
+            expected, abs=0.02
+        )
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            generate(0.0)

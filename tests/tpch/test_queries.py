@@ -1,0 +1,52 @@
+"""Equivalence tests: for every TPC-H query, Wake's t=1 answer equals the
+exact reference implementation (the 2C convergence property end-to-end).
+
+Parameters are spec defaults except where laptop-scale SFs would make the
+result degenerate (marked per query below).
+"""
+
+import pytest
+
+from repro.tpch.queries import QUERIES
+from tests.tpch.utils import assert_frames_close
+
+#: Per-query parameter overrides for SF 0.005 (documented deviations).
+OVERRIDES: dict[int, dict] = {
+    11: {"fraction": 0.005},
+    18: {"threshold": 150},  # spec 300 is empty below ~SF 0.02
+}
+
+#: Queries whose results must be non-empty at SF 0.005 (meaningfulness
+#: check; the remainder may legitimately return few/no rows at tiny SF).
+NON_EMPTY = {1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 18,
+             21, 22}
+
+
+@pytest.mark.parametrize("number", sorted(QUERIES))
+def test_wake_final_equals_reference(number, tpch_ctx, tpch_tables):
+    query = QUERIES[number]
+    overrides = OVERRIDES.get(number, {})
+    expected = query.run_reference(tpch_tables.tables, **overrides)
+    plan = query.build_plan(tpch_ctx, **overrides)
+    edf = tpch_ctx.run(plan, capture_all=False)
+    got = edf.get_final()
+    assert_frames_close(got, expected)
+    if number in NON_EMPTY:
+        assert got.n_rows > 0, f"q{number:02d} unexpectedly empty"
+
+
+@pytest.mark.parametrize("number", [1, 6, 18])
+def test_wake_produces_early_estimates(number, tpch_ctx):
+    """First estimates arrive well before full progress."""
+    query = QUERIES[number]
+    plan = query.build_plan(tpch_ctx, **OVERRIDES.get(number, {}))
+    edf = tpch_ctx.run(plan)
+    assert len(edf) >= 2
+    assert edf.snapshots[0].t < 0.75
+
+
+def test_registry_complete():
+    assert sorted(QUERIES) == list(range(1, 23))
+    for number, query in QUERIES.items():
+        assert query.name == f"q{number:02d}"
+        assert query.category in ("mape", "recall", "mixed")

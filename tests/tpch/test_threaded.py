@@ -1,0 +1,47 @@
+"""Threaded-executor equivalence on representative TPC-H queries.
+
+The threaded engine (one thread per node, §7.2) must produce exactly the
+same final frames as the deterministic sync engine — intermediate
+snapshot interleavings may differ, the t=1 answer may not.
+"""
+
+import pytest
+
+from repro import WakeContext
+from repro.tpch.queries import QUERIES
+from tests.tpch.utils import assert_frames_close
+
+# A cross-section: per-category, join-heavy, subquery, scalar, anti-join.
+REPRESENTATIVE = (1, 3, 6, 11, 13, 14, 18, 21, 22)
+
+OVERRIDES = {11: {"fraction": 0.005}, 18: {"threshold": 150}}
+
+
+@pytest.mark.parametrize("number", REPRESENTATIVE)
+def test_threaded_final_matches_sync(number, tpch):
+    catalog, _tables = tpch
+    query = QUERIES[number]
+    overrides = OVERRIDES.get(number, {})
+
+    sync_ctx = WakeContext(catalog, executor="sync")
+    sync_final = sync_ctx.run(
+        query.build_plan(sync_ctx, **overrides), capture_all=False
+    ).get_final()
+
+    threaded_ctx = WakeContext(catalog, executor="threads")
+    threaded_final = threaded_ctx.run(
+        query.build_plan(threaded_ctx, **overrides), capture_all=False
+    ).get_final()
+
+    assert_frames_close(threaded_final, sync_final)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_shuffled_partitions_same_final(seed, tpch, tpch_tables):
+    """Input arrival order must not change the exact answer (§8.5)."""
+    catalog, _tables = tpch
+    query = QUERIES[6]
+    ctx = WakeContext(catalog, partition_shuffle_seed=seed)
+    got = ctx.run(query.build_plan(ctx), capture_all=False).get_final()
+    expected = query.run_reference(tpch_tables.tables)
+    assert_frames_close(got, expected)

@@ -1,0 +1,32 @@
+"""Comparison helpers for TPC-H query equivalence tests."""
+
+import numpy as np
+
+from repro.dataframe import DataFrame
+
+
+def assert_frames_close(
+    got: DataFrame,
+    expected: DataFrame,
+    rtol: float = 1e-6,
+    atol: float = 1e-8,
+) -> None:
+    """Assert two sorted query outputs are equal: same columns (by name),
+    same row count, numerics compared with tolerance, strings exactly."""
+    assert tuple(got.column_names) == tuple(expected.column_names), (
+        f"column mismatch: {got.column_names} vs "
+        f"{expected.column_names}"
+    )
+    assert got.n_rows == expected.n_rows, (
+        f"row count mismatch: {got.n_rows} vs {expected.n_rows}"
+    )
+    for name in expected.column_names:
+        a, b = got.column(name), expected.column(name)
+        if a.dtype.kind in "if" or b.dtype.kind in "if":
+            np.testing.assert_allclose(
+                a.astype(np.float64), b.astype(np.float64),
+                rtol=rtol, atol=atol, equal_nan=True,
+                err_msg=f"column {name!r} differs",
+            )
+        else:
+            assert a.tolist() == b.tolist(), f"column {name!r} differs"
