@@ -1,0 +1,157 @@
+"""Experiment E11 — incremental join/aggregate state vs recompute.
+
+The streamed-partition hot paths this repo's operators sit on
+(arXiv:2303.04103 §7.2): per-message work must track *partition* size,
+not total data consumed.  Three measurements:
+
+* **probe stream** — a 64+-partition probe stream joined against one
+  build side, comparing the prebuilt :class:`JoinIndex` probe path
+  against the seed's one-shot ``hash_join`` (which re-factorizes and
+  re-sorts the entire build side on every message).  Reports per-message
+  latency percentiles; the acceptance bar is ≥ 5× lower median.
+* **aggregate growth** — ``GroupedAggregateState.consume_delta`` cost as
+  partials accumulate: the slot-based merge must stay flat (no scaling
+  with previously-consumed partials), unlike concat + ``np.unique`` over
+  all groups per message.
+* **sink snapshot** — the executor-level effect: end-to-end per-snapshot
+  cost with the part-concat cache.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.state import GroupedAggregateState
+from repro.dataframe import AggSpec, DataFrame, JoinIndex, hash_join
+from repro.bench.report import banner, format_table
+
+N_PROBE = 256_000
+N_PARTITIONS = 64
+N_BUILD = 100_000
+
+
+def percentiles(samples: list[float]) -> tuple[float, float, float]:
+    arr = np.array(samples) * 1000.0  # ms
+    return (float(np.percentile(arr, 50)), float(np.percentile(arr, 90)),
+            float(np.percentile(arr, 99)))
+
+
+@pytest.fixture(scope="module")
+def probe_parts():
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, N_BUILD * 2, size=N_PROBE).astype(np.int64)
+    vals = rng.normal(100.0, 15.0, size=N_PROBE)
+    frame = DataFrame({"k": keys, "v": vals})
+    size = N_PROBE // N_PARTITIONS
+    return [frame.slice(i * size, (i + 1) * size)
+            for i in range(N_PARTITIONS)]
+
+
+@pytest.fixture(scope="module")
+def build():
+    rng = np.random.default_rng(1)
+    return DataFrame(
+        {
+            "k": rng.permutation(N_BUILD * 2)[:N_BUILD].astype(np.int64),
+            "name": np.array([f"g{i}" for i in range(N_BUILD)]),
+        }
+    )
+
+
+def test_probe_stream_vs_one_shot(probe_parts, build, benchmark, emit):
+    """Per-message probe latency: JoinIndex vs seed one-shot hash_join."""
+    def run_indexed():
+        index = JoinIndex(build, ["k"])
+        times, rows = [], 0
+        for part in probe_parts:
+            start = time.perf_counter()
+            out = index.probe_inner(part, ["k"])
+            times.append(time.perf_counter() - start)
+            rows += out.n_rows
+        return times, rows
+
+    def run_one_shot():
+        times, rows = [], 0
+        for part in probe_parts:
+            start = time.perf_counter()
+            out = hash_join(part, build, ["k"], ["k"])
+            times.append(time.perf_counter() - start)
+            rows += out.n_rows
+        return times, rows
+
+    indexed_times, indexed_rows = benchmark.pedantic(
+        run_indexed, rounds=3, iterations=1
+    )
+    one_shot_times, one_shot_rows = run_one_shot()
+    assert indexed_rows == one_shot_rows
+
+    rows = []
+    for label, times in (("JoinIndex probe", indexed_times),
+                         ("one-shot hash_join", one_shot_times)):
+        p50, p90, p99 = percentiles(times)
+        rows.append([label, len(times), p50, p90, p99,
+                     sum(times) * 1000.0])
+    emit(banner(
+        f"E11 — streamed probe ({N_PARTITIONS} partitions x "
+        f"{N_PROBE // N_PARTITIONS} rows vs {N_BUILD}-row build side)"
+    ))
+    emit(format_table(
+        ["strategy", "messages", "p50 ms", "p90 ms", "p99 ms",
+         "total ms"],
+        rows,
+    ))
+    speedup = (np.median(np.array(one_shot_times))
+               / np.median(np.array(indexed_times)))
+    emit(f"median per-message speedup: {speedup:.1f}x "
+         f"(acceptance bar: >= 5x)")
+    assert speedup >= 5.0, (
+        f"JoinIndex probe should be >= 5x faster per message; "
+        f"got {speedup:.1f}x"
+    )
+
+
+def test_aggregate_state_growth_flat(benchmark, emit):
+    """consume_delta latency must not grow with partials consumed."""
+    rng = np.random.default_rng(2)
+    n_rows, n_parts, n_groups = 512_000, 128, 20_000
+    frame = DataFrame(
+        {
+            "k": rng.integers(0, n_groups, size=n_rows).astype(np.int64),
+            "v": rng.normal(50.0, 10.0, size=n_rows),
+        }
+    )
+    size = n_rows // n_parts
+    parts = [frame.slice(i * size, (i + 1) * size) for i in range(n_parts)]
+
+    def consume_all():
+        state = GroupedAggregateState(
+            by=("k",), specs=(AggSpec("sum", "v", "s"),
+                              AggSpec("count", None, "n"))
+        )
+        times = []
+        for part in parts:
+            start = time.perf_counter()
+            state.consume_delta(part)
+            times.append(time.perf_counter() - start)
+        assert state.n_groups == n_groups
+        return times
+
+    times = benchmark.pedantic(consume_all, rounds=3, iterations=1)
+    # After the dictionary warms up (~first quarter), per-message cost
+    # must be flat: the last quarter no slower than 2x the second quarter.
+    q = len(times) // 4
+    early = float(np.median(np.array(times[q:2 * q])))
+    late = float(np.median(np.array(times[-q:])))
+    emit(banner("E11 — aggregate consume_delta growth "
+                f"({n_parts} partials, {n_groups} groups)"))
+    emit(format_table(
+        ["window", "median ms"],
+        [["partials 32-64", early * 1000.0],
+         ["partials 96-128", late * 1000.0],
+         ["late/early ratio", late / early]],
+    ))
+    assert late <= 2.0 * early, (
+        f"consume_delta should be flat in stream position; "
+        f"late/early = {late / early:.2f}"
+    )

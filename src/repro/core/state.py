@@ -6,11 +6,21 @@ Two structures live here:
   edf exposes.  Appending a partial is an incremental update; beginning a
   new version is a complete refresh.
 * :class:`GroupedAggregateState` — the aggregate operator's intrinsic
-  state: one accumulated per-group frame of mergeable columns (see
-  ``repro.core.mergeable``) plus exact distinct-value pair frames for
-  count-distinct.  It supports both update styles: ``consume_delta``
+  state: fixed-slot numpy arrays of mergeable columns keyed by a
+  persistent :class:`~repro.dataframe.groupby.Grouper` slot mapping, plus
+  exact distinct-pair counters for count-distinct and value buffers for
+  order statistics.  It supports both update styles: ``consume_delta``
   merges a partial in (Case 2 input), ``begin_version`` resets for a full
   snapshot (Case 3 / REPLACE input).
+
+``consume_delta`` is deliberately O(|partial| + new groups): incoming rows
+are slot-encoded once, per-slot partial aggregates are computed with dense
+bincount/segment kernels, and the accumulator arrays are updated in place
+(extending only when new groups appear).  The previous implementation
+concatenated the accumulated state with every partial and re-ran
+``np.unique`` over all groups per message, making per-message cost grow
+with total data consumed — exactly the failure mode online aggregation
+exists to avoid (arXiv:2303.04103 §7.2).
 """
 
 from __future__ import annotations
@@ -23,13 +33,11 @@ from repro.errors import QueryError
 from repro.dataframe.frame import DataFrame
 from repro.dataframe.groupby import (
     AggSpec,
-    distinct_rows,
+    Grouper,
     group_codes,
-    group_count,
-    group_max,
-    group_min,
-    group_sum,
+    group_quantile,
 )
+from repro.dataframe.join import inner_join_indices, shared_codes
 from repro.core.mergeable import (
     CARDINALITY_COLUMN,
     MergeableAggregate,
@@ -93,23 +101,21 @@ class IntrinsicStore:
         return self.latest.frame()
 
 
-def _merge_kernel(column: StateColumn, codes: np.ndarray, n_groups: int,
-                  values: np.ndarray) -> np.ndarray:
-    if column.merge == "sum":
-        return group_sum(codes, n_groups, values)
-    if column.merge == "min":
-        return group_min(codes, n_groups, values)
-    return group_max(codes, n_groups, values)
+def _identity_fill(merge: str, n: int) -> np.ndarray:
+    """Merge-identity values for freshly-allocated state slots."""
+    return np.zeros(n) if merge == "sum" else np.full(n, np.nan)
 
 
 class GroupedAggregateState:
     """The aggregate operator's intrinsic state (paper §4.2–§4.3).
 
-    Maintains, per group key:
+    Maintains, per group slot:
 
     * ``__card__`` — the group input cardinality x_i(t),
-    * the mergeable state columns of every :class:`AggSpec`, and
-    * for count-distinct specs, a distinct (key, value)-pairs frame.
+    * the mergeable state columns of every :class:`AggSpec`,
+    * for count-distinct specs, an incrementally-maintained distinct
+      (key, value)-pair counter, and
+    * for order-statistic specs, the exact per-group value multiset.
 
     ``version`` counts complete refreshes; ``rows_consumed`` counts input
     tuples folded into the *current* version (the basis of growth fitting).
@@ -130,16 +136,36 @@ class GroupedAggregateState:
         self.mergeables = tuple(
             MergeableAggregate(spec, track_moments) for spec in specs
         )
-        self._acc: DataFrame | None = None
-        self._pairs: dict[str, DataFrame] = {}
-        self._values: dict[str, DataFrame] = {}
+        self._reset_slots()
         self.rows_consumed = 0
         self.version = 1
+
+    def _reset_slots(self) -> None:
+        self._grouper = Grouper(self._keys)
+        self._card = np.empty(0, dtype=np.float64)
+        self._state: dict[str, np.ndarray] = {}
+        self._merge_of: dict[str, str] = {}
+        for mergeable in self.mergeables:
+            for column in mergeable.state_columns:
+                self._state[column.name] = np.empty(0, dtype=np.float64)
+                self._merge_of[column.name] = column.merge
+        # count_distinct: one pair Grouper (dedup index) + per-slot counts.
+        self._pairs: dict[str, Grouper] = {}
+        self._distinct_counts: dict[str, np.ndarray] = {
+            m.spec.alias: np.empty(0, dtype=np.float64)
+            for m in self.mergeables
+            if m.needs_distinct_pairs
+        }
+        # median/quantile: per-spec value-buffer part lists, concatenated
+        # lazily (and cached) on read.
+        self._values: dict[str, list[DataFrame]] = {}
+        self._frame_cache: DataFrame | None = None
+        self._perm: np.ndarray | None = None
 
     # -- bookkeeping -----------------------------------------------------------
     @property
     def n_groups(self) -> int:
-        return 0 if self._acc is None else self._acc.n_rows
+        return self._grouper.n_groups
 
     @property
     def mean_cardinality(self) -> float:
@@ -149,9 +175,7 @@ class GroupedAggregateState:
 
     def begin_version(self) -> None:
         """Complete refresh: drop accumulated state, bump version counter."""
-        self._acc = None
-        self._pairs = {}
-        self._values = {}
+        self._reset_slots()
         self.rows_consumed = 0
         self.version += 1
 
@@ -164,32 +188,68 @@ class GroupedAggregateState:
         )
 
     def consume_delta(self, frame: DataFrame) -> None:
-        """Fold one partial into the current version (incremental merge)."""
+        """Fold one partial into the current version (incremental merge).
+
+        Cost is O(|partial| + new groups): existing slots are updated in
+        place; only previously-unseen group keys allocate new slots.
+        """
         if frame.n_rows == 0:
             return
         frame = self._with_key(frame)
-        codes, key_frame, n_groups = group_codes(frame, list(self._keys))
-        data: dict[str, np.ndarray] = {
-            name: key_frame.column(name)
-            for name in key_frame.column_names
-        }
-        data[CARDINALITY_COLUMN] = group_count(codes, n_groups).astype(
+        codes = self._grouper.encode(frame)
+        n_slots = self._grouper.n_groups
+        old_n = len(self._card)
+        if n_slots > old_n:
+            grow = n_slots - old_n
+            self._card = np.concatenate([self._card, np.zeros(grow)])
+            for name, acc in self._state.items():
+                self._state[name] = np.concatenate(
+                    [acc, _identity_fill(self._merge_of[name], grow)]
+                )
+            for alias, counts in self._distinct_counts.items():
+                self._distinct_counts[alias] = np.concatenate(
+                    [counts, np.zeros(grow)]
+                )
+            self._perm = None
+        partial_card = np.bincount(codes, minlength=n_slots).astype(
             np.float64
         )
+        self._card += partial_card
+        present = partial_card[:old_n] > 0
         for mergeable in self.mergeables:
-            data.update(mergeable.partial_state(frame, codes, n_groups))
-        partial_state = DataFrame(data)
-        self._acc = (
-            partial_state
-            if self._acc is None
-            else self._merge(self._acc, partial_state)
-        )
+            partial = mergeable.partial_state(frame, codes, n_slots)
+            for column in mergeable.state_columns:
+                self._merge_column(column, partial[column.name], old_n,
+                                   present)
         for mergeable in self.mergeables:
             if mergeable.needs_distinct_pairs:
                 self._consume_pairs(mergeable.spec, frame)
             if mergeable.needs_value_buffer:
                 self._consume_values(mergeable.spec, frame)
         self.rows_consumed += frame.n_rows
+        self._frame_cache = None
+
+    def _merge_column(
+        self,
+        column: StateColumn,
+        part: np.ndarray,
+        old_n: int,
+        present: np.ndarray,
+    ) -> None:
+        """Fold one per-slot partial array into the accumulator in place.
+
+        ``sum`` columns add elementwise (absent slots contribute 0);
+        ``min``/``max`` columns reduce only over slots present in this
+        partial (NaN from genuine NaN input values still propagates, as
+        the concat-and-regroup strategy did)."""
+        acc = self._state[column.name]
+        if column.merge == "sum":
+            acc += part
+            return
+        reducer = np.minimum if column.merge == "min" else np.maximum
+        acc[old_n:] = part[old_n:]  # new slots: first observation wins
+        head = acc[:old_n]
+        head[present] = reducer(head[present], part[:old_n][present])
 
     def consume_snapshot(self, frame: DataFrame) -> None:
         """Complete refresh from a full snapshot (REPLACE input)."""
@@ -197,84 +257,85 @@ class GroupedAggregateState:
         self.consume_delta(frame)
 
     def _consume_pairs(self, spec: AggSpec, frame: DataFrame) -> None:
+        """Register this partial's (key, value) pairs, counting only pairs
+        never seen before — incoming rows are deduplicated against the
+        pair Grouper's persistent index, not the full pair history."""
         assert spec.column is not None
-        pair_cols = [*self._keys, spec.column]
-        incoming = distinct_rows(frame.select(pair_cols))
-        existing = self._pairs.get(spec.alias)
-        merged = (
-            incoming
-            if existing is None
-            else distinct_rows(DataFrame.concat([existing, incoming]))
-        )
-        self._pairs[spec.alias] = merged
+        grouper = self._pairs.get(spec.alias)
+        if grouper is None:
+            grouper = Grouper((*self._keys, spec.column))
+            self._pairs[spec.alias] = grouper
+        before = grouper.n_groups
+        grouper.encode(frame)
+        after = grouper.n_groups
+        if after == before:
+            return
+        new_pairs = grouper.key_frame().slice(before, after)
+        # Every key of a new pair was registered with the main grouper when
+        # this partial was encoded, so this lookup allocates no slots.
+        slots = self._grouper.encode(new_pairs)
+        np.add.at(self._distinct_counts[spec.alias], slots, 1.0)
 
     def _consume_values(self, spec: AggSpec, frame: DataFrame) -> None:
-        """Multiset union for quantile buffers (concat, no dedup)."""
+        """Multiset union for quantile buffers (append a part, no copy)."""
         assert spec.column is not None
         incoming = frame.select([*self._keys, spec.column])
-        existing = self._values.get(spec.alias)
-        self._values[spec.alias] = (
-            incoming if existing is None
-            else DataFrame.concat([existing, incoming])
-        )
+        self._values.setdefault(spec.alias, []).append(incoming)
 
-    def _merge(self, acc: DataFrame, partial: DataFrame) -> DataFrame:
-        combined = DataFrame.concat([acc, partial])
-        codes, key_frame, n_groups = group_codes(combined, list(self._keys))
-        data: dict[str, np.ndarray] = {
-            name: key_frame.column(name)
-            for name in key_frame.column_names
-        }
-        data[CARDINALITY_COLUMN] = group_sum(
-            codes, n_groups, combined.column(CARDINALITY_COLUMN)
-        )
-        for mergeable in self.mergeables:
-            for column in mergeable.state_columns:
-                data[column.name] = _merge_kernel(
-                    column, codes, n_groups, combined.column(column.name)
-                )
-        return DataFrame(data)
+    def _value_buffer(self, alias: str) -> DataFrame | None:
+        parts = self._values.get(alias)
+        if not parts:
+            return None
+        if len(parts) > 1:
+            parts = [DataFrame.concat(parts)]
+            self._values[alias] = parts
+        return parts[0]
 
     # -- readers ----------------------------------------------------------------
+    def _sort_perm(self) -> np.ndarray:
+        """Slot permutation yielding key-sorted output rows (matching the
+        ordering the np.unique-based merge used to produce)."""
+        if self._perm is None or len(self._perm) != self.n_groups:
+            keys = self._grouper.key_frame()
+            self._perm = np.lexsort(
+                [keys.column(k) for k in reversed(self._keys)]
+            )
+        return self._perm
+
     def state_frame(self) -> DataFrame:
-        """Keys + cardinality + mergeable state columns (current version)."""
-        if self._acc is None:
+        """Keys + cardinality + mergeable state columns (current version),
+        one row per group in key-sorted order."""
+        if self.n_groups == 0:
             raise QueryError("aggregate state is empty; nothing consumed yet")
-        return self._acc
+        if self._frame_cache is None:
+            perm = self._sort_perm()
+            keys = self._grouper.key_frame().take(perm)
+            data: dict[str, np.ndarray] = {
+                name: keys.column(name) for name in keys.column_names
+            }
+            data[CARDINALITY_COLUMN] = self._card[perm]
+            for mergeable in self.mergeables:
+                for column in mergeable.state_columns:
+                    data[column.name] = self._state[column.name][perm]
+            self._frame_cache = DataFrame(data)
+        return self._frame_cache
 
     def distinct_counts(self, spec: AggSpec) -> np.ndarray:
         """Observed per-group distinct counts for a count_distinct spec,
         aligned with :meth:`state_frame` row order."""
         state = self.state_frame()
-        pairs = self._pairs.get(spec.alias)
-        if pairs is None or pairs.n_rows == 0:
+        grouper = self._pairs.get(spec.alias)
+        counts = self._distinct_counts.get(spec.alias)
+        if grouper is None or counts is None or grouper.n_groups == 0:
             return np.zeros(state.n_rows, dtype=np.float64)
-        pair_codes, pair_keys, n_pair_groups = group_codes(
-            pairs, list(self._keys)
-        )
-        counts = group_count(pair_codes, n_pair_groups).astype(np.float64)
-        # Align pair-derived groups with the accumulated state's rows by a
-        # shared factorization over the key columns.
-        from repro.dataframe.join import shared_codes, inner_join_indices
-
-        state_codes, key_codes = shared_codes(
-            [state.column(k) for k in self._keys],
-            [pair_keys.column(k) for k in self._keys],
-        )
-        li, ri = inner_join_indices(state_codes, key_codes)
-        out = np.zeros(state.n_rows, dtype=np.float64)
-        out[li] = counts[ri]
-        return out
+        return counts[self._sort_perm()]
 
     def sample_quantiles(self, spec: AggSpec) -> np.ndarray:
         """Per-group sample quantiles from the value buffer, aligned with
         :meth:`state_frame` row order (the paper's f_order: the latest
         observed order statistic)."""
-        from repro.dataframe.groupby import group_quantile
-        from repro.dataframe.join import inner_join_indices, shared_codes
-
         state = self.state_frame()
-        buffer = self._values.get(spec.alias)
+        buffer = self._value_buffer(spec.alias)
         if buffer is None or buffer.n_rows == 0:
             return np.full(state.n_rows, np.nan)
         buf_codes, buf_keys, n_buf_groups = group_codes(

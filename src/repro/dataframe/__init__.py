@@ -22,12 +22,13 @@ from repro.dataframe.expr import Expr, col, lit, when
 from repro.dataframe.groupby import (
     AGG_FUNCTIONS,
     AggSpec,
+    Grouper,
     factorize,
     global_aggregate,
     group_aggregate,
     group_codes,
 )
-from repro.dataframe.join import hash_join, merge_join
+from repro.dataframe.join import JoinIndex, hash_join, merge_join
 from repro.dataframe.sort import sort_frame, sort_indices, top_k
 from repro.dataframe.dates import add_months, add_years, date, date_str, dates
 
@@ -39,6 +40,8 @@ __all__ = [
     "DataFrame",
     "Expr",
     "Field",
+    "Grouper",
+    "JoinIndex",
     "Schema",
     "add_months",
     "add_years",

@@ -123,6 +123,127 @@ def group_codes(
     return dense, key_frame, len(uniques)
 
 
+class Grouper:
+    """Incremental group factorizer: a persistent key → dense-code mapping.
+
+    One-shot :func:`group_codes` re-factorizes every row it is given, so
+    using it to maintain accumulated state costs O(total groups) per
+    partial.  A ``Grouper`` instead assigns each distinct key combination
+    a stable slot the first time it appears and reuses it forever after:
+    encoding a partial costs O(|partial| + new groups) — the incremental
+    shape streaming state maintenance needs (paper §4.2).
+
+    Slots are handed out in first-seen order (within one partial, in the
+    partial's sorted-unique key order), so state arrays indexed by slot
+    only ever *extend*; existing entries never move.
+
+    Single-column keys take a fully vectorized path (``searchsorted``
+    against a sorted value → slot lookup table, rebuilt only when new
+    keys appear); multi-column keys fall back to a per-local-group tuple
+    dictionary.
+    """
+
+    def __init__(self, keys: Sequence[str]) -> None:
+        if not keys:
+            raise QueryError("Grouper requires at least one key column")
+        self.keys = tuple(keys)
+        self._n_groups = 0
+        self._slots: dict[tuple, int] = {}  # multi-key path
+        self._lookup_keys: np.ndarray | None = None  # single-key path
+        self._lookup_slots: np.ndarray | None = None
+        self._key_parts: list[DataFrame] = []
+        self._key_frame: DataFrame | None = None
+
+    @property
+    def n_groups(self) -> int:
+        return self._n_groups
+
+    def encode(self, frame: DataFrame) -> np.ndarray:
+        """Dense slot ids (into the persistent slot space) for every row
+        of ``frame``, registering previously-unseen keys as new slots."""
+        codes, local_keys, n_local = group_codes(frame, list(self.keys))
+        if n_local == 0:
+            return codes
+        if len(self.keys) == 1:
+            slots, new_mask = self._encode_single(local_keys)
+        else:
+            slots, new_mask = self._encode_tuples(local_keys)
+        if new_mask.any():
+            self._key_parts.append(local_keys.mask(new_mask))
+            self._key_frame = None
+        return slots[codes]
+
+    def _encode_single(
+        self, local_keys: DataFrame
+    ) -> tuple[np.ndarray, np.ndarray]:
+        vals = local_keys.column(self.keys[0])
+        if self._lookup_keys is None:
+            hit = np.zeros(len(vals), dtype=bool)
+            slots = np.empty(len(vals), dtype=np.int64)
+        else:
+            pos = np.searchsorted(self._lookup_keys, vals)
+            pos = np.minimum(pos, len(self._lookup_keys) - 1)
+            hit = self._lookup_keys[pos] == vals
+            if vals.dtype.kind == "f":
+                # One NaN group, like np.unique(equal_nan): NaN sorts
+                # last, so a NaN probe lands on the NaN entry if present.
+                hit |= np.isnan(self._lookup_keys[pos]) & np.isnan(vals)
+            slots = np.where(hit, self._lookup_slots[pos], np.int64(-1))
+        new_mask = ~hit
+        n_new = int(new_mask.sum())
+        if n_new:
+            new_slots = np.arange(
+                self._n_groups, self._n_groups + n_new, dtype=np.int64
+            )
+            slots[new_mask] = new_slots
+            new_vals = vals[new_mask]
+            if self._lookup_keys is None:
+                merged_keys, merged_slots = new_vals, new_slots
+            else:
+                merged_keys = np.concatenate(
+                    [self._lookup_keys, new_vals]
+                )
+                merged_slots = np.concatenate(
+                    [self._lookup_slots, new_slots]
+                )
+            order = np.argsort(merged_keys, kind="stable")
+            self._lookup_keys = merged_keys[order]
+            self._lookup_slots = merged_slots[order]
+            self._n_groups += n_new
+        return slots, new_mask
+
+    def _encode_tuples(
+        self, local_keys: DataFrame
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n_local = local_keys.n_rows
+        slots = np.empty(n_local, dtype=np.int64)
+        new_mask = np.zeros(n_local, dtype=bool)
+        table = self._slots
+        for i, row in enumerate(local_keys.iter_rows()):
+            # Canonicalize float NaN (nan != nan would defeat the dict):
+            # one NaN group per key column, like np.unique(equal_nan).
+            if any(x != x for x in row):
+                row = tuple(None if x != x else x for x in row)
+            slot = table.get(row)
+            if slot is None:
+                slot = len(table)
+                table[row] = slot
+                new_mask[i] = True
+            slots[i] = slot
+        self._n_groups = len(table)
+        return slots, new_mask
+
+    def key_frame(self) -> DataFrame:
+        """One row of key values per slot, ordered by slot id."""
+        if self._key_frame is None:
+            if not self._key_parts:
+                raise QueryError("grouper holds no groups yet")
+            frame = DataFrame.concat(self._key_parts)
+            self._key_parts = [frame]
+            self._key_frame = frame
+        return self._key_frame
+
+
 # ---------------------------------------------------------------------------
 # Dense-code kernels
 # ---------------------------------------------------------------------------

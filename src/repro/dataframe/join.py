@@ -1,8 +1,19 @@
 """Join kernels: hash (equi) joins plus semi/anti/left variants.
 
-The physical strategy mirrors a vectorized hash join: both key sides are
-factorized into one shared code space, the right side is sorted once (the
-"hash table"), and probe rows expand to match ranges via ``searchsorted``.
+Two physical strategies live here:
+
+* :func:`hash_join` — one-shot vectorized join: both key sides are
+  factorized into one shared code space, the right side is sorted, and
+  probe rows expand to match ranges via ``searchsorted``.  Cost is
+  O(|left| + |right|) *per call*, which is the right shape for the exact
+  reference engines but the wrong one for streaming operators.
+* :class:`JoinIndex` — the incremental strategy: the build side is
+  factorized and sorted **once**, after which each probe partition pays
+  only a dictionary-encoded lookup plus ``searchsorted`` against the
+  prebuilt index (O(|partition| log |build uniques|)).  This is what the
+  streaming join operators use so that per-message cost tracks partition
+  size rather than total data consumed (paper §3.2 / §7.2).
+
 The progressive merge join *operator* (paper §3.2) reuses these kernels on
 watermark-bounded buffers; see ``repro.engine.ops.join``.
 """
@@ -20,6 +31,16 @@ from repro.dataframe.schema import AttributeKind, DType, Field, Schema
 JOIN_METHODS = ("inner", "left", "semi", "anti")
 
 
+def _check_key_dtypes(left: np.ndarray, right: np.ndarray) -> None:
+    if left.dtype.kind != right.dtype.kind and not (
+        left.dtype.kind in "if" and right.dtype.kind in "if"
+    ):
+        raise SchemaError(
+            f"join key dtypes are incompatible: "
+            f"{left.dtype} vs {right.dtype}"
+        )
+
+
 def shared_codes(
     left: Sequence[np.ndarray], right: Sequence[np.ndarray]
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -30,13 +51,7 @@ def shared_codes(
     combined_left: np.ndarray | None = None
     combined_right: np.ndarray | None = None
     for l_col, r_col in zip(left, right):
-        if l_col.dtype.kind != r_col.dtype.kind and not (
-            l_col.dtype.kind in "if" and r_col.dtype.kind in "if"
-        ):
-            raise SchemaError(
-                f"join key dtypes are incompatible: "
-                f"{l_col.dtype} vs {r_col.dtype}"
-            )
+        _check_key_dtypes(l_col, r_col)
         both = np.concatenate([l_col, r_col])
         uniques, codes = np.unique(both, return_inverse=True)
         codes = codes.astype(np.int64, copy=False)
@@ -52,14 +67,21 @@ def shared_codes(
     return combined_left, combined_right
 
 
-def inner_join_indices(
-    left_codes: np.ndarray, right_codes: np.ndarray
+def _expand_matches(
+    left_codes: np.ndarray,
+    sorted_right: np.ndarray,
+    order: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Matching row-index pairs (li, ri) for an inner equi-join."""
-    order = np.argsort(right_codes, kind="stable")
-    sorted_right = right_codes[order]
+    """Matching (li, ri) pairs of probe codes against a presorted build
+    side (``sorted_right = right_codes[order]``)."""
     starts = np.searchsorted(sorted_right, left_codes, side="left")
     ends = np.searchsorted(sorted_right, left_codes, side="right")
+    return _expand_ranges(starts, ends, order)
+
+
+def _expand_ranges(
+    starts: np.ndarray, ends: np.ndarray, order: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     counts = ends - starts
     total = int(counts.sum())
     if total == 0:
@@ -67,13 +89,21 @@ def inner_join_indices(
             np.empty(0, dtype=np.int64),
             np.empty(0, dtype=np.int64),
         )
-    left_idx = np.repeat(np.arange(len(left_codes), dtype=np.int64), counts)
+    left_idx = np.repeat(np.arange(len(starts), dtype=np.int64), counts)
     # Vectorized "concatenate ranges": for each match slot, its offset within
     # the probe row's match range plus that range's start.
     cum = np.cumsum(counts) - counts
     within = np.arange(total, dtype=np.int64) - np.repeat(cum, counts)
     right_idx = order[np.repeat(starts, counts) + within]
     return left_idx, right_idx
+
+
+def inner_join_indices(
+    left_codes: np.ndarray, right_codes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Matching row-index pairs (li, ri) for an inner equi-join."""
+    order = np.argsort(right_codes, kind="stable")
+    return _expand_matches(left_codes, right_codes[order], order)
 
 
 def match_counts(
@@ -136,45 +166,31 @@ def _resolve_output_names(
     return mapping
 
 
-def hash_join(
+def _assemble_inner(
     left: DataFrame,
     right: DataFrame,
-    left_on: Sequence[str],
-    right_on: Sequence[str],
-    how: str = "inner",
-    suffix: str = "_right",
+    li: np.ndarray,
+    ri: np.ndarray,
+    name_map: dict[str, str],
 ) -> DataFrame:
-    """Equi-join two frames.
+    """Gather matched pairs into the inner-join output frame."""
+    data = {n: left.column(n)[li] for n in left.column_names}
+    fields = list(left.schema.fields)
+    for src, dst in name_map.items():
+        data[dst] = right.column(src)[ri]
+        fields.append(right.schema.field(src).renamed(dst))
+    return DataFrame(data, schema=Schema(fields))
 
-    ``how`` is one of ``inner``, ``left``, ``semi``, ``anti``.  Semi/anti
-    return left columns only.  For ``left``, unmatched rows carry NaN /
-    empty-string fills in right-side columns (numeric right columns are
-    promoted to float64).
-    """
-    if how not in JOIN_METHODS:
-        raise QueryError(f"unknown join method {how!r}; expected {JOIN_METHODS}")
-    l_codes, r_codes = shared_codes(
-        [left.column(k) for k in left_on],
-        [right.column(k) for k in right_on],
-    )
-    if how == "semi":
-        return left.mask(semi_join_mask(l_codes, r_codes))
-    if how == "anti":
-        return left.mask(anti_join_mask(l_codes, r_codes))
 
-    li, ri = inner_join_indices(l_codes, r_codes)
-    name_map = _resolve_output_names(left, right, right_on, suffix)
-
-    if how == "inner":
-        data = {n: left.column(n)[li] for n in left.column_names}
-        fields = list(left.schema.fields)
-        for src, dst in name_map.items():
-            data[dst] = right.column(src)[ri]
-            fields.append(right.schema.field(src).renamed(dst))
-        return DataFrame(data, schema=Schema(fields))
-
-    # how == "left": matched pairs plus unmatched left rows with fills.
-    unmatched = anti_join_mask(l_codes, r_codes)
+def _assemble_left(
+    left: DataFrame,
+    right: DataFrame,
+    li: np.ndarray,
+    ri: np.ndarray,
+    unmatched: np.ndarray,
+    name_map: dict[str, str],
+) -> DataFrame:
+    """Matched pairs plus unmatched left rows with null fills."""
     n_unmatched = int(unmatched.sum())
     data = {
         n: np.concatenate([left.column(n)[li], left.column(n)[unmatched]])
@@ -193,6 +209,196 @@ def hash_join(
         data[dst] = np.concatenate([matched_vals, fill])
         fields.append(Field(dst, out_dtype, src_field.kind))
     return DataFrame(data, schema=Schema(fields))
+
+
+class JoinIndex:
+    """A build-side hash-join index, factorized and sorted exactly once.
+
+    Construction factorizes every build key column into a sorted value
+    dictionary, combines the per-column codes into one dense code space,
+    and sorts the combined build codes (the "hash table").  Probing a
+    partition then costs only a ``searchsorted`` per key column against
+    the dictionaries (probe values absent from the build dictionary get
+    the sentinel code -1, which matches nothing) plus one range expansion
+    against the presorted build codes — O(partition), independent of how
+    many partitions have been probed before.
+
+    Output assembly matches :func:`hash_join` exactly for every ``how``
+    mode; the streaming join operators rely on that equivalence.
+    """
+
+    def __init__(
+        self,
+        build: DataFrame,
+        build_on: Sequence[str],
+        suffix: str = "_right",
+    ) -> None:
+        if not build_on:
+            raise QueryError("join requires at least one key column")
+        self.build = build
+        self.build_on = tuple(build_on)
+        self.suffix = suffix
+        self._dicts: list[np.ndarray] = []
+        combined: np.ndarray | None = None
+        for key in self.build_on:
+            uniques, codes = np.unique(
+                build.column(key), return_inverse=True
+            )
+            codes = codes.astype(np.int64, copy=False)
+            self._dicts.append(uniques)
+            if combined is None:
+                combined = codes
+            else:
+                combined = combined * np.int64(max(len(uniques), 1)) + codes
+        assert combined is not None
+        self._order = np.argsort(combined, kind="stable")
+        self._sorted_codes = combined[self._order]
+
+    @property
+    def n_build_rows(self) -> int:
+        return self.build.n_rows
+
+    # -- probe-side encoding -----------------------------------------------------
+    def _probe_codes(
+        self, probe: DataFrame, probe_on: Sequence[str]
+    ) -> np.ndarray:
+        """Dictionary-encode probe keys into the build code space; rows
+        whose keys are absent from the build dictionary get code -1."""
+        probe_on = tuple(probe_on)
+        if len(probe_on) != len(self.build_on):
+            raise QueryError("join key column counts differ between sides")
+        combined: np.ndarray | None = None
+        valid: np.ndarray | None = None
+        for key, uniques in zip(probe_on, self._dicts):
+            col = probe.column(key)
+            _check_key_dtypes(col, uniques)
+            if len(uniques) == 0:
+                return np.full(probe.n_rows, -1, dtype=np.int64)
+            pos = np.searchsorted(uniques, col)
+            pos = np.minimum(pos, len(uniques) - 1).astype(
+                np.int64, copy=False
+            )
+            hit = uniques[pos] == col
+            if uniques.dtype.kind == "f" and col.dtype.kind == "f":
+                # np.unique collapses NaNs into one dictionary entry
+                # (sorted last); match NaN probes to it the way the
+                # shared-factorization kernel does.
+                hit |= np.isnan(uniques[pos]) & np.isnan(col)
+            if combined is None:
+                combined = pos
+            else:
+                combined = combined * np.int64(len(uniques)) + pos
+            valid = hit if valid is None else valid & hit
+        assert combined is not None and valid is not None
+        return np.where(valid, combined, np.int64(-1))
+
+    def _counts_for(self, codes: np.ndarray) -> np.ndarray:
+        starts = np.searchsorted(self._sorted_codes, codes, side="left")
+        ends = np.searchsorted(self._sorted_codes, codes, side="right")
+        return ends - starts
+
+    def match_counts(
+        self, probe: DataFrame, probe_on: Sequence[str]
+    ) -> np.ndarray:
+        """Number of build-side matches for every probe row."""
+        return self._counts_for(self._probe_codes(probe, probe_on))
+
+    def probe_indices(
+        self, probe: DataFrame, probe_on: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Matching (probe_row, build_row) index pairs for one partition."""
+        codes = self._probe_codes(probe, probe_on)
+        return _expand_matches(codes, self._sorted_codes, self._order)
+
+    # -- probe-side joins --------------------------------------------------------
+    def probe_inner(
+        self, probe: DataFrame, probe_on: Sequence[str]
+    ) -> DataFrame:
+        li, ri = self.probe_indices(probe, probe_on)
+        name_map = _resolve_output_names(
+            probe, self.build, self.build_on, self.suffix
+        )
+        return _assemble_inner(probe, self.build, li, ri, name_map)
+
+    def probe_left(
+        self, probe: DataFrame, probe_on: Sequence[str]
+    ) -> DataFrame:
+        # Encode the probe side once; the unmatched mask falls out of the
+        # same match ranges the pair expansion uses.
+        codes = self._probe_codes(probe, probe_on)
+        starts = np.searchsorted(self._sorted_codes, codes, side="left")
+        ends = np.searchsorted(self._sorted_codes, codes, side="right")
+        li, ri = _expand_ranges(starts, ends, self._order)
+        unmatched = ends == starts
+        name_map = _resolve_output_names(
+            probe, self.build, self.build_on, self.suffix
+        )
+        return _assemble_left(probe, self.build, li, ri, unmatched,
+                              name_map)
+
+    def probe_semi(
+        self, probe: DataFrame, probe_on: Sequence[str]
+    ) -> DataFrame:
+        return probe.mask(self.match_counts(probe, probe_on) > 0)
+
+    def probe_anti(
+        self, probe: DataFrame, probe_on: Sequence[str]
+    ) -> DataFrame:
+        return probe.mask(self.match_counts(probe, probe_on) == 0)
+
+    def probe(
+        self, probe: DataFrame, probe_on: Sequence[str], how: str = "inner"
+    ) -> DataFrame:
+        """Join one probe partition against the prebuilt index."""
+        if how == "inner":
+            return self.probe_inner(probe, probe_on)
+        if how == "left":
+            return self.probe_left(probe, probe_on)
+        if how == "semi":
+            return self.probe_semi(probe, probe_on)
+        if how == "anti":
+            return self.probe_anti(probe, probe_on)
+        raise QueryError(
+            f"unknown join method {how!r}; expected {JOIN_METHODS}"
+        )
+
+
+def hash_join(
+    left: DataFrame,
+    right: DataFrame,
+    left_on: Sequence[str],
+    right_on: Sequence[str],
+    how: str = "inner",
+    suffix: str = "_right",
+) -> DataFrame:
+    """Equi-join two frames in one shot.
+
+    ``how`` is one of ``inner``, ``left``, ``semi``, ``anti``.  Semi/anti
+    return left columns only.  For ``left``, unmatched rows carry NaN /
+    empty-string fills in right-side columns (numeric right columns are
+    promoted to float64).  Streaming callers that probe many partitions
+    against one build side should use :class:`JoinIndex` instead.
+    """
+    if how not in JOIN_METHODS:
+        raise QueryError(f"unknown join method {how!r}; expected {JOIN_METHODS}")
+    l_codes, r_codes = shared_codes(
+        [left.column(k) for k in left_on],
+        [right.column(k) for k in right_on],
+    )
+    if how == "semi":
+        return left.mask(semi_join_mask(l_codes, r_codes))
+    if how == "anti":
+        return left.mask(anti_join_mask(l_codes, r_codes))
+
+    li, ri = inner_join_indices(l_codes, r_codes)
+    name_map = _resolve_output_names(left, right, right_on, suffix)
+
+    if how == "inner":
+        return _assemble_inner(left, right, li, ri, name_map)
+
+    # how == "left": matched pairs plus unmatched left rows with fills.
+    unmatched = anti_join_mask(l_codes, r_codes)
+    return _assemble_left(left, right, li, ri, unmatched, name_map)
 
 
 def merge_join(

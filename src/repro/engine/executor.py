@@ -55,11 +55,17 @@ class _SinkState:
         self._latest: DataFrame | None = None
         self._sequence = 0
         self._pending: Message | None = None
+        # Concat-of-everything-seen-so-far cache: per snapshot only the
+        # parts that arrived since the last materialization are appended,
+        # instead of re-concatenating the whole APPEND stream each time.
+        # Folded-in parts are released (the cache is the only copy).
+        self._cached: DataFrame | None = None
 
     def accept(self, message: Message) -> None:
         if message.kind == Delivery.REPLACE:
             self._latest = message.frame
             self._parts = []
+            self._cached = None
         else:
             self._parts.append(message.frame)
         if self._capture_all or self._sequence == 0:
@@ -69,11 +75,18 @@ class _SinkState:
             self._pending = message
 
     def _current_frame(self) -> DataFrame:
-        if self._latest is not None and not self._parts:
-            return self._latest
-        parts = ([] if self._latest is None else [self._latest])
-        parts += self._parts
-        return DataFrame.concat(parts)
+        if not self._parts:
+            if self._cached is not None:
+                return self._cached
+            if self._latest is not None:
+                return self._latest
+            return DataFrame.concat([])  # preserves the seed's error
+        base = ([self._cached] if self._cached is not None
+                else [] if self._latest is None else [self._latest])
+        frame = DataFrame.concat(base + self._parts)
+        self._cached = frame
+        self._parts = []
+        return frame
 
     def _snapshot_from_progress(self, progress) -> None:
         frame = self._current_frame()

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import QueryError
 from repro.dataframe.frame import DataFrame
 from repro.dataframe.groupby import AggSpec, group_aggregate
@@ -177,8 +179,6 @@ class AggregateOperator(Operator):
             return [message.replaced_frame(
                 DataFrame.empty(self.output_info.schema)
             )]
-        import numpy as np
-
         out = group_aggregate(message.frame, list(self.by),
                               list(self.specs))
         # Local-mode outputs are exact: demote aggregates to constant and

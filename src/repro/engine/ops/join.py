@@ -1,17 +1,23 @@
 """Join operators (paper §3.2 "Join", Fig 6).
 
 * :class:`HashJoinOperator` — general equi-join.  The right (build) input
-  is buffered until its EOF, then probe messages stream through
-  (right-deep chains thus build all hash tables before the probe flows,
-  matching the paper's note on Q9/Q10/Q13 first-result latency).
+  is buffered until its EOF, then indexed **once** into a
+  :class:`~repro.dataframe.join.JoinIndex`; probe messages stream through
+  as dictionary-encoded lookups against the prebuilt index, so
+  per-message cost is O(partition) rather than O(build) (right-deep
+  chains thus build all hash tables before the probe flows, matching the
+  paper's note on Q9/Q10/Q13 first-result latency).
 * :class:`MergeJoinOperator` — progressive merge join for two DELTA
   streams clustered/sorted on the same single join key: joins are emitted
   up to the minimum key watermark of the two sides, giving fully
   incremental DELTA output (the lineitem ⋈ orders path of Fig 6).
+  Pending rows are buffered as part lists; concatenation happens only
+  when a watermark actually releases rows, never per message.
 * :class:`CrossJoinOperator` — cartesian product against a small right
   side; with a REPLACE right input it re-emits on every right refresh,
   which is how decorrelated scalar subqueries (Q11, Q14, Q17, Q22) stay
-  OLA-interactive.
+  OLA-interactive.  A DELTA right side is buffered as parts and
+  materialized once at its EOF.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ import numpy as np
 
 from repro.errors import QueryError
 from repro.dataframe.frame import DataFrame
-from repro.dataframe.join import hash_join
+from repro.dataframe.join import JoinIndex, hash_join
 from repro.dataframe.schema import AttributeKind, Field, Schema
 from repro.core.properties import Delivery, StreamInfo
 from repro.engine.message import Message
@@ -54,7 +60,7 @@ class HashJoinOperator(Operator):
         self._build_ready = False
         self._build_parts: list[DataFrame] = []
         self._build_snapshot: DataFrame | None = None
-        self._build_frame: DataFrame | None = None
+        self._build_index: JoinIndex | None = None
         self._probe_buffer: list[Message] = []
         self._probe_latest: Message | None = None  # REPLACE probe input
 
@@ -97,14 +103,9 @@ class HashJoinOperator(Operator):
 
     # -- run time -----------------------------------------------------------------
     def _join(self, probe_frame: DataFrame) -> DataFrame:
-        assert self._build_frame is not None
-        return hash_join(
-            probe_frame,
-            self._build_frame,
-            list(self.left_on),
-            list(self.right_on),
-            how=self.how,
-            suffix=self.suffix,
+        assert self._build_index is not None
+        return self._build_index.probe(
+            probe_frame, list(self.left_on), how=self.how
         )
 
     def _handle_message(self, port: int, message: Message) -> list[Message]:
@@ -133,14 +134,20 @@ class HashJoinOperator(Operator):
         )
 
     def _materialize_build(self) -> None:
+        """Factorize and sort the build side exactly once; every probe
+        partition afterwards is an index lookup."""
         right_schema = self.input_infos[1].schema
         if self._build_snapshot is not None:
-            self._build_frame = self._build_snapshot
+            build_frame = self._build_snapshot
         elif self._build_parts:
-            self._build_frame = DataFrame.concat(self._build_parts)
+            build_frame = DataFrame.concat(self._build_parts)
         else:
-            self._build_frame = DataFrame.empty(right_schema)
+            build_frame = DataFrame.empty(right_schema)
+        self._build_index = JoinIndex(
+            build_frame, list(self.right_on), suffix=self.suffix
+        )
         self._build_parts = []
+        self._build_snapshot = None
         self._build_ready = True
 
     def _handle_eof(self, port: int) -> list[Message]:
@@ -174,7 +181,8 @@ class MergeJoinOperator(Operator):
         self.left_on = left_on
         self.right_on = right_on
         self.suffix = suffix
-        self._buffers: list[DataFrame | None] = [None, None]
+        self._parts: tuple[list[DataFrame], list[DataFrame]] = ([], [])
+        self._part_mins: tuple[list[float], list[float]] = ([], [])
         self._watermarks = [-np.inf, -np.inf]
         self._closed = [False, False]
 
@@ -217,17 +225,29 @@ class MergeJoinOperator(Operator):
             delivery=Delivery.DELTA,
         )
 
+    def _key(self, port: int) -> str:
+        return self.left_on if port == 0 else self.right_on
+
     def _append(self, port: int, frame: DataFrame) -> None:
-        existing = self._buffers[port]
-        self._buffers[port] = (
-            frame if existing is None
-            else DataFrame.concat([existing, frame])
+        """Buffer one partition as a part (no concat on the hot path)."""
+        if not frame.n_rows:
+            return
+        keys = frame.column(self._key(port))
+        self._parts[port].append(frame)
+        self._part_mins[port].append(float(keys.min()))
+        self._watermarks[port] = max(
+            self._watermarks[port], float(keys.max())
         )
-        key = self.left_on if port == 0 else self.right_on
-        if frame.n_rows:
-            self._watermarks[port] = max(
-                self._watermarks[port], float(frame.column(key).max())
-            )
+
+    def _pending(self, port: int) -> DataFrame:
+        if not self._parts[port]:
+            return DataFrame.empty(self.input_infos[port].schema)
+        if len(self._parts[port]) == 1:
+            return self._parts[port][0]
+        return DataFrame.concat(self._parts[port])
+
+    def _has_ready(self, port: int, threshold: float) -> bool:
+        return any(m <= threshold for m in self._part_mins[port])
 
     def _emitable(self, force: bool = False) -> list[Message]:
         """Join and release all buffered rows at or below the completed
@@ -237,17 +257,15 @@ class MergeJoinOperator(Operator):
             np.inf if self._closed[0] else self._watermarks[0],
             np.inf if self._closed[1] else self._watermarks[1],
         )
-        left, right = self._buffers
-        if left is None:
-            left = DataFrame.empty(self.input_infos[0].schema)
-        if right is None:
-            right = DataFrame.empty(self.input_infos[1].schema)
+        if not force and not (
+            self._has_ready(0, threshold) and self._has_ready(1, threshold)
+        ):
+            return []
+        left, right = self._pending(0), self._pending(1)
         l_keys = left.column(self.left_on).astype(np.float64)
         r_keys = right.column(self.right_on).astype(np.float64)
         l_ready = l_keys <= threshold
         r_ready = r_keys <= threshold
-        if not force and not (l_ready.any() and r_ready.any()):
-            return []
         joined = hash_join(
             left.mask(l_ready),
             right.mask(r_ready),
@@ -256,8 +274,15 @@ class MergeJoinOperator(Operator):
             how="inner",
             suffix=self.suffix,
         )
-        self._buffers[0] = left.mask(~l_ready)
-        self._buffers[1] = right.mask(~r_ready)
+        for port, leftover in ((0, left.mask(~l_ready)),
+                               (1, right.mask(~r_ready))):
+            self._parts[port].clear()
+            self._part_mins[port].clear()
+            if leftover.n_rows:
+                self._parts[port].append(leftover)
+                self._part_mins[port].append(
+                    float(leftover.column(self._key(port)).min())
+                )
         return [
             Message(frame=joined, progress=self.progress,
                     kind=Delivery.DELTA)
@@ -291,6 +316,7 @@ class CrossJoinOperator(Operator):
         self._live = False
         self._left_parts: list[DataFrame] = []
         self._left_snapshot: DataFrame | None = None
+        self._right_parts: list[DataFrame] = []
         self._right_frame: DataFrame | None = None
         self._right_ready = False
         self._probe_buffer: list[Message] = []
@@ -357,14 +383,10 @@ class CrossJoinOperator(Operator):
                 ]
             if message.kind == Delivery.REPLACE:
                 self._right_frame = message.frame
+                self._right_parts = []
             else:
-                self._right_frame = (
-                    message.frame
-                    if self._right_frame is None
-                    else DataFrame.concat(
-                        [self._right_frame, message.frame]
-                    )
-                )
+                # Buffer DELTA parts; materialized once at the right EOF.
+                self._right_parts.append(message.frame)
             return []
 
         # port 0 (left)
@@ -404,6 +426,11 @@ class CrossJoinOperator(Operator):
     def _handle_eof(self, port: int) -> list[Message]:
         if port != 1 or self._live:
             return []
+        if self._right_parts:
+            parts = ([] if self._right_frame is None
+                     else [self._right_frame])
+            self._right_frame = DataFrame.concat(parts + self._right_parts)
+            self._right_parts = []
         self._right_ready = True
         out: list[Message] = []
         for message in self._probe_buffer:

@@ -1,0 +1,259 @@
+"""The slot-based incremental merge must be indistinguishable from a
+from-scratch recompute: streaming any partitioning of a frame through
+``GroupedAggregateState.consume_delta`` yields the same ``state_frame()``
+(and distinct counts / quantiles) as one-shot ``group_aggregate`` over
+the whole input."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import AggSpec, DataFrame, group_aggregate
+from repro.dataframe.groupby import Grouper, group_codes
+from repro.core.mergeable import CARDINALITY_COLUMN
+from repro.core.state import GroupedAggregateState
+from repro.errors import QueryError
+
+
+def stream(state: GroupedAggregateState, frame: DataFrame,
+           n_parts: int) -> None:
+    bounds = np.linspace(0, frame.n_rows, n_parts + 1).astype(int)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        state.consume_delta(frame.slice(int(lo), int(hi)))
+
+
+class TestGrouper:
+    def test_slots_are_stable_across_partials(self):
+        g = Grouper(("k",))
+        f1 = DataFrame({"k": np.array(["b", "a", "b"])})
+        f2 = DataFrame({"k": np.array(["c", "a"])})
+        c1 = g.encode(f1)
+        c2 = g.encode(f2)
+        # "a" keeps the slot it got in the first partial.
+        by_key = dict(zip(f1.column("k").tolist(), c1.tolist()))
+        assert c2.tolist() == [g.n_groups - 1, by_key["a"]]
+        assert g.n_groups == 3
+        assert g.key_frame().column("k").tolist() == ["a", "b", "c"]
+
+    def test_matches_one_shot_group_codes_groupings(self):
+        rng = np.random.default_rng(5)
+        frame = DataFrame(
+            {
+                "a": rng.integers(0, 5, size=100).astype(np.int64),
+                "b": np.array([f"s{i % 4}" for i in range(100)]),
+            }
+        )
+        g = Grouper(("a", "b"))
+        codes = np.concatenate(
+            [g.encode(frame.slice(i, i + 20)) for i in range(0, 100, 20)]
+        )
+        one_shot, _keys, n = group_codes(frame, ["a", "b"])
+        assert g.n_groups == n
+        # Same partition structure: rows share a slot iff they share a
+        # one-shot group code.
+        pairs = set(zip(codes.tolist(), one_shot.tolist()))
+        assert len(pairs) == n
+        assert len({p[0] for p in pairs}) == n
+
+    def test_empty_frame_is_noop(self):
+        g = Grouper(("k",))
+        out = g.encode(DataFrame({"k": np.array([], dtype=np.int64)}))
+        assert out.tolist() == []
+        assert g.n_groups == 0
+        with pytest.raises(QueryError):
+            g.key_frame()
+
+    def test_requires_keys(self):
+        with pytest.raises(QueryError):
+            Grouper(())
+
+
+def make_frame(n=200, seed=9):
+    rng = np.random.default_rng(seed)
+    return DataFrame(
+        {
+            "k": rng.integers(0, 12, size=n).astype(np.int64),
+            "s": np.array([f"g{i % 3}" for i in range(n)]),
+            "v": rng.normal(10.0, 5.0, size=n),
+            "c": rng.integers(0, 6, size=n).astype(np.int64),
+        }
+    )
+
+
+ALL_SPECS = (
+    AggSpec("sum", "v", "sum_v"),
+    AggSpec("count", None, "n"),
+    AggSpec("avg", "v", "avg_v"),
+    AggSpec("min", "v", "lo"),
+    AggSpec("max", "v", "hi"),
+    AggSpec("var", "v", "s2"),
+    AggSpec("count_distinct", "c", "d"),
+    AggSpec("median", "v", "med"),
+)
+
+
+@pytest.mark.parametrize("n_parts", [1, 3, 8, 17])
+def test_slot_merge_equals_recompute(n_parts):
+    frame = make_frame()
+    state = GroupedAggregateState(by=("k", "s"), specs=ALL_SPECS)
+    stream(state, frame, n_parts)
+    got = state.state_frame()
+    expected = group_aggregate(frame, ["k", "s"], list(ALL_SPECS))
+
+    # state_frame rows are key-sorted; group_aggregate's np.unique order
+    # is the same lexicographic order, so rows align positionally.
+    assert got.column("k").tolist() == expected.column("k").tolist()
+    assert got.column("s").tolist() == expected.column("s").tolist()
+
+    np.testing.assert_allclose(
+        got.column("__sum_v__sum"), expected.column("sum_v"), rtol=1e-9
+    )
+    np.testing.assert_allclose(
+        got.column("__n__count"), expected.column("n")
+    )
+    np.testing.assert_allclose(
+        got.column("__avg_v__sum") / got.column("__avg_v__count"),
+        expected.column("avg_v"), rtol=1e-9,
+    )
+    np.testing.assert_allclose(
+        got.column("__lo__min"), expected.column("lo")
+    )
+    np.testing.assert_allclose(
+        got.column("__hi__max"), expected.column("hi")
+    )
+    count = got.column("__s2__count")
+    with np.errstate(invalid="ignore", divide="ignore"):
+        m2 = (got.column("__s2__sumsq")
+              - got.column("__s2__sum") ** 2 / count)
+        var = m2 / (count - 1)  # NaN for singleton groups, like the kernel
+    np.testing.assert_allclose(
+        var, expected.column("s2"), rtol=1e-6, atol=1e-8
+    )
+    np.testing.assert_allclose(
+        state.distinct_counts(ALL_SPECS[6]), expected.column("d")
+    )
+    np.testing.assert_allclose(
+        state.sample_quantiles(ALL_SPECS[7]), expected.column("med"),
+        rtol=1e-9,
+    )
+    np.testing.assert_allclose(
+        got.column(CARDINALITY_COLUMN),
+        np.asarray(expected.column("n"), dtype=np.float64),
+    )
+
+
+def test_nan_values_behave_like_recompute():
+    """Genuine NaN measure values: sums skip them, min/max propagate
+    exactly as the one-shot kernels do."""
+    frame = DataFrame(
+        {
+            "k": np.array([0, 0, 1, 1, 2], dtype=np.int64),
+            "v": np.array([1.0, np.nan, 2.0, 3.0, np.nan]),
+        }
+    )
+    specs = (AggSpec("sum", "v", "s"), AggSpec("min", "v", "lo"))
+    state = GroupedAggregateState(by=("k",), specs=specs)
+    stream(state, frame, 3)
+    got = state.state_frame()
+    expected = group_aggregate(frame, ["k"], list(specs))
+    np.testing.assert_allclose(got.column("__s__sum"),
+                               expected.column("s"))
+    np.testing.assert_allclose(got.column("__lo__min"),
+                               expected.column("lo"), equal_nan=True)
+
+
+def test_nan_group_keys_merge_into_one_slot():
+    """NaN group keys across partials collapse into a single group (the
+    np.unique equal_nan behavior of the one-shot path), for both the
+    vectorized single-key path and the tuple-dict multi-key path — and
+    count_distinct's pair re-encode must not allocate beyond the state
+    arrays."""
+    frame = DataFrame(
+        {
+            "k": np.array([1.0, np.nan, np.nan, 1.0]),
+            "g": np.array(["x", "y", "y", "x"]),
+            "v": np.array([1.0, 2.0, 3.0, 4.0]),
+            "c": np.array([7, 8, 8, 9], dtype=np.int64),
+        }
+    )
+    specs = (AggSpec("sum", "v", "s"),
+             AggSpec("count_distinct", "c", "d"))
+    for by in (("k",), ("k", "g")):
+        state = GroupedAggregateState(by=by, specs=specs)
+        stream(state, frame, 4)  # one NaN key per partial
+        got = state.state_frame()
+        expected = group_aggregate(frame, list(by), list(specs))
+        assert got.n_rows == expected.n_rows == 2
+        np.testing.assert_allclose(got.column("__s__sum"),
+                                   expected.column("s"))
+        np.testing.assert_allclose(state.distinct_counts(specs[1]),
+                                   expected.column("d"))
+
+
+def test_global_aggregate_slots():
+    frame = make_frame(n=50)
+    specs = (AggSpec("sum", "v", "s"), AggSpec("count", None, "n"))
+    state = GroupedAggregateState(by=(), specs=specs)
+    stream(state, frame, 5)
+    got = state.state_frame()
+    assert got.n_rows == 1
+    assert got.column("__s__sum")[0] == pytest.approx(
+        float(np.sum(frame.column("v")))
+    )
+    assert got.column("__n__count")[0] == frame.n_rows
+
+
+def test_version_reset_clears_slots():
+    frame = make_frame(n=60)
+    state = GroupedAggregateState(
+        by=("k",), specs=(AggSpec("sum", "v", "s"),)
+    )
+    stream(state, frame, 4)
+    n_before = state.n_groups
+    assert n_before > 0
+    state.consume_snapshot(frame.slice(0, 10))
+    expected = group_aggregate(frame.slice(0, 10), ["k"],
+                               [AggSpec("sum", "v", "s")])
+    got = state.state_frame()
+    assert got.n_rows == expected.n_rows
+    np.testing.assert_allclose(got.column("__s__sum"),
+                               expected.column("s"))
+    assert state.version == 2
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 6), st.floats(-100, 100),
+                  st.integers(0, 4)),
+        min_size=1, max_size=60,
+    ),
+    st.integers(1, 6),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_slot_merge_equals_recompute(data, n_parts):
+    ks, vs, cs = zip(*data)
+    frame = DataFrame(
+        {"k": np.array(ks, dtype=np.int64), "v": np.array(vs),
+         "c": np.array(cs, dtype=np.int64)}
+    )
+    specs = (
+        AggSpec("sum", "v", "s"),
+        AggSpec("min", "v", "lo"),
+        AggSpec("max", "v", "hi"),
+        AggSpec("count_distinct", "c", "d"),
+    )
+    state = GroupedAggregateState(by=("k",), specs=specs)
+    stream(state, frame, n_parts)
+    got = state.state_frame()
+    expected = group_aggregate(frame, ["k"], list(specs))
+    assert got.column("k").tolist() == expected.column("k").tolist()
+    np.testing.assert_allclose(got.column("__s__sum"),
+                               expected.column("s"),
+                               rtol=1e-9, atol=1e-6)
+    np.testing.assert_allclose(got.column("__lo__min"),
+                               expected.column("lo"))
+    np.testing.assert_allclose(got.column("__hi__max"),
+                               expected.column("hi"))
+    np.testing.assert_allclose(state.distinct_counts(specs[3]),
+                               expected.column("d"))

@@ -1,0 +1,237 @@
+"""Property tests: the incremental JoinIndex probe path must produce the
+same output as the one-shot hash_join kernel for every ``how`` mode —
+including duplicate keys, multi-column keys, string keys, and empty
+probe/build sides — and must stay equivalent when the probe side is
+streamed through the prebuilt index partition by partition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import DataFrame, JoinIndex, hash_join
+from repro.dataframe.join import JOIN_METHODS
+from repro.errors import QueryError, SchemaError
+
+
+def assert_same_rows(got: DataFrame, expected: DataFrame) -> None:
+    """Row-set equality (order-insensitive; join outputs are unordered)."""
+    assert tuple(got.column_names) == tuple(expected.column_names)
+    assert got.n_rows == expected.n_rows
+    assert sorted(map(repr, got.to_records())) == sorted(
+        map(repr, expected.to_records())
+    )
+
+
+def left_frame():
+    return DataFrame(
+        {
+            "k": np.array([3, 1, 4, 1, 5, 9, 2, 6, 5, 3], dtype=np.int64),
+            "lv": np.arange(10, dtype=np.float64),
+        }
+    )
+
+
+def right_frame():
+    return DataFrame(
+        {
+            "k": np.array([1, 1, 2, 3, 7, 5], dtype=np.int64),
+            "rv": np.array([10.0, 11.0, 12.0, 13.0, 14.0, 15.0]),
+            "tag": np.array(["a", "b", "c", "d", "e", "f"]),
+        }
+    )
+
+
+@pytest.mark.parametrize("how", JOIN_METHODS)
+def test_probe_matches_hash_join_duplicate_keys(how):
+    left, right = left_frame(), right_frame()
+    index = JoinIndex(right, ["k"])
+    got = index.probe(left, ["k"], how=how)
+    expected = hash_join(left, right, ["k"], ["k"], how=how)
+    assert_same_rows(got, expected)
+
+
+@pytest.mark.parametrize("how", JOIN_METHODS)
+def test_probe_matches_hash_join_multi_column(how):
+    rng = np.random.default_rng(3)
+    left = DataFrame(
+        {
+            "a": rng.integers(0, 4, size=40).astype(np.int64),
+            "b": np.array([f"s{i % 3}" for i in range(40)]),
+            "lv": np.arange(40, dtype=np.float64),
+        }
+    )
+    right = DataFrame(
+        {
+            "a": rng.integers(0, 4, size=15).astype(np.int64),
+            "b": np.array([f"s{i % 4}" for i in range(15)]),
+            "rv": np.arange(15, dtype=np.float64),
+        }
+    )
+    index = JoinIndex(right, ["a", "b"])
+    got = index.probe(left, ["a", "b"], how=how)
+    expected = hash_join(left, right, ["a", "b"], ["a", "b"], how=how)
+    assert_same_rows(got, expected)
+
+
+@pytest.mark.parametrize("how", JOIN_METHODS)
+def test_probe_matches_hash_join_string_keys(how):
+    left = DataFrame(
+        {
+            "name": np.array(["x", "yy", "zzz", "x", "missing", "yy"]),
+            "lv": np.arange(6, dtype=np.int64),
+        }
+    )
+    right = DataFrame(
+        {
+            "name": np.array(["yy", "x", "x", "w"]),
+            "rv": np.arange(4, dtype=np.int64),
+        }
+    )
+    index = JoinIndex(right, ["name"])
+    got = index.probe(left, ["name"], how=how)
+    expected = hash_join(left, right, ["name"], ["name"], how=how)
+    assert_same_rows(got, expected)
+
+
+@pytest.mark.parametrize("how", JOIN_METHODS)
+def test_empty_probe_side(how):
+    right = right_frame()
+    empty = left_frame().head(0)
+    index = JoinIndex(right, ["k"])
+    got = index.probe(empty, ["k"], how=how)
+    expected = hash_join(empty, right, ["k"], ["k"], how=how)
+    assert got.n_rows == 0
+    assert tuple(got.column_names) == tuple(expected.column_names)
+
+
+@pytest.mark.parametrize("how", JOIN_METHODS)
+def test_empty_build_side(how):
+    left = left_frame()
+    empty = right_frame().head(0)
+    index = JoinIndex(empty, ["k"])
+    got = index.probe(left, ["k"], how=how)
+    expected = hash_join(left, empty, ["k"], ["k"], how=how)
+    assert_same_rows(got, expected)
+
+
+def test_mixed_numeric_key_dtypes():
+    """int probe keys against a float build dictionary (and vice versa)."""
+    left = DataFrame(
+        {"k": np.array([1, 2, 3], dtype=np.int64),
+         "lv": np.arange(3, dtype=np.float64)}
+    )
+    right = DataFrame(
+        {"k": np.array([2.0, 3.0, 9.5]), "rv": np.arange(3.0)}
+    )
+    got = JoinIndex(right, ["k"]).probe_inner(left, ["k"])
+    expected = hash_join(left, right, ["k"], ["k"])
+    assert_same_rows(got, expected)
+    got_rev = JoinIndex(left, ["k"]).probe_inner(right, ["k"])
+    expected_rev = hash_join(right, left, ["k"], ["k"])
+    assert_same_rows(got_rev, expected_rev)
+
+
+@pytest.mark.parametrize("how", JOIN_METHODS)
+def test_nan_keys_match_hash_join(how):
+    """hash_join's shared factorization collapses NaNs into one key
+    (np.unique equal_nan); the index probe must agree."""
+    left = DataFrame(
+        {"k": np.array([1.0, np.nan, 2.0, np.nan]),
+         "lv": np.arange(4, dtype=np.float64)}
+    )
+    right = DataFrame(
+        {"k": np.array([np.nan, 1.0, 3.0]), "rv": np.arange(3.0)}
+    )
+    index = JoinIndex(right, ["k"])
+    got = index.probe(left, ["k"], how=how)
+    expected = hash_join(left, right, ["k"], ["k"], how=how)
+    assert_same_rows(got, expected)
+
+
+def test_incompatible_key_dtypes_raise():
+    left = DataFrame({"k": np.array(["a", "b"]), "lv": np.arange(2)})
+    right = DataFrame({"k": np.array([1, 2], dtype=np.int64),
+                       "rv": np.arange(2)})
+    index = JoinIndex(right, ["k"])
+    with pytest.raises(SchemaError):
+        index.probe_inner(left, ["k"])
+
+
+def test_requires_key_columns():
+    with pytest.raises(QueryError):
+        JoinIndex(right_frame(), [])
+    index = JoinIndex(right_frame(), ["k"])
+    with pytest.raises(QueryError):
+        index.probe_inner(left_frame(), ["k", "lv"])
+    with pytest.raises(QueryError):
+        index.probe(left_frame(), ["k"], how="outer")
+
+
+def test_match_counts_against_reference():
+    left, right = left_frame(), right_frame()
+    index = JoinIndex(right, ["k"])
+    counts = index.match_counts(left, ["k"])
+    build_keys = right.column("k").tolist()
+    expected = [build_keys.count(k) for k in left.column("k").tolist()]
+    assert counts.tolist() == expected
+
+
+def test_streamed_probe_partitions_equal_one_shot():
+    """Probing partition-by-partition through one prebuilt index must
+    concatenate to the one-shot join — the streaming-operator contract."""
+    rng = np.random.default_rng(11)
+    left = DataFrame(
+        {
+            "k": rng.integers(0, 20, size=200).astype(np.int64),
+            "lv": np.arange(200, dtype=np.float64),
+        }
+    )
+    right = DataFrame(
+        {
+            "k": rng.integers(0, 25, size=60).astype(np.int64),
+            "rv": np.arange(60, dtype=np.float64),
+        }
+    )
+    index = JoinIndex(right, ["k"])
+    for how in ("inner", "left", "semi", "anti"):
+        parts = [
+            index.probe(left.slice(i, i + 25), ["k"], how=how)
+            for i in range(0, 200, 25)
+        ]
+        got = DataFrame.concat(parts)
+        expected = hash_join(left, right, ["k"], ["k"], how=how)
+        assert_same_rows(got, expected)
+
+
+join_rows = st.lists(
+    st.tuples(st.integers(-3, 6), st.integers(-3, 6)),
+    min_size=0, max_size=50,
+)
+
+
+@given(join_rows, join_rows)
+@settings(max_examples=60, deadline=None)
+def test_property_probe_equivalence(left_keys, right_keys):
+    """Random multi-column integer keys, every how mode."""
+    left = DataFrame(
+        {
+            "a": np.array([a for a, _ in left_keys] or [], dtype=np.int64),
+            "b": np.array([b for _, b in left_keys] or [], dtype=np.int64),
+            "lv": np.arange(len(left_keys), dtype=np.float64),
+        }
+    )
+    right = DataFrame(
+        {
+            "a": np.array([a for a, _ in right_keys] or [],
+                          dtype=np.int64),
+            "b": np.array([b for _, b in right_keys] or [],
+                          dtype=np.int64),
+            "rv": np.arange(len(right_keys), dtype=np.float64),
+        }
+    )
+    index = JoinIndex(right, ["a", "b"])
+    for how in JOIN_METHODS:
+        got = index.probe(left, ["a", "b"], how=how)
+        expected = hash_join(left, right, ["a", "b"], ["a", "b"], how=how)
+        assert_same_rows(got, expected)

@@ -136,3 +136,30 @@ class TestLeftJoinThroughEngine:
             np.asarray(final.column("ckey"))[nan_rows].tolist()
         )
         assert not (matched & unmatched)
+
+
+class TestHashJoinBuildsIndexOnce:
+    """The build side must be factorized into a JoinIndex exactly once
+    per build, no matter how many probe partitions stream through."""
+
+    def test_single_index_across_probe_stream(self, catalog, monkeypatch):
+        from repro.dataframe.join import JoinIndex
+        from repro.engine.ops import join as join_ops
+
+        built = []
+
+        class CountingIndex(JoinIndex):
+            def __init__(self, *args, **kwargs):
+                built.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(join_ops, "JoinIndex", CountingIndex)
+        ctx = WakeContext(catalog)
+        joined = ctx.table("sales").join(
+            ctx.table("customers"), on=[("cust", "ckey")], method="hash"
+        )
+        edf = ctx.run(joined)
+        # sales streams 6 probe partitions; the build side indexes once.
+        assert len(edf) >= 2
+        assert built == [1]
+        assert edf.get_final().n_rows == 60

@@ -11,6 +11,10 @@ from repro import WakeContext
 from repro.tpch.queries import QUERIES
 from tests.tpch.utils import assert_frames_close
 
+# TPC-H-scale threaded runs; the sync equivalence suite covers the same
+# queries in tier-1, so these only run with `pytest -m slow` (or -m "").
+pytestmark = pytest.mark.slow
+
 # A cross-section: per-category, join-heavy, subquery, scalar, anti-join.
 REPRESENTATIVE = (1, 3, 6, 11, 13, 14, 18, 21, 22)
 
