@@ -14,6 +14,7 @@ from typing import Sequence
 from repro.errors import QueryError
 from repro.core.ci import CIConfig
 from repro.core.edf import EvolvingDataFrame
+from repro.core.orderstat import DEFAULT_SKETCH_SIZE, QUANTILE_MODES
 from repro.engine.executor import SyncExecutor, ThreadedExecutor
 from repro.engine.graph import QueryGraph
 from repro.engine.ops import ReadOperator
@@ -33,16 +34,34 @@ class WakeContext:
         capture_all: bool = True,
         ci: CIConfig | None = None,
         partition_shuffle_seed: int | None = None,
+        quantile_mode: str = "exact",
+        sketch_size: int = DEFAULT_SKETCH_SIZE,
     ) -> None:
         if executor not in _EXECUTORS:
             raise QueryError(
                 f"unknown executor {executor!r}; expected one of "
                 f"{_EXECUTORS}"
             )
+        if quantile_mode not in QUANTILE_MODES:
+            raise QueryError(
+                f"unknown quantile_mode {quantile_mode!r}; expected one "
+                f"of {QUANTILE_MODES}"
+            )
+        if sketch_size < 2:
+            raise QueryError(
+                f"sketch_size must be >= 2, got {sketch_size}"
+            )
         self.catalog = catalog or Catalog()
         self.executor = executor
         self.capture_all = capture_all
         self.ci = ci
+        #: Session defaults for median/quantile state maintenance:
+        #: ``"exact"`` keeps the full per-group multiset (footnote-3
+        #: semantics, exact finals); ``"sketch"`` bounds memory with a
+        #: per-group reservoir sample of ``sketch_size`` values
+        #: (approximate, including finals).
+        self.quantile_mode = quantile_mode
+        self.sketch_size = sketch_size
         #: When set, every table is read in a seed-derived shuffled
         #: partition order (the §8.5 out-of-order-input experiment).
         self.partition_shuffle_seed = partition_shuffle_seed

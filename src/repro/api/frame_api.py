@@ -253,14 +253,20 @@ class EdfFrame:
 
     def agg(self, *aggs: AggExpr, by: Sequence[str] = (),
             ci: bool | None = None,
-            growth: str = "fitted") -> "EdfFrame":
+            growth: str = "fitted",
+            quantile_mode: str | None = None,
+            sketch_size: int | None = None) -> "EdfFrame":
         """Aggregate (optionally grouped).
 
         ``ci=True`` attaches §6 confidence-interval sigma columns
         (defaults to the context's CI setting).  ``growth`` selects the
         scaling strategy (§5.2 ablation): ``fitted`` (the paper's
         growth-based inference), ``uniform`` (classic 1/t OLA scaling),
-        or ``none`` (raw merged values).
+        or ``none`` (raw merged values).  ``quantile_mode`` selects how
+        median/quantile state is maintained — ``"exact"`` (per-group
+        multiset, footnote-3 semantics) or ``"sketch"`` (bounded-memory
+        reservoir of ``sketch_size`` values per group, approximate);
+        defaults to the context's setting.
         """
         if not aggs:
             raise QueryError("agg requires at least one aggregate")
@@ -273,9 +279,15 @@ class EdfFrame:
         else:
             config = None
         by = tuple(by)
+        mode = (self._context.quantile_mode if quantile_mode is None
+                else quantile_mode)
+        size = (self._context.sketch_size if sketch_size is None
+                else sketch_size)
         return self._wrap(
             lambda: AggregateOperator(name, specs, by=by, ci=config,
-                                      growth_mode=growth),
+                                      growth_mode=growth,
+                                      quantile_mode=mode,
+                                      sketch_size=size),
             (self._plan,),
         )
 
@@ -309,6 +321,25 @@ class EdfFrame:
         spec = AggExpr("count_distinct", column,
                        alias or f"distinct_{column}")
         return self.agg(spec, by=by)
+
+    def median(self, column: str, by: Sequence[str] = (),
+               alias: str | None = None,
+               quantile_mode: str | None = None,
+               sketch_size: int | None = None) -> "EdfFrame":
+        spec = AggExpr("median", column, alias or f"median_{column}")
+        return self.agg(spec, by=by, quantile_mode=quantile_mode,
+                        sketch_size=sketch_size)
+
+    def quantile(self, column: str, q: float, by: Sequence[str] = (),
+                 alias: str | None = None,
+                 quantile_mode: str | None = None,
+                 sketch_size: int | None = None) -> "EdfFrame":
+        # Lossless default alias: rounding q to a percentile would
+        # collide e.g. quantile(x, 0.995) with quantile(x, 1.0).
+        spec = AggExpr("quantile", column,
+                       alias or f"q{q:g}_{column}", param=q)
+        return self.agg(spec, by=by, quantile_mode=quantile_mode,
+                        sketch_size=sketch_size)
 
     def sort(self, by: Sequence[str] | str,
              desc: bool | Sequence[bool] = False) -> "EdfFrame":

@@ -33,6 +33,11 @@ from repro.core.mergeable import (
     MergeableAggregate,
     StateColumn,
 )
+from repro.core.orderstat import (
+    DEFAULT_SKETCH_SIZE,
+    OrderStatState,
+    QUANTILE_MODES,
+)
 from repro.core.properties import Delivery, Progress, StreamInfo
 from repro.core.state import (
     GroupedAggregateState,
@@ -45,6 +50,7 @@ __all__ = [
     "AggregateInference",
     "CARDINALITY_COLUMN",
     "CIConfig",
+    "DEFAULT_SKETCH_SIZE",
     "Delivery",
     "EdfSnapshot",
     "EvolvingDataFrame",
@@ -53,7 +59,9 @@ __all__ = [
     "GrowthSnapshot",
     "IntrinsicStore",
     "MergeableAggregate",
+    "OrderStatState",
     "Progress",
+    "QUANTILE_MODES",
     "SIGMA_SUFFIX",
     "StateColumn",
     "StreamInfo",

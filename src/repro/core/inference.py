@@ -173,6 +173,9 @@ class AggregateInference:
             return estimate, sigma
 
         if agg in ("median", "quantile"):
+            # Incremental read: the state answers from slot-aligned merged
+            # runs (exact mode) or a bounded reservoir (sketch mode) —
+            # never by re-grouping the consumed history.
             estimate = state.sample_quantiles(spec)
             # Sample quantiles are asymptotically unbiased (§5.4, van der
             # Vaart 21.2); interval estimation (bootstrap) is out of

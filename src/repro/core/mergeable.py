@@ -20,10 +20,17 @@ numeric merges reduce to elementwise sum/min/max after a key-based
 re-group, and count-distinct keeps exact per-group value sets (paper
 footnote 3 — never sketches), represented as a distinct (key, value) pairs
 frame whose union is concat + distinct.
+
+Order statistics (``median``/``quantile``) carry no flat state columns;
+their intrinsic representation is a per-slot
+:class:`~repro.core.orderstat.OrderStatState` — the exact multiset as
+incrementally-merged sorted runs by default, or an opt-in bounded-memory
+reservoir sketch (``quantile_mode="sketch"``).
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,6 +44,7 @@ from repro.dataframe.groupby import (
     group_min,
     group_sum,
 )
+from repro.core.orderstat import DEFAULT_SKETCH_SIZE, OrderStatState
 
 #: Name of the synthetic per-group input-cardinality column x_i(t).
 CARDINALITY_COLUMN = "__card__"
@@ -72,10 +80,27 @@ class MergeableAggregate:
         return self.spec.agg == "count_distinct"
 
     @property
-    def needs_value_buffer(self) -> bool:
-        """Order statistics beyond min/max keep the exact per-group value
-        multiset (the quantile analogue of footnote 3's exact sets)."""
+    def needs_order_stats(self) -> bool:
+        """Order statistics beyond min/max keep per-group value state —
+        the exact multiset (the quantile analogue of footnote 3's exact
+        sets) or an opt-in bounded-memory sketch."""
         return self.spec.agg in ("median", "quantile")
+
+    def make_order_stat(
+        self,
+        mode: str = "exact",
+        sketch_size: int = DEFAULT_SKETCH_SIZE,
+    ) -> OrderStatState | None:
+        """Fresh per-slot order-statistic state for this spec (None for
+        non-quantile aggregates).  Sketch randomness is seeded from the
+        alias so repeated runs are reproducible."""
+        if not self.needs_order_stats:
+            return None
+        return OrderStatState(
+            mode=mode,
+            sketch_size=sketch_size,
+            seed=zlib.crc32(self.spec.alias.encode()),
+        )
 
     @property
     def state_columns(self) -> tuple[StateColumn, ...]:

@@ -8,10 +8,11 @@ Two structures live here:
 * :class:`GroupedAggregateState` — the aggregate operator's intrinsic
   state: fixed-slot numpy arrays of mergeable columns keyed by a
   persistent :class:`~repro.dataframe.groupby.Grouper` slot mapping, plus
-  exact distinct-pair counters for count-distinct and value buffers for
-  order statistics.  It supports both update styles: ``consume_delta``
-  merges a partial in (Case 2 input), ``begin_version`` resets for a full
-  snapshot (Case 3 / REPLACE input).
+  exact distinct-pair counters for count-distinct and slot-aligned
+  :class:`~repro.core.orderstat.OrderStatState` for order statistics.
+  It supports both update styles: ``consume_delta`` merges a partial in
+  (Case 2 input), ``begin_version`` resets for a full snapshot (Case 3 /
+  REPLACE input).
 
 ``consume_delta`` is deliberately O(|partial| + new groups): incoming rows
 are slot-encoded once, per-slot partial aggregates are computed with dense
@@ -31,18 +32,13 @@ import numpy as np
 
 from repro.errors import QueryError
 from repro.dataframe.frame import DataFrame
-from repro.dataframe.groupby import (
-    AggSpec,
-    Grouper,
-    group_codes,
-    group_quantile,
-)
-from repro.dataframe.join import inner_join_indices, shared_codes
+from repro.dataframe.groupby import AggSpec, Grouper
 from repro.core.mergeable import (
     CARDINALITY_COLUMN,
     MergeableAggregate,
     StateColumn,
 )
+from repro.core.orderstat import DEFAULT_SKETCH_SIZE, OrderStatState
 
 #: Synthetic key column injected for global (ungrouped) aggregates.
 SYNTHETIC_KEY = "__group__"
@@ -115,7 +111,11 @@ class GroupedAggregateState:
     * the mergeable state columns of every :class:`AggSpec`,
     * for count-distinct specs, an incrementally-maintained distinct
       (key, value)-pair counter, and
-    * for order-statistic specs, the exact per-group value multiset.
+    * for order-statistic specs, a per-slot
+      :class:`~repro.core.orderstat.OrderStatState` — the exact value
+      multiset as incrementally-merged sorted runs (``quantile_mode
+      ="exact"``, the default), or a bounded-memory reservoir sketch
+      (``"sketch"``).
 
     ``version`` counts complete refreshes; ``rows_consumed`` counts input
     tuples folded into the *current* version (the basis of growth fitting).
@@ -126,11 +126,17 @@ class GroupedAggregateState:
         by: Sequence[str],
         specs: Sequence[AggSpec],
         track_moments: bool = False,
+        quantile_mode: str = "exact",
+        sketch_size: int = DEFAULT_SKETCH_SIZE,
     ) -> None:
         if not specs:
             raise QueryError("aggregate state requires at least one AggSpec")
+        # quantile_mode validation is owned by OrderStatState (built in
+        # _reset_slots whenever an order-statistic spec is present).
         self.by = tuple(by)
         self.specs = tuple(specs)
+        self.quantile_mode = quantile_mode
+        self.sketch_size = sketch_size
         self._synthetic_key = not self.by
         self._keys = self.by if self.by else (SYNTHETIC_KEY,)
         self.mergeables = tuple(
@@ -156,9 +162,15 @@ class GroupedAggregateState:
             for m in self.mergeables
             if m.needs_distinct_pairs
         }
-        # median/quantile: per-spec value-buffer part lists, concatenated
-        # lazily (and cached) on read.
-        self._values: dict[str, list[DataFrame]] = {}
+        # median/quantile: per-spec incremental order-statistic state,
+        # slot-aligned with the main Grouper (no key re-encoding on read).
+        self._orderstats: dict[str, OrderStatState] = {}
+        for mergeable in self.mergeables:
+            stats = mergeable.make_order_stat(
+                self.quantile_mode, self.sketch_size
+            )
+            if stats is not None:
+                self._orderstats[mergeable.spec.alias] = stats
         self._frame_cache: DataFrame | None = None
         self._perm: np.ndarray | None = None
 
@@ -224,8 +236,11 @@ class GroupedAggregateState:
         for mergeable in self.mergeables:
             if mergeable.needs_distinct_pairs:
                 self._consume_pairs(mergeable.spec, frame)
-            if mergeable.needs_value_buffer:
-                self._consume_values(mergeable.spec, frame)
+            if mergeable.needs_order_stats:
+                assert mergeable.spec.column is not None
+                self._orderstats[mergeable.spec.alias].consume(
+                    codes, frame.column(mergeable.spec.column)
+                )
         self.rows_consumed += frame.n_rows
         self._frame_cache = None
 
@@ -276,21 +291,6 @@ class GroupedAggregateState:
         slots = self._grouper.encode(new_pairs)
         np.add.at(self._distinct_counts[spec.alias], slots, 1.0)
 
-    def _consume_values(self, spec: AggSpec, frame: DataFrame) -> None:
-        """Multiset union for quantile buffers (append a part, no copy)."""
-        assert spec.column is not None
-        incoming = frame.select([*self._keys, spec.column])
-        self._values.setdefault(spec.alias, []).append(incoming)
-
-    def _value_buffer(self, alias: str) -> DataFrame | None:
-        parts = self._values.get(alias)
-        if not parts:
-            return None
-        if len(parts) > 1:
-            parts = [DataFrame.concat(parts)]
-            self._values[alias] = parts
-        return parts[0]
-
     # -- readers ----------------------------------------------------------------
     def _sort_perm(self) -> np.ndarray:
         """Slot permutation yielding key-sorted output rows (matching the
@@ -331,29 +331,19 @@ class GroupedAggregateState:
         return counts[self._sort_perm()]
 
     def sample_quantiles(self, spec: AggSpec) -> np.ndarray:
-        """Per-group sample quantiles from the value buffer, aligned with
-        :meth:`state_frame` row order (the paper's f_order: the latest
-        observed order statistic)."""
+        """Per-group sample quantiles from the incremental order-statistic
+        state, aligned with :meth:`state_frame` row order (the paper's
+        f_order: the latest observed order statistic).
+
+        Slots are shared with the main :class:`Grouper`, so the read is a
+        direct slot gather — O(groups + new values since the last read),
+        never a re-group of the full history."""
         state = self.state_frame()
-        buffer = self._value_buffer(spec.alias)
-        if buffer is None or buffer.n_rows == 0:
+        stats = self._orderstats.get(spec.alias)
+        if stats is None or stats.n_values == 0:
             return np.full(state.n_rows, np.nan)
-        buf_codes, buf_keys, n_buf_groups = group_codes(
-            buffer, list(self._keys)
-        )
-        assert spec.column is not None
-        quantiles = group_quantile(
-            buf_codes, n_buf_groups, buffer.column(spec.column),
-            spec.quantile_fraction,
-        )
-        state_codes, key_codes = shared_codes(
-            [state.column(k) for k in self._keys],
-            [buf_keys.column(k) for k in self._keys],
-        )
-        li, ri = inner_join_indices(state_codes, key_codes)
-        out = np.full(state.n_rows, np.nan)
-        out[li] = quantiles[ri]
-        return out
+        per_slot = stats.quantiles(spec.quantile_fraction, self.n_groups)
+        return per_slot[self._sort_perm()]
 
     def output_keys(self) -> tuple[str, ...]:
         """Key columns that appear in user-facing output frames."""

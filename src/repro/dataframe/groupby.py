@@ -350,28 +350,51 @@ def group_nunique(codes: np.ndarray, n_groups: int,
     return np.bincount(owner, minlength=n_groups).astype(np.int64)
 
 
+def slot_quantile(sorted_values: np.ndarray, offsets: np.ndarray,
+                  q: float) -> np.ndarray:
+    """Per-slot sample quantile over a slot-sorted value buffer.
+
+    ``sorted_values`` holds every slot's values in one flat array, sorted
+    within each slot (NaN last, numpy sort order); ``offsets`` has length
+    ``n_slots + 1`` with slot ``s`` occupying
+    ``sorted_values[offsets[s]:offsets[s + 1]]``.  Linear interpolation
+    (the numpy 'linear' method), NaN for empty slots.  This is the kernel
+    the incremental order-statistic state reads through — sharing it with
+    :func:`group_quantile` keeps the two paths bit-identical.
+    """
+    n_slots = len(offsets) - 1
+    out = np.full(n_slots, np.nan, dtype=np.float64)
+    counts = np.diff(offsets)
+    present = counts > 0
+    if not present.any():
+        return out
+    starts = np.asarray(offsets[:-1][present], dtype=np.int64)
+    n = counts[present]
+    # Positions are computed *within* each segment so the result is
+    # independent of where the segment sits in the buffer — the same
+    # multiset yields bitwise the same quantile under any slot ordering
+    # (incremental slot order vs one-shot sorted-key order).
+    position = q * (n - 1)
+    lo = np.floor(position).astype(np.int64)
+    hi = np.minimum(lo + 1, n - 1)
+    frac = position - lo
+    out[present] = (sorted_values[starts + lo] * (1.0 - frac)
+                    + sorted_values[starts + hi] * frac)
+    return out
+
+
 def group_quantile(codes: np.ndarray, n_groups: int,
                    values: np.ndarray, q: float) -> np.ndarray:
     """Per-group sample quantile with linear interpolation (the numpy
     'linear' method), NaN for empty groups."""
-    out = np.full(n_groups, np.nan, dtype=np.float64)
     if len(codes) == 0:
-        return out
+        return np.full(n_groups, np.nan, dtype=np.float64)
     vals = values.astype(np.float64, copy=False)
     order = np.lexsort((vals, codes))
-    sorted_codes = codes[order]
     sorted_vals = vals[order]
-    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
-    starts = np.concatenate(([0], boundaries))
-    ends = np.concatenate((boundaries, [len(sorted_codes)]))
-    counts = ends - starts
-    present = sorted_codes[starts]
-    position = starts + q * (counts - 1)
-    lo = np.floor(position).astype(np.int64)
-    hi = np.minimum(lo + 1, ends - 1)
-    frac = position - lo
-    out[present] = sorted_vals[lo] * (1.0 - frac) + sorted_vals[hi] * frac
-    return out
+    counts = np.bincount(codes, minlength=n_groups)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    return slot_quantile(sorted_vals, offsets, q)
 
 
 def group_first(codes: np.ndarray, n_groups: int,

@@ -311,33 +311,62 @@ class ThreadedExecutor:
         }
         sink_channel: queue.Queue = queue.Queue()
         errors: list[BaseException] = []
+        #: Set on the first node error.  Once aborting, every blocked
+        #: bounded-channel put converts into a bounded retry that drops
+        #: its item — consumers may already have exited, and a blocking
+        #: put into a full channel nobody drains would park the producer
+        #: until the join timeout, masking the original error.
+        abort = threading.Event()
+
+        def put_item(channel_: queue.Queue, item: object) -> None:
+            while True:
+                try:
+                    channel_.put(item, timeout=0.05)
+                    return
+                except queue.Full:
+                    if abort.is_set():
+                        return  # receiver is gone; drop on the floor
 
         def send(node_id: int, item: object) -> None:
             """Fan out one item to a node's subscribers (and the sink)."""
             if node_id == self.output:
-                sink_channel.put(item)
+                sink_channel.put(item)  # unbounded, never blocks
             for sub_id, sub_port in subscribers[node_id]:
-                channels[sub_id].put((sub_port, item))
+                put_item(channels[sub_id], (sub_port, item))
+
+        def fail(exc: BaseException, node_id: int, progress) -> None:
+            """Error path: record, flip the abort flag, then poison
+            downstream with EOF so the graph drains instead of hanging."""
+            errors.append(exc)
+            abort.set()
+            send(node_id, Eof(progress))
 
         def source_main(node_id: int) -> None:
             op = graph.node(node_id).operator
             assert isinstance(op, SourceOperator)
             try:
                 for message in op.stream():
+                    if abort.is_set():
+                        break
                     if self.source_delay:
                         time.sleep(self.source_delay)
                     send(node_id, message)
                 send(node_id, Eof(op.progress))
             except BaseException as exc:  # noqa: BLE001 - forwarded to main
-                errors.append(exc)
-                send(node_id, Eof(op.progress))
+                fail(exc, node_id, op.progress)
 
         def worker_main(node_id: int) -> None:
             op = graph.node(node_id).operator
             channel = channels[node_id]
             try:
                 while True:
-                    port, item = channel.get()
+                    try:
+                        port, item = channel.get(timeout=0.05)
+                    except queue.Empty:
+                        if abort.is_set():
+                            send(node_id, Eof(op.progress))
+                            return
+                        continue
                     start = time.perf_counter()
                     if isinstance(item, Message):
                         outputs = op.on_message(port, item)
@@ -352,8 +381,7 @@ class ThreadedExecutor:
                         send(node_id, Eof(op.progress))
                         return
             except BaseException as exc:  # noqa: BLE001
-                errors.append(exc)
-                send(node_id, Eof(op.progress))
+                fail(exc, node_id, op.progress)
 
         threads: list[threading.Thread] = []
         for nid in graph.nodes:
@@ -377,7 +405,16 @@ class ThreadedExecutor:
             thread.start()
         yielded = 0
         while True:
-            item = sink_channel.get()
+            try:
+                item = sink_channel.get(timeout=0.1)
+            except queue.Empty:
+                # Belt and braces: if the output's EOF was lost to an
+                # aborting channel, stop once every node thread is done.
+                if abort.is_set() and not any(
+                    t.is_alive() for t in threads
+                ):
+                    break
+                continue
             if isinstance(item, Eof):
                 sink.finish(item.progress)
             else:
@@ -387,16 +424,22 @@ class ThreadedExecutor:
                 yielded += 1
             if isinstance(item, Eof):
                 break
+        # With the abort protocol above, threads unblock within one retry
+        # interval of a failure; a short timeout suffices on that path.
+        join_timeout = 5.0 if errors else 30.0
         for thread in threads:
-            thread.join(timeout=30.0)
+            thread.join(timeout=join_timeout)
+        if errors:
+            # The original failure always wins over secondary symptoms
+            # (e.g. a straggler thread still tearing down).
+            raise ExecutionError(
+                f"execution failed: {errors[0]!r}"
+            ) from errors[0]
+        for thread in threads:
             if thread.is_alive():
                 raise ExecutionError(
                     f"thread {thread.name} failed to terminate"
                 )
-        if errors:
-            raise ExecutionError(
-                f"execution failed: {errors[0]!r}"
-            ) from errors[0]
         if not len(sink.edf):
             _append_empty_final(sink, infos[self.output].schema,
                                 graph.node(self.output).operator.progress,

@@ -31,6 +31,7 @@ from repro.dataframe.schema import AttributeKind, DType, Field, Schema
 from repro.core.ci import CIConfig, sigma_column
 from repro.core.growth import GrowthModel
 from repro.core.inference import AggregateInference
+from repro.core.orderstat import DEFAULT_SKETCH_SIZE, QUANTILE_MODES
 from repro.core.properties import Delivery, StreamInfo
 from repro.core.state import GroupedAggregateState
 from repro.engine.message import Message
@@ -67,6 +68,8 @@ class AggregateOperator(Operator):
         by: Sequence[str] = (),
         ci: CIConfig | None = None,
         growth_mode: str = "fitted",
+        quantile_mode: str = "exact",
+        sketch_size: int = DEFAULT_SKETCH_SIZE,
     ) -> None:
         super().__init__(name)
         if not specs:
@@ -76,14 +79,28 @@ class AggregateOperator(Operator):
                 f"aggregate {self.name!r}: unknown growth_mode "
                 f"{growth_mode!r}; expected one of {self.GROWTH_MODES}"
             )
+        if quantile_mode not in QUANTILE_MODES:
+            raise QueryError(
+                f"aggregate {self.name!r}: unknown quantile_mode "
+                f"{quantile_mode!r}; expected one of {QUANTILE_MODES}"
+            )
+        if sketch_size < 2:
+            raise QueryError(
+                f"aggregate {self.name!r}: sketch_size must be >= 2, "
+                f"got {sketch_size}"
+            )
         self.specs = tuple(specs)
         self.by = tuple(by)
         self.ci = ci
         self.growth_mode = growth_mode
+        self.quantile_mode = quantile_mode
+        self.sketch_size = sketch_size
         self.local_mode = False
         self._state: GroupedAggregateState | None = None
         self._inference: AggregateInference | None = None
         self._emitted_final = False
+        self._has_emitted = False
+        self._last_schema: Schema | None = None
 
     # -- plan time ---------------------------------------------------------------
     def _derive_info(self, inputs: tuple[StreamInfo, ...]) -> StreamInfo:
@@ -135,7 +152,9 @@ class AggregateOperator(Operator):
 
         # shuffle mode: configure intrinsic state + inference
         self._state = GroupedAggregateState(
-            self.by, self.specs, track_moments=self.ci is not None
+            self.by, self.specs, track_moments=self.ci is not None,
+            quantile_mode=self.quantile_mode,
+            sketch_size=self.sketch_size,
         )
         if self.growth_mode == "uniform":
             growth = GrowthModel.pinned(1.0)
@@ -163,14 +182,39 @@ class AggregateOperator(Operator):
         else:
             self._state.consume_delta(message.frame)
         if self._state.n_groups == 0:
-            return []
+            return self._emit_empty()
         t = self.progress.fraction
         self._inference.observe(self._state, t)
         out = self._inference.infer(self._state, t)
         if t >= 1.0:
             self._emitted_final = True
+        self._has_emitted = True
+        self._last_schema = out.schema
         return [
             Message(frame=out, progress=self.progress,
+                    kind=Delivery.REPLACE)
+        ]
+
+    def _emit_empty(self) -> list[Message]:
+        """Overwrite a previously-emitted estimate with an empty REPLACE
+        snapshot when the state has no groups.
+
+        A REPLACE input that shrinks from non-empty to empty resets the
+        state to zero groups; staying silent here would leave the stale
+        previous estimate in every downstream sink forever.  Before
+        anything was emitted there is nothing to retract, so empty input
+        prefixes still produce no spurious snapshots."""
+        if not self._has_emitted:
+            return []
+        # _last_schema is set whenever _has_emitted is; reusing it (not
+        # the planned schema) keeps attribute kinds/dtypes consistent
+        # with the snapshots already sitting in downstream sinks.
+        assert self._last_schema is not None
+        schema = self._last_schema
+        if self.progress.fraction >= 1.0:
+            self._emitted_final = True
+        return [
+            Message(frame=DataFrame.empty(schema), progress=self.progress,
                     kind=Delivery.REPLACE)
         ]
 
@@ -201,9 +245,13 @@ class AggregateOperator(Operator):
             return []
         assert self._state is not None and self._inference is not None
         if self._state.n_groups == 0:
-            return []
+            # Same stale-estimate guard as _handle_message: retract a
+            # previously-emitted estimate with an empty final snapshot.
+            self._emitted_final = True
+            return self._emit_empty()
         out = self._inference.infer(self._state, 1.0)
         self._emitted_final = True
+        self._has_emitted = True
         return [
             Message(frame=out, progress=self.progress,
                     kind=Delivery.REPLACE)

@@ -1,0 +1,125 @@
+"""NaN-semantics parity: the incremental state must be indistinguishable
+from the one-shot ``group_aggregate`` path wherever NaN appears in the
+measure column (satellite of the order-statistics rework):
+
+* ``count_distinct`` — NaN is one distinct value (np.unique equal_nan);
+* ``median``/``quantile`` — NaN joins the multiset, sorts last, and
+  counts toward the quantile position (so upper quantiles go NaN);
+* ``min``/``max`` — NaN poisons the group (numpy min/max propagation),
+  including all-NaN groups.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import AggSpec, DataFrame, group_aggregate
+from repro.core.state import GroupedAggregateState
+
+
+def stream(state, frame, n_parts):
+    bounds = np.linspace(0, frame.n_rows, n_parts + 1).astype(int)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        state.consume_delta(frame.slice(int(lo), int(hi)))
+
+
+def nan_frame():
+    """Groups exercising every NaN corner: mixed NaN, all-NaN, NaN-free,
+    and duplicate NaN for the distinct counter."""
+    return DataFrame(
+        {
+            "k": np.array(
+                [0, 0, 0, 1, 1, 2, 2, 2, 3], dtype=np.int64
+            ),
+            "v": np.array(
+                [1.0, np.nan, 2.0,          # mixed
+                 np.nan, np.nan,            # all-NaN group
+                 5.0, 3.0, 4.0,             # NaN-free
+                 np.nan],                   # singleton NaN
+            ),
+        }
+    )
+
+
+@pytest.mark.parametrize("n_parts", [1, 2, 4, 9])
+def test_count_distinct_nan_is_one_value(n_parts):
+    frame = nan_frame()
+    spec = AggSpec("count_distinct", "v", "d")
+    state = GroupedAggregateState(by=("k",), specs=(spec,))
+    stream(state, frame, n_parts)
+    expected = group_aggregate(frame, ["k"], [spec])
+    np.testing.assert_allclose(
+        state.distinct_counts(spec), expected.column("d")
+    )
+    # Explicit: the all-NaN group counts exactly one distinct value.
+    assert dict(zip(expected.column("k").tolist(),
+                    expected.column("d").tolist()))[1] == 1
+
+
+@pytest.mark.parametrize("n_parts", [1, 3, 9])
+@pytest.mark.parametrize("q", [0.0, 0.25, 0.5, 0.9, 1.0])
+def test_quantile_nan_groups_match_one_shot(n_parts, q):
+    frame = nan_frame()
+    spec = AggSpec("quantile", "v", "qv", param=q)
+    state = GroupedAggregateState(by=("k",), specs=(spec,))
+    stream(state, frame, n_parts)
+    expected = group_aggregate(frame, ["k"], [spec])
+    np.testing.assert_array_equal(
+        state.sample_quantiles(spec), expected.column("qv")
+    )
+
+
+@pytest.mark.parametrize("n_parts", [1, 2, 9])
+def test_min_max_all_nan_groups_match_one_shot(n_parts):
+    frame = nan_frame()
+    specs = (AggSpec("min", "v", "lo"), AggSpec("max", "v", "hi"))
+    state = GroupedAggregateState(by=("k",), specs=specs)
+    stream(state, frame, n_parts)
+    got = state.state_frame()
+    expected = group_aggregate(frame, ["k"], list(specs))
+    np.testing.assert_array_equal(got.column("__lo__min"),
+                                  expected.column("lo"))
+    np.testing.assert_array_equal(got.column("__hi__max"),
+                                  expected.column("hi"))
+    # The all-NaN group is NaN, not a merge identity leak.
+    assert np.isnan(got.column("__lo__min")[1])
+    assert np.isnan(got.column("__hi__max")[1])
+
+
+@given(
+    data=st.lists(
+        st.tuples(
+            st.integers(0, 3),
+            st.one_of(st.just(float("nan")), st.floats(-100, 100)),
+        ),
+        min_size=1, max_size=50,
+    ),
+    n_parts=st.integers(1, 5),
+    q=st.sampled_from([0.1, 0.5, 1.0]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_nan_parity(data, n_parts, q):
+    ks, vs = zip(*data)
+    frame = DataFrame(
+        {"k": np.array(ks, dtype=np.int64), "v": np.array(vs)}
+    )
+    specs = (
+        AggSpec("quantile", "v", "qv", param=q),
+        AggSpec("min", "v", "lo"),
+        AggSpec("max", "v", "hi"),
+        AggSpec("count_distinct", "v", "d"),
+    )
+    state = GroupedAggregateState(by=("k",), specs=specs)
+    stream(state, frame, n_parts)
+    got = state.state_frame()
+    expected = group_aggregate(frame, ["k"], list(specs))
+    np.testing.assert_array_equal(
+        state.sample_quantiles(specs[0]), expected.column("qv")
+    )
+    np.testing.assert_array_equal(got.column("__lo__min"),
+                                  expected.column("lo"))
+    np.testing.assert_array_equal(got.column("__hi__max"),
+                                  expected.column("hi"))
+    np.testing.assert_allclose(state.distinct_counts(specs[3]),
+                               expected.column("d"))

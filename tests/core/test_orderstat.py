@@ -1,0 +1,227 @@
+"""Unit tests for the incremental order-statistic state (tentpole of the
+quantile rework): exact mode must be bit-identical to a one-shot
+``group_quantile`` over any partitioning; sketch mode must bound memory
+and stay close to the exact answer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.orderstat import OrderStatState, QUANTILE_MODES
+from repro.core.state import GroupedAggregateState
+from repro.dataframe import AggSpec, DataFrame
+from repro.dataframe.groupby import group_quantile, slot_quantile
+from repro.errors import QueryError
+
+
+def one_shot(slots, values, n_slots, q):
+    return group_quantile(
+        np.asarray(slots, dtype=np.int64), n_slots,
+        np.asarray(values, dtype=np.float64), q,
+    )
+
+
+class TestSlotQuantileKernel:
+    def test_matches_group_quantile(self):
+        rng = np.random.default_rng(3)
+        codes = np.sort(rng.integers(0, 5, size=200).astype(np.int64))
+        vals = rng.normal(size=200)
+        order = np.lexsort((vals, codes))
+        sorted_vals = vals[order]
+        offsets = np.concatenate(
+            ([0], np.cumsum(np.bincount(codes, minlength=5)))
+        )
+        for q in (0.0, 0.3, 0.5, 1.0):
+            np.testing.assert_array_equal(
+                slot_quantile(sorted_vals, offsets, q),
+                group_quantile(codes, 5, vals, q),
+            )
+
+    def test_empty_slots_are_nan(self):
+        out = slot_quantile(np.array([1.0]), np.array([0, 0, 1, 1]), 0.5)
+        assert np.isnan(out[0]) and out[1] == 1.0 and np.isnan(out[2])
+
+    def test_all_empty(self):
+        out = slot_quantile(np.empty(0), np.array([0, 0, 0]), 0.5)
+        assert np.isnan(out).all()
+
+
+class TestExactMode:
+    def test_mode_validation(self):
+        with pytest.raises(QueryError, match="quantile_mode"):
+            OrderStatState(mode="tdigest")
+        assert set(QUANTILE_MODES) == {"exact", "sketch"}
+
+    def test_single_slot_merge(self):
+        state = OrderStatState()
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=300)
+        for start in range(0, 300, 30):
+            chunk = values[start:start + 30]
+            state.consume(np.zeros(30, dtype=np.int64), chunk)
+            # interleave reads: every read consolidates pending runs
+            got = state.quantiles(0.5, 1)
+            assert got[0] == np.median(values[:start + 30])
+        assert state.n_values == 300
+
+    def test_out_of_order_slots_and_new_slots_mid_stream(self):
+        rng = np.random.default_rng(1)
+        slots = rng.integers(0, 40, size=2000).astype(np.int64)
+        vals = rng.normal(size=2000)
+        state = OrderStatState()
+        # slot 39 appears only late; early reads see fewer slots
+        early = slots[:500] % 20
+        state.consume(early, vals[:500])
+        np.testing.assert_array_equal(
+            state.quantiles(0.7, 20), one_shot(early, vals[:500], 20, 0.7)
+        )
+        state.consume(slots[500:], vals[500:])
+        combined_slots = np.concatenate([early, slots[500:]])
+        np.testing.assert_array_equal(
+            state.quantiles(0.7, 40),
+            one_shot(combined_slots, vals, 40, 0.7),
+        )
+
+    def test_duplicate_values_and_nan(self):
+        state = OrderStatState()
+        slots = np.array([0, 0, 0, 0, 1, 1], dtype=np.int64)
+        vals = np.array([2.0, 2.0, np.nan, 1.0, np.nan, np.nan])
+        state.consume(slots[:3], vals[:3])
+        state.consume(slots[3:], vals[3:])
+        for q in (0.0, 0.5, 1.0):
+            np.testing.assert_array_equal(
+                state.quantiles(q, 2), one_shot(slots, vals, 2, q)
+            )
+
+    def test_read_between_snapshots_is_cached(self):
+        state = OrderStatState()
+        state.consume(np.zeros(5, dtype=np.int64), np.arange(5.0))
+        first = state.quantiles(0.5, 1)
+        again = state.quantiles(0.5, 1)
+        np.testing.assert_array_equal(first, again)
+        assert not state._pending  # consolidation happened exactly once
+
+    def test_empty_partial_is_noop(self):
+        state = OrderStatState()
+        state.consume(np.empty(0, dtype=np.int64), np.empty(0))
+        assert state.n_values == 0
+        assert np.isnan(state.quantiles(0.5, 3)).all()
+
+
+@given(
+    values=st.lists(
+        st.tuples(st.integers(0, 5),
+                  st.one_of(st.just(float("nan")),
+                            st.floats(-1e6, 1e6))),
+        min_size=1, max_size=150,
+    ),
+    n_parts=st.integers(1, 7),
+    q=st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+    reads=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_exact_merge_invariance(values, n_parts, q, reads):
+    """Any partitioning, with or without interleaved reads, is
+    bit-identical to the one-shot kernel over the whole stream."""
+    slots = np.array([s for s, _ in values], dtype=np.int64)
+    vals = np.array([v for _, v in values], dtype=np.float64)
+    n_slots = int(slots.max()) + 1
+    state = OrderStatState()
+    bounds = np.linspace(0, len(vals), n_parts + 1).astype(int)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        state.consume(slots[lo:hi], vals[lo:hi])
+        if reads and hi > 0:
+            state.quantiles(q, int(slots[:hi].max()) + 1)
+    np.testing.assert_array_equal(
+        state.quantiles(q, n_slots), one_shot(slots, vals, n_slots, q)
+    )
+
+
+class TestSketchMode:
+    def test_small_stream_is_exact(self):
+        """Below capacity the reservoir holds everything: sketch == exact."""
+        state = OrderStatState(mode="sketch", sketch_size=64)
+        slots = np.array([0, 1, 0, 1, 0], dtype=np.int64)
+        vals = np.array([3.0, 10.0, 1.0, 20.0, 2.0])
+        state.consume(slots, vals)
+        np.testing.assert_array_equal(
+            state.quantiles(0.5, 2), one_shot(slots, vals, 2, 0.5)
+        )
+
+    def test_memory_is_bounded(self):
+        state = OrderStatState(mode="sketch", sketch_size=128)
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            state.consume(
+                rng.integers(0, 4, size=1000).astype(np.int64),
+                rng.normal(size=1000),
+            )
+        assert state.n_values == 50_000
+        assert state.nbytes() <= 4 * 128 * 8 * 2  # reservoir matrix only
+
+    def test_approximates_true_quantile(self):
+        state = OrderStatState(mode="sketch", sketch_size=1024)
+        rng = np.random.default_rng(3)
+        vals = rng.normal(0.0, 1.0, size=60_000)
+        for start in range(0, len(vals), 5000):
+            chunk = vals[start:start + 5000]
+            state.consume(
+                np.zeros(len(chunk), dtype=np.int64), chunk
+            )
+        got = state.quantiles(0.5, 1)[0]
+        assert got == pytest.approx(float(np.median(vals)), abs=0.15)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(4)
+        slots = rng.integers(0, 3, size=5000).astype(np.int64)
+        vals = rng.normal(size=5000)
+        results = []
+        for _ in range(2):
+            state = OrderStatState(mode="sketch", sketch_size=32, seed=9)
+            state.consume(slots, vals)
+            results.append(state.quantiles(0.5, 3))
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_sketch_size_validation(self):
+        with pytest.raises(QueryError, match="sketch_size"):
+            OrderStatState(mode="sketch", sketch_size=1)
+
+
+class TestStateIntegration:
+    def test_state_threads_quantile_mode(self):
+        rng = np.random.default_rng(5)
+        frame = DataFrame(
+            {
+                "k": rng.integers(0, 3, size=4000).astype(np.int64),
+                "v": rng.normal(size=4000),
+            }
+        )
+        spec = AggSpec("median", "v", "med")
+        exact = GroupedAggregateState(by=("k",), specs=(spec,))
+        sketch = GroupedAggregateState(
+            by=("k",), specs=(spec,), quantile_mode="sketch",
+            sketch_size=512,
+        )
+        for start in range(0, 4000, 500):
+            part = frame.slice(start, start + 500)
+            exact.consume_delta(part)
+            sketch.consume_delta(part)
+        e = exact.sample_quantiles(spec)
+        s = sketch.sample_quantiles(spec)
+        np.testing.assert_allclose(s, e, atol=0.25)
+
+    def test_state_rejects_bad_mode(self):
+        with pytest.raises(QueryError, match="quantile_mode"):
+            GroupedAggregateState(
+                by=("k",), specs=(AggSpec("median", "v", "m"),),
+                quantile_mode="approx",
+            )
+
+    def test_snapshot_reset_resets_orderstat(self):
+        spec = AggSpec("median", "v", "m")
+        state = GroupedAggregateState(by=(), specs=(spec,))
+        state.consume_delta(DataFrame({"v": np.full(10, 100.0)}))
+        assert state.sample_quantiles(spec)[0] == 100.0
+        state.consume_snapshot(DataFrame({"v": np.array([1.0, 3.0])}))
+        assert state.sample_quantiles(spec)[0] == 2.0

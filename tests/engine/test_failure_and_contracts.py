@@ -1,5 +1,7 @@
 """Failure injection and operator-contract tests for the executors."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -13,6 +15,7 @@ from repro.engine.ops import (
 )
 from repro.engine.ops.base import Operator, SourceOperator
 from repro.errors import ExecutionError
+from repro.storage import Catalog, write_table
 
 
 class ExplodingOperator(Operator):
@@ -57,6 +60,37 @@ class TestFailureInjection:
         filt = graph.add(FilterOperator("f", col("qty") > 0), (boom,))
         with pytest.raises(ExecutionError):
             ThreadedExecutor(graph, filt).run()
+
+    def test_error_path_does_not_hang_on_full_channels(self, tmp_path):
+        """Regression: a consumer that dies while its bounded input
+        channel is full used to leave the source thread parked in a
+        blocking put forever — run() then burned the full 30 s join
+        timeout and raised 'failed to terminate' instead of the original
+        error.  With many more partitions than CHANNEL_CAPACITY the
+        source is guaranteed to outrun the dead consumer; the original
+        error must surface promptly."""
+        n_parts = ThreadedExecutor.CHANNEL_CAPACITY * 4
+        frame = DataFrame(
+            {
+                "k": np.arange(n_parts, dtype=np.int64),
+                "qty": np.ones(n_parts),
+            }
+        )
+        cat = Catalog(root=str(tmp_path))
+        write_table(
+            cat, tmp_path / "wide", "wide", frame, rows_per_partition=1,
+            primary_key=["k"], clustering_key=["k"],
+        )
+        graph = QueryGraph()
+        read = graph.add(ReadOperator(cat.table("wide")))
+        boom = graph.add(ExplodingOperator(after=0), (read,))
+        start = time.perf_counter()
+        with pytest.raises(ExecutionError, match="injected failure"):
+            ThreadedExecutor(graph, boom).run()
+        assert time.perf_counter() - start < 15.0, (
+            "error path should unblock producers, not ride out the join "
+            "timeout"
+        )
 
 
 class TestOperatorContracts:
