@@ -18,6 +18,7 @@ from repro.core.orderstat import DEFAULT_SKETCH_SIZE, QUANTILE_MODES
 from repro.engine.executor import SyncExecutor, ThreadedExecutor
 from repro.engine.graph import QueryGraph
 from repro.engine.ops import ReadOperator
+from repro.engine.planner import shard_plan
 from repro.storage.catalog import Catalog, TableMeta
 from repro.api.frame_api import EdfFrame, PlanNode
 
@@ -36,11 +37,16 @@ class WakeContext:
         partition_shuffle_seed: int | None = None,
         quantile_mode: str = "exact",
         sketch_size: int = DEFAULT_SKETCH_SIZE,
+        parallelism: int = 1,
     ) -> None:
         if executor not in _EXECUTORS:
             raise QueryError(
                 f"unknown executor {executor!r}; expected one of "
                 f"{_EXECUTORS}"
+            )
+        if parallelism < 1:
+            raise QueryError(
+                f"parallelism must be >= 1, got {parallelism}"
             )
         if quantile_mode not in QUANTILE_MODES:
             raise QueryError(
@@ -62,6 +68,12 @@ class WakeContext:
         #: (approximate, including finals).
         self.quantile_mode = quantile_mode
         self.sketch_size = sketch_size
+        #: Session default shard count for stateful shuffle subplans.
+        #: 1 (default) keeps plans and snapshot sequences byte-identical
+        #: to the unsharded engine; K > 1 rewrites shuffle aggregates
+        #: (and aligned hash-join subplans) into K hash-partitioned
+        #: replicas combined by a union (see repro.engine.planner).
+        self.parallelism = parallelism
         #: When set, every table is read in a seed-derived shuffled
         #: partition order (the §8.5 out-of-order-input experiment).
         self.partition_shuffle_seed = partition_shuffle_seed
@@ -117,6 +129,19 @@ class WakeContext:
         return EdfFrame(self, PlanNode(factory))
 
     # -- execution -----------------------------------------------------------------
+    def _materialize(
+        self, frame: EdfFrame, parallelism: int | None
+    ) -> tuple[QueryGraph, int]:
+        """Instantiate the plan and apply the shard rewrite."""
+        graph = QueryGraph()
+        output = frame.plan.materialize(graph, {})
+        shards = self.parallelism if parallelism is None else parallelism
+        if shards < 1:
+            raise QueryError(
+                f"parallelism must be >= 1, got {shards}"
+            )
+        return shard_plan(graph, output, shards)
+
     def run(
         self,
         frame: EdfFrame,
@@ -124,15 +149,17 @@ class WakeContext:
         record_timeline: bool = False,
         executor: str | None = None,
         source_delay: float = 0.0,
+        parallelism: int | None = None,
     ) -> EvolvingDataFrame:
         """Execute a plan, returning its evolving output.
 
         The returned :class:`EvolvingDataFrame` holds every intermediate
         snapshot (``capture_all=True``) or just the first estimate and the
-        exact final answer (``capture_all=False``).
+        exact final answer (``capture_all=False``).  ``parallelism``
+        overrides the session shard count for this run (K > 1 shards
+        stateful shuffle subplans into K hash-partitioned replicas).
         """
-        graph = QueryGraph()
-        output = frame.plan.materialize(graph, {})
+        graph, output = self._materialize(frame, parallelism)
         which = executor or self.executor
         capture = self.capture_all if capture_all is None else capture_all
         if which == "sync":
@@ -160,6 +187,7 @@ class WakeContext:
         frame: EdfFrame,
         record_timeline: bool = False,
         source_delay: float = 0.0,
+        parallelism: int | None = None,
     ):
         """Execute on the threaded engine, *yielding* snapshots live.
 
@@ -168,8 +196,7 @@ class WakeContext:
         progressive visualization)").  The generator ends with the exact
         final snapshot.
         """
-        graph = QueryGraph()
-        output = frame.plan.materialize(graph, {})
+        graph, output = self._materialize(frame, parallelism)
         engine = ThreadedExecutor(
             graph, output, capture_all=True,
             record_timeline=record_timeline,
@@ -178,10 +205,11 @@ class WakeContext:
         self.last_executor = engine
         return engine.stream()
 
-    def explain(self, frame: EdfFrame) -> str:
-        """Human-readable plan: node names, deliveries, schemas."""
-        graph = QueryGraph()
-        output = frame.plan.materialize(graph, {})
+    def explain(self, frame: EdfFrame,
+                parallelism: int | None = None) -> str:
+        """Human-readable plan: node names, deliveries, schemas (after
+        the shard rewrite, when parallelism > 1)."""
+        graph, output = self._materialize(frame, parallelism)
         infos = graph.resolve()
         lines = []
         for nid in sorted(graph.nodes):

@@ -387,6 +387,12 @@ class EdfFrame:
         """Execute via the owning context (see ``WakeContext.run``)."""
         return self._context.run(self, **kwargs)
 
-    def final(self) -> DataFrame:
-        """Convenience: run to completion, return the exact answer."""
-        return self._context.run(self, capture_all=False).get_final()
+    def final(self, **kwargs) -> DataFrame:
+        """Convenience: run to completion, return the exact answer.
+
+        Keyword arguments (e.g. ``parallelism=4``, ``executor``) are
+        forwarded to :meth:`WakeContext.run`.
+        """
+        return self._context.run(
+            self, capture_all=False, **kwargs
+        ).get_final()

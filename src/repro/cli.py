@@ -38,6 +38,9 @@ def _add_run(sub: argparse._SubParsersAction) -> None:
                    metavar="QUERY", help="TPC-H query number (1-22)")
     p.add_argument("--executor", choices=("sync", "threads"),
                    default="sync")
+    p.add_argument("--parallelism", type=int, default=1,
+                   help="shard count for stateful shuffle subplans "
+                        "(1 = unsharded)")
     p.add_argument("--rows", type=int, default=5,
                    help="result rows to print")
     p.add_argument("--param", action="append", default=[],
@@ -50,6 +53,8 @@ def _add_explain(sub: argparse._SubParsersAction) -> None:
     p.add_argument("catalog", type=Path)
     p.add_argument("query", type=int, choices=sorted(QUERIES),
                    metavar="QUERY")
+    p.add_argument("--parallelism", type=int, default=1,
+                   help="show the plan after the shard rewrite")
 
 
 def _parse_overrides(pairs: list[str]) -> dict:
@@ -87,7 +92,8 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     ctx = WakeContext.from_catalog(args.catalog,
-                                   executor=args.executor)
+                                   executor=args.executor,
+                                   parallelism=args.parallelism)
     query = QUERIES[args.query]
     overrides = _parse_overrides(args.param)
     plan = query.build_plan(ctx, **overrides)
@@ -111,7 +117,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_explain(args: argparse.Namespace) -> int:
     ctx = WakeContext.from_catalog(args.catalog)
     query = QUERIES[args.query]
-    print(ctx.explain(query.build_plan(ctx)))
+    print(ctx.explain(query.build_plan(ctx),
+                      parallelism=args.parallelism))
     return 0
 
 

@@ -197,18 +197,39 @@ class Grouper:
             )
             slots[new_mask] = new_slots
             new_vals = vals[new_mask]
+            order = np.argsort(new_vals, kind="stable")
+            sorted_new = new_vals[order]
+            sorted_slots = new_slots[order]
             if self._lookup_keys is None:
-                merged_keys, merged_slots = new_vals, new_slots
+                self._lookup_keys = sorted_new
+                self._lookup_slots = sorted_slots
+            elif (
+                self._lookup_keys.dtype == sorted_new.dtype
+                and sorted_new.dtype.kind not in "US"
+            ):
+                # Sorted insert: O(new log new + groups) memcpy-speed
+                # merge, instead of re-sorting the whole lookup table
+                # (O(groups log groups) per message with new keys).
+                pos = np.searchsorted(self._lookup_keys, sorted_new)
+                self._lookup_keys = np.insert(
+                    self._lookup_keys, pos, sorted_new
+                )
+                self._lookup_slots = np.insert(
+                    self._lookup_slots, pos, sorted_slots
+                )
             else:
+                # String widths may differ per message; np.insert would
+                # truncate to the table's item size, so concat (which
+                # promotes the width) and re-sort.
                 merged_keys = np.concatenate(
                     [self._lookup_keys, new_vals]
                 )
                 merged_slots = np.concatenate(
                     [self._lookup_slots, new_slots]
                 )
-            order = np.argsort(merged_keys, kind="stable")
-            self._lookup_keys = merged_keys[order]
-            self._lookup_slots = merged_slots[order]
+                full = np.argsort(merged_keys, kind="stable")
+                self._lookup_keys = merged_keys[full]
+                self._lookup_slots = merged_slots[full]
             self._n_groups += n_new
         return slots, new_mask
 

@@ -1,4 +1,5 @@
-"""Execution engine: query graph, message protocol, executors (paper §7)."""
+"""Execution engine: query graph, message protocol, executors, and the
+shard-plan rewrite (paper §7)."""
 
 from repro.engine.executor import (
     SyncExecutor,
@@ -7,6 +8,7 @@ from repro.engine.executor import (
 )
 from repro.engine.graph import Node, QueryGraph
 from repro.engine.message import Eof, Message
+from repro.engine.planner import shard_plan
 
 __all__ = [
     "Eof",
@@ -16,4 +18,5 @@ __all__ = [
     "SyncExecutor",
     "ThreadedExecutor",
     "TimelineEvent",
+    "shard_plan",
 ]

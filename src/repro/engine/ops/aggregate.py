@@ -70,6 +70,7 @@ class AggregateOperator(Operator):
         growth_mode: str = "fitted",
         quantile_mode: str = "exact",
         sketch_size: int = DEFAULT_SKETCH_SIZE,
+        always_emit: bool = False,
     ) -> None:
         super().__init__(name)
         if not specs:
@@ -95,6 +96,13 @@ class AggregateOperator(Operator):
         self.growth_mode = growth_mode
         self.quantile_mode = quantile_mode
         self.sketch_size = sketch_size
+        #: Emit an (empty) REPLACE snapshot even while the state holds no
+        #: groups.  Off by default (empty input prefixes stay silent);
+        #: the shard rewrite enables it on replicas so every shard port
+        #: reports progress to the combining union from the first
+        #: message on — a shard owning zero groups would otherwise never
+        #: report and the union could not align progress to it.
+        self.always_emit = always_emit
         self.local_mode = False
         self._state: GroupedAggregateState | None = None
         self._inference: AggregateInference | None = None
@@ -203,14 +211,15 @@ class AggregateOperator(Operator):
         state to zero groups; staying silent here would leave the stale
         previous estimate in every downstream sink forever.  Before
         anything was emitted there is nothing to retract, so empty input
-        prefixes still produce no spurious snapshots."""
-        if not self._has_emitted:
+        prefixes still produce no spurious snapshots (unless
+        ``always_emit`` asks for them)."""
+        if not self._has_emitted and not self.always_emit:
             return []
-        # _last_schema is set whenever _has_emitted is; reusing it (not
-        # the planned schema) keeps attribute kinds/dtypes consistent
-        # with the snapshots already sitting in downstream sinks.
-        assert self._last_schema is not None
-        schema = self._last_schema
+        # When something was emitted, reusing its schema (not the
+        # planned one) keeps attribute kinds/dtypes consistent with the
+        # snapshots already sitting in downstream sinks.
+        schema = (self._last_schema if self._last_schema is not None
+                  else self.output_info.schema)
         if self.progress.fraction >= 1.0:
             self._emitted_final = True
         return [

@@ -4,6 +4,16 @@ With DELTA input the operator is incremental (Case 1-like): it remembers
 the keys already emitted and forwards only never-seen rows, keeping the
 stream a DELTA stream.  With REPLACE input each snapshot is deduplicated
 wholesale.
+
+The seen-set is a persistent :class:`~repro.dataframe.groupby.Grouper`:
+each partial is slot-encoded against the accumulated key index in
+O(|partial| + new keys), and rows whose slot was handed out by this very
+message are the never-seen ones.  (The previous implementation re-encoded
+the entire seen history through ``shared_codes`` — a full ``np.unique``
+over all consumed keys — and re-concatenated the seen frame on every
+message: O(total-consumed) per message, violating the ROADMAP cost
+model.)  NaN keys collapse to one group, exactly like the one-shot
+``distinct_rows`` path (``np.unique`` with ``equal_nan``).
 """
 
 from __future__ import annotations
@@ -11,9 +21,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import QueryError
-from repro.dataframe.frame import DataFrame
-from repro.dataframe.groupby import distinct_rows
-from repro.dataframe.join import anti_join_mask, shared_codes
+from repro.dataframe.groupby import Grouper, distinct_rows
 from repro.core.properties import Delivery, StreamInfo
 from repro.engine.message import Message
 from repro.engine.ops.base import Operator
@@ -25,7 +33,7 @@ class DistinctOperator(Operator):
     def __init__(self, name: str, subset: Sequence[str] = ()) -> None:
         super().__init__(name)
         self.subset = tuple(subset)
-        self._seen: DataFrame | None = None
+        self._seen: Grouper | None = None
         self._incremental = False
 
     def _derive_info(self, inputs: tuple[StreamInfo, ...]) -> StreamInfo:
@@ -38,6 +46,7 @@ class DistinctOperator(Operator):
                 )
         self._keys = tuple(keys)
         self._incremental = info.delivery == Delivery.DELTA
+        self._seen = None
         return StreamInfo(
             schema=info.schema,
             primary_key=self._keys,
@@ -53,16 +62,12 @@ class DistinctOperator(Operator):
                 )
             ]
         fresh = distinct_rows(message.frame, self._keys)
-        if self._seen is not None and fresh.n_rows:
-            left_codes, right_codes = shared_codes(
-                [fresh.column(k) for k in self._keys],
-                [self._seen.column(k) for k in self._keys],
-            )
-            fresh = fresh.mask(anti_join_mask(left_codes, right_codes))
         if fresh.n_rows:
-            key_frame = fresh.select(list(self._keys))
-            self._seen = (
-                key_frame if self._seen is None
-                else DataFrame.concat([self._seen, key_frame])
-            )
+            if self._seen is None:
+                self._seen = Grouper(self._keys)
+            before = self._seen.n_groups
+            slots = self._seen.encode(fresh)
+            # fresh is key-deduplicated, so a slot >= before marks the
+            # first-ever occurrence of that key across the stream.
+            fresh = fresh.mask(slots >= before)
         return [message.replaced_frame(fresh)]

@@ -1,10 +1,22 @@
 """Sort / limit operator — Case 3: shuffle without inference (paper §2.2).
 
-Order-by and limit must consume their entire input; on every input change
-the output is recomputed wholesale and emitted as a REPLACE snapshot.  As
-the paper notes, these appear at the tail of pipelines (top-k for user
-consumption) so the redundant recomputation is cheap relative to the
-upstream aggregation work.
+Order-by and limit must consume their entire input; every input change is
+answered with a REPLACE snapshot.  The per-message cost still has to
+track the *message*, not the stream (ROADMAP cost model):
+
+* the buffered history is a cached concat (like the executor's
+  ``_SinkState``): each DELTA partial is folded in with one concat, the
+  stream is never re-concatenated wholesale;
+* with ``limit=k`` a bounded top-k buffer is maintained instead — each
+  partial is merged against at most k retained rows, so per-message cost
+  is O((k + |partial|) log (k + |partial|)) regardless of history.  The
+  sort is stable, so the retained boundary ties are exactly the ones a
+  full re-sort of the whole history would keep (byte-identical output);
+* a full re-sort only remains on the unbounded order-by path, where the
+  output *is* the whole sorted history.
+
+A REPLACE input resets the buffers and is recomputed wholesale — the
+snapshot is the message, so that cost is already message-shaped.
 """
 
 from __future__ import annotations
@@ -41,7 +53,8 @@ class SortLimitOperator(Operator):
         self.ascending = ascending
         self.limit = limit
         self._parts: list[DataFrame] = []
-        self._snapshot: DataFrame | None = None
+        self._cached: DataFrame | None = None
+        self._topk: DataFrame | None = None
 
     def _derive_info(self, inputs: tuple[StreamInfo, ...]) -> StreamInfo:
         (info,) = inputs
@@ -50,6 +63,9 @@ class SortLimitOperator(Operator):
                 raise QueryError(
                     f"sort {self.name!r}: unknown key {key!r}"
                 )
+        self._parts = []
+        self._cached = None
+        self._topk = None
         return StreamInfo(
             schema=info.schema,
             primary_key=info.primary_key,
@@ -57,28 +73,58 @@ class SortLimitOperator(Operator):
             delivery=Delivery.REPLACE,
         )
 
-    def _current(self) -> DataFrame:
-        if self._snapshot is not None:
-            return self._snapshot
-        if self._parts:
-            return DataFrame.concat(self._parts)
-        return DataFrame.empty(self.input_infos[0].schema)
-
-    def _recompute(self, message: Message) -> list[Message]:
-        frame = self._current()
-        if self.by and frame.n_rows:
-            frame = sort_frame(frame, list(self.by), self.ascending)
-        if self.limit is not None:
-            frame = frame.head(self.limit)
+    def _emit(self, frame: DataFrame) -> list[Message]:
         return [
             Message(frame=frame, progress=self.progress,
                     kind=Delivery.REPLACE)
         ]
 
+    def _sorted_head(self, frame: DataFrame) -> DataFrame:
+        if self.by and frame.n_rows:
+            frame = sort_frame(frame, list(self.by), self.ascending)
+        if self.limit is not None:
+            frame = frame.head(self.limit)
+        return frame
+
+    # -- unbounded path: cached concat of the DELTA history ----------------------
+    def _current(self) -> DataFrame:
+        if self._parts:
+            base = [] if self._cached is None else [self._cached]
+            self._cached = DataFrame.concat(base + self._parts)
+            self._parts = []
+        if self._cached is None:
+            return DataFrame.empty(self.input_infos[0].schema)
+        return self._cached
+
+    # -- bounded path: top-k buffer ----------------------------------------------
+    def _fold_limit(self, frame: DataFrame) -> DataFrame:
+        assert self.limit is not None
+        if self._topk is None:
+            cand = frame
+        elif not frame.n_rows:
+            return self._topk
+        elif not self.by and self._topk.n_rows >= self.limit:
+            # Pure limit over an append-only stream: the first k rows
+            # are already fixed forever.
+            return self._topk
+        else:
+            cand = DataFrame.concat([self._topk, frame])
+        self._topk = self._sorted_head(cand)
+        return self._topk
+
     def _handle_message(self, port: int, message: Message) -> list[Message]:
         if message.kind == Delivery.REPLACE:
-            self._snapshot = message.frame
+            # Wholesale recompute; the snapshot also reseeds the buffers
+            # so trailing DELTA partials (if any) fold on top of it.  On
+            # the bounded path the O(k) reseed is _topk — retaining the
+            # full snapshot there would pin it for no reader.
             self._parts = []
-        else:
-            self._parts.append(message.frame)
-        return self._recompute(message)
+            self._cached = message.frame if self.limit is None else None
+            out = self._sorted_head(message.frame)
+            if self.limit is not None:
+                self._topk = out
+            return self._emit(out)
+        if self.limit is not None:
+            return self._emit(self._fold_limit(message.frame))
+        self._parts.append(message.frame)
+        return self._emit(self._sorted_head(self._current()))

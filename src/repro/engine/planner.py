@@ -1,0 +1,267 @@
+"""Plan rewriting: sharded data parallelism via hash exchanges.
+
+``shard_plan`` rewrites a resolved :class:`QueryGraph` so that stateful
+shuffle subplans run as K parallel replicas, each owning a disjoint hash
+range of the keys:
+
+* A shuffle-mode grouped :class:`AggregateOperator` becomes K exchange
+  ports on its group keys feeding K aggregate replicas, combined by a
+  :class:`UnionOperator` that key-sorts the concatenated REPLACE
+  snapshots.  Because a group's rows are masked — never re-batched — the
+  per-shard accumulation sequence is bit-identical to the unsharded
+  operator's, so exact final frames are byte-identical.
+* When the aggregate's input chain (single-subscriber Filter/Select
+  nodes) bottoms out at a single-subscriber :class:`HashJoinOperator`
+  whose join keys align with the group keys (some ``left_on`` column is
+  — possibly through bare-column renames — one of the group keys), the
+  *whole* join→…→aggregate subplan is replicated instead: both join
+  inputs are exchanged on the aligned key pair, so each replica joins
+  and aggregates only its shard.  Rows with equal full join keys share
+  the aligned sub-key, hence the shard, so inner/left/semi/anti match
+  sets are preserved per shard.
+
+Under the threaded executor every replica node is its own thread with
+bounded channels, so throughput scales with cores instead of pipeline
+depth alone.  ``parallelism <= 1`` returns the graph untouched — plans
+and snapshot sequences stay byte-identical to the unsharded engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.dataframe.expr import Column
+from repro.engine.graph import QueryGraph
+from repro.engine.ops import (
+    AggregateOperator,
+    ExchangeOperator,
+    FilterOperator,
+    HashJoinOperator,
+    SelectOperator,
+    UnionOperator,
+)
+from repro.engine.ops.base import Operator
+from repro.engine.ops.exchange import ShardHashCache
+
+#: Row-local operators a fused shard chain may pass through (their output
+#: for a masked message equals the mask of their output — Case 1 ops).
+_CHAIN_TYPES = (FilterOperator, SelectOperator)
+
+
+@dataclass(frozen=True)
+class _ShardGroup:
+    """One sharded subplan, headed by its aggregate node."""
+
+    agg_id: int
+    #: Chain node ids from the aggregate's input down toward the join.
+    chain_ids: tuple[int, ...]
+    #: The fused hash join, or None for an exchange directly on the
+    #: aggregate input.
+    join_id: int | None
+    left_keys: tuple[str, ...]
+    right_keys: tuple[str, ...]
+
+
+def _trace_chain(
+    graph: QueryGraph, subs: dict[int, list[tuple[int, int]]], agg_id: int
+) -> tuple[list[int], int, set[str]]:
+    """Walk from the aggregate's input through single-subscriber
+    Filter/Select nodes, tracking which base-side column each group key
+    is a bare rename of.  Returns (chain ids top-down, base id, surviving
+    key names at the base node's output)."""
+    agg = graph.node(agg_id)
+    names = set(agg.operator.by)
+    chain: list[int] = []
+    cur = agg.inputs[0]
+    while True:
+        node = graph.node(cur)
+        op = node.operator
+        if not isinstance(op, _CHAIN_TYPES) or len(subs[cur]) != 1:
+            break
+        if isinstance(op, SelectOperator):
+            mapped: set[str] = set()
+            for out_name, expr in op.exprs:
+                if out_name in names and isinstance(expr, Column):
+                    mapped.add(expr.name)
+            names = mapped
+        chain.append(cur)
+        cur = node.inputs[0]
+    return chain, cur, names
+
+
+def _clone(op: Operator, tag: str) -> Operator:
+    """A fresh, unbound replica of a shardable operator."""
+    name = f"{op.name}{tag}"
+    if isinstance(op, AggregateOperator):
+        # always_emit: a shard replica must report on every message even
+        # while it owns zero groups, so the union can align combined
+        # progress to the slowest shard instead of guessing about ports
+        # that have never spoken.
+        return AggregateOperator(
+            name, op.specs, by=op.by, ci=op.ci,
+            growth_mode=op.growth_mode, quantile_mode=op.quantile_mode,
+            sketch_size=op.sketch_size, always_emit=True,
+        )
+    if isinstance(op, HashJoinOperator):
+        return HashJoinOperator(
+            name, op.left_on, op.right_on, how=op.how, suffix=op.suffix
+        )
+    if isinstance(op, FilterOperator):
+        return FilterOperator(name, op.predicate)
+    if isinstance(op, SelectOperator):
+        return SelectOperator(name, op.exprs, propagate_ci=op.propagate_ci)
+    raise QueryError(
+        f"cannot replicate operator {op.name!r} for sharding"
+    )
+
+
+def _plan_groups(
+    graph: QueryGraph, subs: dict[int, list[tuple[int, int]]]
+) -> tuple[dict[int, _ShardGroup], set[int]]:
+    """Pick the shardable subplans: shuffle-mode grouped aggregates, each
+    optionally fused with the hash join feeding it."""
+    groups: dict[int, _ShardGroup] = {}
+    claimed: set[int] = set()
+    for nid in sorted(graph.nodes):
+        op = graph.node(nid).operator
+        if not isinstance(op, AggregateOperator):
+            continue
+        if op.local_mode or not op.by:
+            continue
+        chain, base_id, names = _trace_chain(graph, subs, nid)
+        base_op = graph.node(base_id).operator
+        group: _ShardGroup | None = None
+        if (
+            isinstance(base_op, HashJoinOperator)
+            and len(subs[base_id]) == 1
+            and base_id not in claimed
+        ):
+            pairs = [
+                (left, right)
+                for left, right in zip(base_op.left_on, base_op.right_on)
+                if left in names
+            ]
+            if pairs:
+                group = _ShardGroup(
+                    agg_id=nid,
+                    chain_ids=tuple(chain),
+                    join_id=base_id,
+                    left_keys=tuple(left for left, _ in pairs),
+                    right_keys=tuple(right for _, right in pairs),
+                )
+                claimed.update(chain)
+                claimed.add(base_id)
+        if group is None:
+            group = _ShardGroup(
+                agg_id=nid, chain_ids=(), join_id=None,
+                left_keys=op.by, right_keys=(),
+            )
+        groups[nid] = group
+    return groups, claimed
+
+
+def _add_exchange_fan(
+    new: QueryGraph,
+    keys: tuple[str, ...],
+    src: int,
+    parallelism: int,
+    label: str,
+) -> list[int]:
+    """K sibling exchange ports over ``src``, sharing one hash cache."""
+    cache = ShardHashCache(keys, parallelism)
+    return [
+        new.add(
+            ExchangeOperator(
+                f"exchange[s{shard}/{parallelism}]({label})",
+                keys, shard, parallelism, cache=cache,
+            ),
+            (src,),
+        )
+        for shard in range(parallelism)
+    ]
+
+
+def _build_group(
+    new: QueryGraph,
+    graph: QueryGraph,
+    infos: dict,
+    group: _ShardGroup,
+    mapping: dict[int, int],
+    parallelism: int,
+) -> int:
+    agg_node = graph.node(group.agg_id)
+    agg_op = agg_node.operator
+    shard_tops: list[int] = []
+    if group.join_id is None:
+        src = mapping[agg_node.inputs[0]]
+        ports = _add_exchange_fan(
+            new, group.left_keys, src, parallelism, agg_op.name
+        )
+        for shard, port in enumerate(ports):
+            tag = f"[s{shard}/{parallelism}]"
+            shard_tops.append(new.add(_clone(agg_op, tag), (port,)))
+    else:
+        join_node = graph.node(group.join_id)
+        join_op = join_node.operator
+        probe_ports = _add_exchange_fan(
+            new, group.left_keys, mapping[join_node.inputs[0]],
+            parallelism, f"{join_op.name}.probe",
+        )
+        build_ports = _add_exchange_fan(
+            new, group.right_keys, mapping[join_node.inputs[1]],
+            parallelism, f"{join_op.name}.build",
+        )
+        chain_ops = [
+            graph.node(cid).operator for cid in reversed(group.chain_ids)
+        ]
+        for shard in range(parallelism):
+            tag = f"[s{shard}/{parallelism}]"
+            cur = new.add(
+                _clone(join_op, tag),
+                (probe_ports[shard], build_ports[shard]),
+            )
+            for chain_op in chain_ops:
+                cur = new.add(_clone(chain_op, tag), (cur,))
+            shard_tops.append(new.add(_clone(agg_op, tag), (cur,)))
+    return new.add(
+        UnionOperator(
+            f"union({agg_op.name})", len(shard_tops),
+            sort_keys=agg_op.by, info=infos[group.agg_id],
+        ),
+        tuple(shard_tops),
+    )
+
+
+def shard_plan(
+    graph: QueryGraph, output: int, parallelism: int
+) -> tuple[QueryGraph, int]:
+    """Rewrite ``graph`` for K-way sharded execution.
+
+    Returns ``(graph, output)`` unchanged when ``parallelism <= 1`` or
+    nothing in the plan is shardable.
+    """
+    if parallelism <= 1:
+        return graph, output
+    graph.validate_output(output)
+    infos = graph.resolve()
+    subs = graph.subscribers()
+    groups, claimed = _plan_groups(graph, subs)
+    if not groups:
+        return graph, output
+    new = QueryGraph()
+    mapping: dict[int, int] = {}
+    for nid in sorted(graph.nodes):
+        if nid in claimed:
+            continue  # rebuilt inside its group, reachable only from it
+        node = graph.node(nid)
+        group = groups.get(nid)
+        if group is None:
+            mapping[nid] = new.add(
+                node.operator, tuple(mapping[i] for i in node.inputs)
+            )
+        else:
+            mapping[nid] = _build_group(
+                new, graph, infos, group, mapping, parallelism
+            )
+    return new, mapping[output]

@@ -149,14 +149,20 @@ def read_partition(path: str | Path, schema: Schema | None = None) -> DataFrame:
 
 
 def estimate_csv_bytes(frame: DataFrame) -> int:
-    """Approximate serialized CSV size (used by partition-size sweeps)."""
+    """Approximate serialized CSV size (used by partition-size sweeps).
+
+    The header line is counted once, not folded into the per-row average
+    — folding it in overestimates frames with short rows by up to a full
+    header per 100 rows."""
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(frame.column_names)
-    for row in frame.head(min(100, frame.n_rows)).iter_rows():
+    header_bytes = len(buffer.getvalue())
+    sample_rows = min(100, frame.n_rows)
+    for row in frame.head(sample_rows).iter_rows():
         writer.writerow(row)
-    sample = buffer.getvalue()
+    body_bytes = len(buffer.getvalue()) - header_bytes
     if frame.n_rows <= 100:
-        return len(sample)
-    per_row = len(sample) / max(1, min(100, frame.n_rows))
-    return int(per_row * frame.n_rows)
+        return header_bytes + body_bytes  # exact: every row serialized
+    per_row = body_bytes / sample_rows
+    return int(header_bytes + per_row * frame.n_rows)
