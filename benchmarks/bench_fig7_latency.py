@@ -12,7 +12,7 @@ Paper's claims to reproduce in *shape*:
 from conftest import BENCH_OVERRIDES
 
 from repro.baselines import ExactEngine
-from repro.bench import median_or_nan, ratio, run_wake
+from repro.bench import median_or_nan, run_wake
 from repro.bench.harness import LatencyRow
 from repro.bench.report import banner, format_table
 from repro.bench.workloads import METRIC_COLUMNS

@@ -111,7 +111,7 @@ def window_medians(times):
     return early, late
 
 
-def test_quantile_latency_flat(quantile_parts, benchmark, emit):
+def test_quantile_latency_flat(quantile_parts, benchmark, emit, guard):
     """Per-message consume+read latency must not grow with history."""
     inc_times, inc_answer = benchmark.pedantic(
         run_incremental, args=(quantile_parts,), rounds=3, iterations=1
@@ -137,14 +137,9 @@ def test_quantile_latency_flat(quantile_parts, benchmark, emit):
     ))
     emit(f"late-window speedup vs seed path: "
          f"{seed_late / inc_late:.1f}x")
-    assert inc_late <= 2.0 * inc_early, (
-        f"quantile consume+read should be flat in stream position; "
-        f"late/early = {inc_late / inc_early:.2f}"
-    )
-    assert seed_late / inc_late >= 3.0, (
-        "incremental path should clearly beat the full-history re-group "
-        f"late in the stream; got {seed_late / inc_late:.1f}x"
-    )
+    guard("quantile_late_early_ratio", inc_late / inc_early, 2.0,
+          op="<=")
+    guard("quantile_late_speedup_vs_seed", seed_late / inc_late, 3.0)
 
 
 def test_sketch_mode_bounds_memory(quantile_parts, emit):

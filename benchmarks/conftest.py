@@ -16,16 +16,33 @@ from pathlib import Path
 import pytest
 
 from repro import WakeContext
+from repro.bench.report import GuardLog
 from repro.tpch import generate_and_load
 
 BENCH_SF = float(os.environ.get("REPRO_BENCH_SF", "0.02"))
 BENCH_PARTITIONS = int(os.environ.get("REPRO_BENCH_PARTITIONS", "16"))
 RESULTS_DIR = Path(__file__).parent / "results"
+SUMMARY_PATH = RESULTS_DIR / "BENCH_summary.json"
 
 
 @pytest.fixture(scope="session")
 def bench_data(tmp_path_factory):
-    """(catalog, tables) for the benchmark scale factor."""
+    """(catalog, tables) for the benchmark scale factor.
+
+    ``REPRO_TPCH_CACHE_DIR`` (set by CI) reuses the partitioned dataset
+    across runs instead of regenerating dbgen output every time.
+    """
+    cache_root = os.environ.get("REPRO_TPCH_CACHE_DIR")
+    if cache_root:
+        from repro.tpch import load_or_generate
+
+        return load_or_generate(
+            cache_root,
+            scale_factor=BENCH_SF,
+            seed=42,
+            fact_partitions=BENCH_PARTITIONS,
+            dimension_partitions=2,
+        )
     directory = tmp_path_factory.mktemp("tpch_bench")
     catalog, tables = generate_and_load(
         directory,
@@ -41,6 +58,35 @@ def bench_data(tmp_path_factory):
 def bench_ctx(bench_data):
     catalog, _tables = bench_data
     return WakeContext(catalog)
+
+
+@pytest.fixture
+def guard(request):
+    """Assert a perf-guard threshold *and* record it in the trajectory.
+
+    ``guard("speedup_median", speedup, 3.0)`` asserts ``speedup >= 3.0``
+    (``op`` picks the comparison) and appends the measurement to
+    ``benchmarks/results/BENCH_summary.json`` — recorded whether or not
+    the assertion holds, so a regression still leaves its trace in the
+    uploaded artifact.
+    """
+    log = GuardLog(SUMMARY_PATH)
+
+    def _guard(metric: str, value: float, threshold: float,
+               op: str = ">=") -> None:
+        passed = log.record(
+            benchmark=request.node.name,
+            metric=metric,
+            value=float(value),
+            threshold=float(threshold),
+            op=op,
+        )
+        assert passed, (
+            f"perf guard failed: {metric} = {value:.4g} is not {op} "
+            f"{threshold:.4g}"
+        )
+
+    return _guard
 
 
 @pytest.fixture

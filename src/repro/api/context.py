@@ -18,7 +18,7 @@ from repro.core.orderstat import DEFAULT_SKETCH_SIZE, QUANTILE_MODES
 from repro.engine.executor import SyncExecutor, ThreadedExecutor
 from repro.engine.graph import QueryGraph
 from repro.engine.ops import ReadOperator
-from repro.engine.planner import shard_plan
+from repro.engine.planner import pushdown_plan, shard_plan
 from repro.storage.catalog import Catalog, TableMeta
 from repro.api.frame_api import EdfFrame, PlanNode
 
@@ -38,6 +38,7 @@ class WakeContext:
         quantile_mode: str = "exact",
         sketch_size: int = DEFAULT_SKETCH_SIZE,
         parallelism: int = 1,
+        pushdown: bool = True,
     ) -> None:
         if executor not in _EXECUTORS:
             raise QueryError(
@@ -74,6 +75,12 @@ class WakeContext:
         #: (and aligned hash-join subplans) into K hash-partitioned
         #: replicas combined by a union (see repro.engine.planner).
         self.parallelism = parallelism
+        #: Scan-layer pushdown (default on): projection (scans load only
+        #: downstream-referenced columns) and zone-map partition pruning
+        #: (sargable filter conjuncts skip partitions they cannot match).
+        #: Both are semantically invisible — finals and snapshot ``t``
+        #: sequences are byte-identical with pushdown off.
+        self.pushdown = pushdown
         #: When set, every table is read in a seed-derived shuffled
         #: partition order (the §8.5 out-of-order-input experiment).
         self.partition_shuffle_seed = partition_shuffle_seed
@@ -130,11 +137,17 @@ class WakeContext:
 
     # -- execution -----------------------------------------------------------------
     def _materialize(
-        self, frame: EdfFrame, parallelism: int | None
+        self,
+        frame: EdfFrame,
+        parallelism: int | None,
+        pushdown: bool | None = None,
     ) -> tuple[QueryGraph, int]:
-        """Instantiate the plan and apply the shard rewrite."""
+        """Instantiate the plan, push scans down, apply the shard rewrite."""
         graph = QueryGraph()
         output = frame.plan.materialize(graph, {})
+        push = self.pushdown if pushdown is None else pushdown
+        if push:
+            graph, output = pushdown_plan(graph, output)
         shards = self.parallelism if parallelism is None else parallelism
         if shards < 1:
             raise QueryError(
@@ -150,6 +163,7 @@ class WakeContext:
         executor: str | None = None,
         source_delay: float = 0.0,
         parallelism: int | None = None,
+        pushdown: bool | None = None,
     ) -> EvolvingDataFrame:
         """Execute a plan, returning its evolving output.
 
@@ -157,9 +171,10 @@ class WakeContext:
         snapshot (``capture_all=True``) or just the first estimate and the
         exact final answer (``capture_all=False``).  ``parallelism``
         overrides the session shard count for this run (K > 1 shards
-        stateful shuffle subplans into K hash-partitioned replicas).
+        stateful shuffle subplans into K hash-partitioned replicas);
+        ``pushdown`` overrides the session's scan-pushdown setting.
         """
-        graph, output = self._materialize(frame, parallelism)
+        graph, output = self._materialize(frame, parallelism, pushdown)
         which = executor or self.executor
         capture = self.capture_all if capture_all is None else capture_all
         if which == "sync":
@@ -188,6 +203,7 @@ class WakeContext:
         record_timeline: bool = False,
         source_delay: float = 0.0,
         parallelism: int | None = None,
+        pushdown: bool | None = None,
     ):
         """Execute on the threaded engine, *yielding* snapshots live.
 
@@ -196,7 +212,7 @@ class WakeContext:
         progressive visualization)").  The generator ends with the exact
         final snapshot.
         """
-        graph, output = self._materialize(frame, parallelism)
+        graph, output = self._materialize(frame, parallelism, pushdown)
         engine = ThreadedExecutor(
             graph, output, capture_all=True,
             record_timeline=record_timeline,
@@ -206,10 +222,15 @@ class WakeContext:
         return engine.stream()
 
     def explain(self, frame: EdfFrame,
-                parallelism: int | None = None) -> str:
+                parallelism: int | None = None,
+                pushdown: bool | None = None) -> str:
         """Human-readable plan: node names, deliveries, schemas (after
-        the shard rewrite, when parallelism > 1)."""
-        graph, output = self._materialize(frame, parallelism)
+        the pushdown pass and, when parallelism > 1, the shard rewrite).
+
+        Scan nodes additionally render their pushed-down projection
+        (``columns=[...]``), pushed predicates, and how many partitions
+        the zone maps prune (``prune=k/n``)."""
+        graph, output = self._materialize(frame, parallelism, pushdown)
         infos = graph.resolve()
         lines = []
         for nid in sorted(graph.nodes):
@@ -226,4 +247,23 @@ class WakeContext:
                 f"{inputs}{marker}\n"
                 f"      {info.schema!r}"
             )
+            scan = node.operator
+            if isinstance(scan, ReadOperator):
+                details = []
+                if scan.columns is not None:
+                    details.append(f"columns={list(scan.columns)}")
+                if scan.predicates:
+                    preds = " AND ".join(map(repr, scan.predicates))
+                    skipped = len(scan.pruned_partitions())
+                    total = scan.meta.n_partitions
+                    stats_note = (
+                        "" if scan.meta.stats is not None
+                        else " (no stats: pruning disabled)"
+                    )
+                    details.append(
+                        f"pushed=[{preds}] "
+                        f"prune={skipped}/{total}{stats_note}"
+                    )
+                if details:
+                    lines.append("      scan " + " ".join(details))
         return "\n".join(lines)

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import QueryError
-from repro.dataframe.expr import Column, Expr, col as col_
+from repro.dataframe.expr import Expr, col as col_
 from repro.dataframe.frame import DataFrame
 from repro.dataframe.schema import Schema
 from repro.core.ci import CIConfig

@@ -14,7 +14,6 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import QueryError
 from repro.dataframe import DataFrame
 
 

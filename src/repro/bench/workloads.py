@@ -23,7 +23,6 @@ from repro.dataframe import (
     global_aggregate,
     group_aggregate,
     hash_join,
-    lit,
 )
 from repro.storage import Catalog, write_table
 from repro.tpch.queries._helpers import add, mask, revenue_expr

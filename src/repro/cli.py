@@ -6,7 +6,9 @@ Commands:
 * ``run``      — execute one of the 22 TPC-H queries over a catalog,
   printing each OLA snapshot's progress/accuracy and the final frame;
 * ``explain``  — print a query's physical plan (node types, deliveries,
-  clustering, schemas).
+  clustering, schemas, scan pushdowns);
+* ``stats``    — backfill per-partition zone-map statistics into an
+  existing catalog so predicate pushdown can prune partitions.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from pathlib import Path
 
 from repro import WakeContext
 from repro.bench.report import format_table
+from repro.storage import Catalog, add_catalog_stats
 from repro.tpch import generate_and_load
 from repro.tpch.queries import QUERIES
 
@@ -46,6 +49,9 @@ def _add_run(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--param", action="append", default=[],
                    metavar="NAME=VALUE",
                    help="query parameter override (repeatable)")
+    p.add_argument("--no-pushdown", action="store_true",
+                   help="disable scan pushdown (projection + zone-map "
+                        "partition pruning)")
 
 
 def _add_explain(sub: argparse._SubParsersAction) -> None:
@@ -55,6 +61,20 @@ def _add_explain(sub: argparse._SubParsersAction) -> None:
                    metavar="QUERY")
     p.add_argument("--parallelism", type=int, default=1,
                    help="show the plan after the shard rewrite")
+    p.add_argument("--no-pushdown", action="store_true",
+                   help="show the plan without scan pushdown")
+
+
+def _add_stats(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "stats",
+        help="backfill zone-map stats into an existing catalog "
+             "(enables partition pruning on legacy catalogs)",
+    )
+    p.add_argument("catalog", type=Path,
+                   help="catalog.json to rewrite in place")
+    p.add_argument("--force", action="store_true",
+                   help="recompute stats even for tables that have them")
 
 
 def _parse_overrides(pairs: list[str]) -> dict:
@@ -93,7 +113,8 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     ctx = WakeContext.from_catalog(args.catalog,
                                    executor=args.executor,
-                                   parallelism=args.parallelism)
+                                   parallelism=args.parallelism,
+                                   pushdown=not args.no_pushdown)
     query = QUERIES[args.query]
     overrides = _parse_overrides(args.param)
     plan = query.build_plan(ctx, **overrides)
@@ -115,10 +136,25 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    ctx = WakeContext.from_catalog(args.catalog)
+    ctx = WakeContext.from_catalog(args.catalog,
+                                   pushdown=not args.no_pushdown)
     query = QUERIES[args.query]
     print(ctx.explain(query.build_plan(ctx),
                       parallelism=args.parallelism))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    catalog = Catalog.load(args.catalog)
+    updated = add_catalog_stats(catalog, force=args.force)
+    catalog.save(args.catalog)
+    rows = [
+        [name, catalog.table(name).n_partitions,
+         "updated" if name in updated else "kept"]
+        for name in sorted(catalog.names())
+    ]
+    print(format_table(["table", "partitions", "stats"], rows))
+    print(f"\ncatalog rewritten: {args.catalog}")
     return 0
 
 
@@ -132,11 +168,13 @@ def main(argv: list[str] | None = None) -> int:
     _add_generate(sub)
     _add_run(sub)
     _add_explain(sub)
+    _add_stats(sub)
     args = parser.parse_args(argv)
     handlers = {
         "generate": cmd_generate,
         "run": cmd_run,
         "explain": cmd_explain,
+        "stats": cmd_stats,
     }
     return handlers[args.command](args)
 

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.errors import QueryError, SchemaError
 from repro.dataframe.frame import DataFrame
-from repro.dataframe.schema import AttributeKind, DType, Field, Schema
+from repro.dataframe.schema import DType, Field, Schema
 
 JOIN_METHODS = ("inner", "left", "semi", "anti")
 

@@ -132,6 +132,15 @@ class QueryGraph:
                 priorities[source] = 0
         return priorities
 
+    def invalidate(self) -> None:
+        """Drop the cached resolution.
+
+        Planner passes that mutate operators in place (e.g. scan
+        pushdowns) call this so the next :meth:`resolve` re-binds every
+        operator against the updated plan.
+        """
+        self._resolved = None
+
     def validate_output(self, node_id: int) -> None:
         if node_id not in self.nodes:
             raise QueryError(f"output node {node_id} does not exist")

@@ -17,6 +17,7 @@ from repro.dataframe.frame import DataFrame
 from repro.core.properties import Delivery, StreamInfo
 from repro.engine.message import Message
 from repro.engine.ops.base import Operator
+from repro.storage.zonemap import SargablePredicate, sargable_conjuncts
 
 
 class FilterOperator(Operator):
@@ -27,6 +28,16 @@ class FilterOperator(Operator):
         self.predicate = predicate
         self._recompute = False
         self._accumulated: list[DataFrame] = []
+
+    def sargable(self) -> list[SargablePredicate]:
+        """The zone-map-evaluable conjuncts of this filter's predicate.
+
+        Used by the planner's predicate pushdown: each conjunct only ever
+        *narrows* what the full predicate keeps, so a partition none of
+        whose rows can satisfy some conjunct contributes nothing here —
+        skipping it upstream is invisible below this operator.
+        """
+        return sargable_conjuncts(self.predicate)
 
     def _derive_info(self, inputs: tuple[StreamInfo, ...]) -> StreamInfo:
         (info,) = inputs

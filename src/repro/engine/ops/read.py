@@ -3,16 +3,34 @@
 Streams one DELTA message per partition, advancing the per-source progress
 counters that the whole pipeline inherits (§4.4: the only metadata needed
 is the file list, per-file tuple counts, and key attributes).
+
+The scan layer accepts two pushdowns from the planner
+(:func:`repro.engine.planner.pushdown_plan`):
+
+* ``columns`` — projection: only the selected columns are decompressed
+  per partition, so per-message scan cost is O(selected columns), not
+  O(schema width);
+* ``predicates`` — a sargable conjunction evaluated against the
+  catalog's per-partition zone maps: partitions no row of which can
+  satisfy the filter are *skipped* (never read).  A skipped partition
+  still yields an **empty** DELTA message whose progress advances by its
+  tuple count, so downstream snapshot cadence, growth-inference ``t``,
+  and estimator scale-ups are exactly what an unpruned scan + filter
+  would produce — pruning is semantically a filter, finals stay
+  byte-identical.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Sequence
 
+from repro.errors import QueryError
+from repro.dataframe import DataFrame, Schema
 from repro.core.properties import Delivery, Progress, StreamInfo
 from repro.engine.message import Message
 from repro.engine.ops.base import SourceOperator
 from repro.storage.catalog import TableMeta
+from repro.storage.zonemap import SargablePredicate, prunable_partitions
 
 
 class ReadOperator(SourceOperator):
@@ -20,7 +38,8 @@ class ReadOperator(SourceOperator):
 
     ``order`` optionally permutes partition read order (used by the §8.5
     shuffled-input CI experiment).  ``source_name`` defaults to the table
-    name and keys the progress counters.
+    name and keys the progress counters.  ``columns``/``predicates``
+    carry planner pushdowns (see the module docstring).
     """
 
     def __init__(
@@ -29,25 +48,99 @@ class ReadOperator(SourceOperator):
         name: str | None = None,
         order: Sequence[int] | None = None,
         source_name: str | None = None,
+        columns: Sequence[str] | None = None,
+        predicates: Sequence[SargablePredicate] = (),
     ) -> None:
         super().__init__(name or f"read({meta.name})")
         self.meta = meta
         self.order = list(order) if order is not None else None
         self.source_name = source_name or meta.name
+        self.columns: tuple[str, ...] | None = None
+        self.predicates: tuple[SargablePredicate, ...] = tuple(predicates)
+        if columns is not None:
+            self.set_columns(columns)
+
+    # -- pushdown hooks (mutated by the planner before bind) ------------------
+    def set_columns(self, columns: Sequence[str]) -> None:
+        """Project the scan to ``columns`` (kept in table-schema order)."""
+        wanted = set(columns)
+        missing = wanted - set(self.meta.schema.names)
+        if missing:
+            raise QueryError(
+                f"scan {self.name!r}: pushed column(s) {sorted(missing)} "
+                f"not in table {self.meta.name!r}"
+            )
+        if not wanted:
+            raise QueryError(f"scan {self.name!r}: empty column pushdown")
+        self.columns = tuple(
+            n for n in self.meta.schema.names if n in wanted
+        )
+
+    def set_predicates(
+        self, predicates: Sequence[SargablePredicate]
+    ) -> None:
+        self.predicates = tuple(predicates)
+
+    # -- plan-time views -------------------------------------------------------
+    def scan_schema(self) -> Schema:
+        """The (possibly projected) schema this scan emits."""
+        if self.columns is None:
+            return self.meta.schema
+        return self.meta.schema.select(self.columns)
+
+    def pruned_partitions(self) -> frozenset[int]:
+        """Partition indices the zone maps prove the predicates exclude."""
+        return prunable_partitions(self.meta.stats, self.predicates)
 
     def _derive_info(self, inputs) -> StreamInfo:
+        schema = self.scan_schema()
+        names = set(schema.names)
         return StreamInfo(
-            schema=self.meta.schema,
-            primary_key=self.meta.primary_key,
-            clustering_key=self.meta.clustering_key,
+            schema=schema,
+            primary_key=(
+                self.meta.primary_key
+                if set(self.meta.primary_key) <= names
+                else ()
+            ),
+            clustering_key=(
+                self.meta.clustering_key
+                if set(self.meta.clustering_key) <= names
+                else ()
+            ),
             delivery=Delivery.DELTA,
         )
 
     def stream(self) -> Iterator[Message]:
+        # Per-stream state is rebuilt from scratch: constructing (or
+        # restarting) the iterator twice must not double-merge progress
+        # into the operator, so ``_progress`` is *reset*, not merged.
         progress = Progress.start(self.source_name, self.meta.total_tuples)
-        self._progress = self._progress.merged(progress)
-        for _index, frame in self.meta.iter_partitions(self.order):
+        self._progress = progress
+        skipped = self.pruned_partitions()
+        schema = self.scan_schema()
+        indices = (
+            range(self.meta.n_partitions)
+            if self.order is None
+            else self.order
+        )
+        for index in indices:
+            if index in skipped:
+                # Pruned: advance progress by the partition's tuple count
+                # without touching the file.  The empty partial still
+                # flows so downstream refresh cadence and growth
+                # inference match the unpruned scan exactly.
+                progress = progress.advanced(
+                    self.source_name, self.meta.tuple_counts[index]
+                )
+                self._progress = progress
+                yield Message(
+                    frame=DataFrame.empty(schema),
+                    progress=progress,
+                    kind=Delivery.DELTA,
+                )
+                continue
+            frame = self.meta.read_partition(index, columns=self.columns)
             progress = progress.advanced(self.source_name, frame.n_rows)
-            self._progress = self._progress.merged(progress)
+            self._progress = progress
             yield Message(frame=frame, progress=progress,
                           kind=Delivery.DELTA)

@@ -1,8 +1,21 @@
-"""Plan rewriting: sharded data parallelism via hash exchanges.
+"""Plan rewriting: scan pushdowns and sharded data parallelism.
 
-``shard_plan`` rewrites a resolved :class:`QueryGraph` so that stateful
-shuffle subplans run as K parallel replicas, each owning a disjoint hash
-range of the keys:
+``pushdown_plan`` runs first (before any shard rewrite): it walks the
+graph from the output back to the sources collecting, per
+:class:`ReadOperator`, (1) the set of columns any downstream operator can
+ever reference — threaded into the scan as a *projection* so npz
+partitions decompress only the needed arrays — and (2) the sargable
+conjuncts of downstream single-subscriber filters, evaluated against the
+catalog's per-partition zone maps to *skip* partitions entirely
+(predicate pushdown; see :mod:`repro.storage.zonemap`).  Both pushdowns
+are semantically invisible: projection only removes columns nothing
+reads, and a pruned partition still advances progress by its tuple count
+via an empty partial, so snapshot cadence, growth-inference ``t``, and
+exact finals are byte-identical to the unpushed plan.
+
+``shard_plan`` rewrites a resolved (already pushed-down)
+:class:`QueryGraph` so that stateful shuffle subplans run as K parallel
+replicas, each owning a disjoint hash range of the keys:
 
 * A shuffle-mode grouped :class:`AggregateOperator` becomes K exchange
   ports on its group keys feeding K aggregate replicas, combined by a
@@ -35,14 +48,20 @@ from repro.dataframe.expr import Column
 from repro.engine.graph import QueryGraph
 from repro.engine.ops import (
     AggregateOperator,
+    CrossJoinOperator,
+    DistinctOperator,
     ExchangeOperator,
     FilterOperator,
     HashJoinOperator,
+    MergeJoinOperator,
+    ReadOperator,
     SelectOperator,
+    SortLimitOperator,
     UnionOperator,
 )
 from repro.engine.ops.base import Operator
 from repro.engine.ops.exchange import ShardHashCache
+from repro.storage.zonemap import SargablePredicate
 
 #: Row-local operators a fused shard chain may pass through (their output
 #: for a masked message equals the mask of their output — Case 1 ops).
@@ -231,6 +250,232 @@ def _build_group(
         ),
         tuple(shard_tops),
     )
+
+
+# -- scan pushdowns -----------------------------------------------------------
+
+def _join_output_renames(
+    left_names: tuple[str, ...],
+    right_names: tuple[str, ...],
+    dropped_right: tuple[str, ...],
+    suffix: str,
+) -> dict[str, str]:
+    """Right-input column → output name, mirroring the join assembly rule:
+    ``dropped_right`` columns vanish (they duplicate the left keys for
+    equi-joins; empty for cross joins), collisions get ``suffix``."""
+    taken = set(left_names)
+    mapping: dict[str, str] = {}
+    for name in right_names:
+        if name in dropped_right:
+            continue
+        out = name if name not in taken else name + suffix
+        mapping[name] = out
+        taken.add(out)
+    return mapping
+
+
+def _two_sided_required(
+    required: set[str] | None,
+    left_names: tuple[str, ...],
+    right_names: tuple[str, ...],
+    left_keys: tuple[str, ...],
+    right_keys: tuple[str, ...],
+    dropped_right: tuple[str, ...],
+    suffix: str,
+) -> list[set[str] | None]:
+    """Per-side required columns for a binary (join-shaped) operator."""
+    if required is None:
+        return [None, None]
+    renames = _join_output_renames(
+        left_names, right_names, dropped_right, suffix
+    )
+    left_req = (required & set(left_names)) | set(left_keys)
+    right_req = {
+        name for name, out in renames.items() if out in required
+    } | set(right_keys)
+    return [left_req, right_req]
+
+
+def _required_inputs(
+    op: Operator,
+    input_schemas: tuple,
+    required: set[str] | None,
+) -> list[set[str] | None]:
+    """Columns each input port must supply so that ``op`` can produce the
+    ``required`` output columns (``None`` = everything; the conservative
+    answer for operators the walk does not understand)."""
+    if isinstance(op, FilterOperator):
+        if required is None:
+            return [None]
+        return [required | set(op.predicate.columns())]
+    if isinstance(op, SelectOperator):
+        # A select *evaluates* every expression regardless of what is
+        # consumed downstream, so its demand is exactly what the
+        # expressions reference — it never passes columns through.
+        needed: set[str] = set()
+        for _out, expr in op.exprs:
+            needed |= set(expr.columns())
+        return [needed]
+    if isinstance(op, AggregateOperator):
+        needed = set(op.by)
+        for spec in op.specs:
+            if spec.column is not None:
+                needed.add(spec.column)
+        return [needed]
+    if isinstance(op, SortLimitOperator):
+        if required is None:
+            return [None]
+        return [required | set(op.by)]
+    if isinstance(op, DistinctOperator):
+        if required is None:
+            return [None]
+        # An empty subset means "distinct over all columns".
+        return [required | set(op.subset) if op.subset else None]
+    if isinstance(op, HashJoinOperator):
+        left, right = input_schemas
+        if op.how in ("semi", "anti"):
+            left_req = (
+                None if required is None
+                else (required & set(left.names)) | set(op.left_on)
+            )
+            return [left_req, set(op.right_on)]
+        return _two_sided_required(
+            required, left.names, right.names,
+            op.left_on, op.right_on, op.right_on, op.suffix,
+        )
+    if isinstance(op, MergeJoinOperator):
+        left, right = input_schemas
+        return _two_sided_required(
+            required, left.names, right.names,
+            (op.left_on,), (op.right_on,), (op.right_on,), op.suffix,
+        )
+    if isinstance(op, CrossJoinOperator):
+        left, right = input_schemas
+        return _two_sided_required(
+            required, left.names, right.names, (), (), (), op.suffix,
+        )
+    if isinstance(op, ExchangeOperator):
+        if required is None:
+            return [None]
+        return [required | set(op.keys)]
+    if isinstance(op, UnionOperator):
+        return [required] * op.n_inputs
+    # MapPartitionsOperator and anything unknown: arbitrary column access.
+    return [None] * op.n_inputs
+
+
+def _collect_scan_predicates(
+    graph: QueryGraph,
+    subs: dict[int, list[tuple[int, int]]],
+    read_id: int,
+) -> list[SargablePredicate]:
+    """Sargable conjuncts guarding the scan at ``read_id``.
+
+    Walks the *single-subscriber* chain above the scan through
+    Filter/Select nodes.  Every row the scan emits flows through each
+    collected filter before anything else observes it, so a partition no
+    row of which can satisfy some conjunct contributes nothing
+    downstream — skipping it is invisible (except progress, which the
+    scan preserves).  Select nodes translate column names through bare
+    renames; derived expressions end the translation for their columns.
+    """
+    read_op = graph.node(read_id).operator
+    assert isinstance(read_op, ReadOperator)
+    mapping = {name: name for name in read_op.meta.schema.names}
+    predicates: list[SargablePredicate] = []
+    cur = read_id
+    while True:
+        edges = subs.get(cur, [])
+        if len(edges) != 1:
+            break  # fan-out: another consumer sees unfiltered rows
+        nxt, _port = edges[0]
+        op = graph.node(nxt).operator
+        if isinstance(op, FilterOperator):
+            for pred in op.sargable():
+                base = mapping.get(pred.column)
+                if base is not None:
+                    predicates.append(pred.renamed(base))
+        elif isinstance(op, SelectOperator):
+            mapping = {
+                out: mapping[expr.name]
+                for out, expr in op.exprs
+                if isinstance(expr, Column) and expr.name in mapping
+            }
+            if not mapping:
+                break
+        else:
+            break
+        cur = nxt
+    return predicates
+
+
+def pushdown_plan(
+    graph: QueryGraph,
+    output: int,
+    projection: bool = True,
+    pruning: bool = True,
+) -> tuple[QueryGraph, int]:
+    """Push projections and sargable predicates into the base scans.
+
+    Mutates the graph's :class:`ReadOperator` instances in place (each
+    execution materializes fresh operators, so no plan state leaks
+    across runs) and invalidates the graph's cached resolution.  Must
+    run *before* :func:`shard_plan` so the shard rewrite replicates the
+    already-narrowed scans.
+    """
+    graph.validate_output(output)
+    infos = graph.resolve()
+    subs = graph.subscribers()
+    required: dict[int, set[str] | None] = {
+        nid: set() for nid in graph.nodes
+    }
+    required[output] = None
+    # Insertion order is topological, so a reverse sweep sees every
+    # consumer before its producers.
+    for nid in sorted(graph.nodes, reverse=True):
+        node = graph.node(nid)
+        if nid != output and not subs[nid]:
+            required[nid] = None  # dangling node: demand unknown
+        reqs = _required_inputs(
+            node.operator,
+            tuple(infos[i].schema for i in node.inputs),
+            required[nid],
+        )
+        for input_id, req in zip(node.inputs, reqs):
+            if req is None:
+                required[input_id] = None
+            elif required[input_id] is not None:
+                required[input_id] |= req
+
+    changed = False
+    for nid in graph.source_ids():
+        op = graph.node(nid).operator
+        if not isinstance(op, ReadOperator):
+            continue
+        if pruning:
+            predicates = _collect_scan_predicates(graph, subs, nid)
+            if predicates:
+                op.set_predicates(predicates)
+                changed = True
+        if projection:
+            req = required[nid]
+            names = set(op.meta.schema.names)
+            if req is not None and (req & names) != names:
+                wanted = req & names
+                if not wanted:
+                    # Count-style queries reference no columns, but a
+                    # frame with zero columns has zero rows — keep the
+                    # cheapest single column to preserve row counts.
+                    wanted = {
+                        op.meta.primary_key[0]
+                        if op.meta.primary_key
+                        else op.meta.schema.names[0]
+                    }
+                op.set_columns(wanted)
+                changed = True
+    if changed:
+        graph.invalidate()
+    return graph, output
 
 
 def shard_plan(

@@ -9,15 +9,32 @@ from repro.storage.partition import (
     write_partition_csv,
     write_partition_npz,
 )
-from repro.storage.writer import partition_boundaries, write_table
+from repro.storage.writer import (
+    add_catalog_stats,
+    compute_table_stats,
+    partition_boundaries,
+    write_table,
+)
+from repro.storage.zonemap import (
+    SargablePredicate,
+    frame_stats,
+    prunable_partitions,
+    sargable_conjuncts,
+)
 
 __all__ = [
     "Catalog",
+    "SargablePredicate",
     "TableMeta",
+    "add_catalog_stats",
+    "compute_table_stats",
+    "frame_stats",
     "partition_boundaries",
+    "prunable_partitions",
     "read_partition",
     "read_partition_csv",
     "read_partition_npz",
+    "sargable_conjuncts",
     "write_partition",
     "write_partition_csv",
     "write_partition_npz",

@@ -5,6 +5,12 @@ of partition files, (2) the number of tuples in each file, and (3) the
 attributes with primary/clustering keys.  ``Catalog`` persists this as a
 JSON document next to the partition files; progress ``t`` is computed from
 the per-file tuple counts.
+
+On top of the required three, a table may carry optional per-partition
+zone-map ``stats`` (per-column min/max/null counts, see
+:mod:`repro.storage.zonemap`) that the scan layer uses to skip partitions
+a pushed-down filter can never match.  Catalogs written before stats
+existed load fine — ``stats`` is simply ``None`` and pruning is disabled.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from repro.errors import StorageError
 from repro.dataframe import (
@@ -35,12 +41,24 @@ class TableMeta:
     schema: Schema
     primary_key: tuple[str, ...]
     clustering_key: tuple[str, ...] = ()
+    #: Optional per-partition zone maps: one ``{column: {"min", "max",
+    #: "nulls"}}`` mapping per file (parallel to ``files``).  ``None``
+    #: (legacy catalogs) disables partition pruning; excluded from
+    #: equality/hash so stats never change table identity.
+    stats: tuple[Mapping[str, Mapping], ...] | None = field(
+        default=None, compare=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.files) != len(self.tuple_counts):
             raise StorageError(
                 f"table {self.name!r}: {len(self.files)} files but "
                 f"{len(self.tuple_counts)} tuple counts"
+            )
+        if self.stats is not None and len(self.stats) != len(self.files):
+            raise StorageError(
+                f"table {self.name!r}: {len(self.files)} files but "
+                f"{len(self.stats)} partition stats"
             )
         for key in (*self.primary_key, *self.clustering_key):
             if key not in self.schema:
@@ -57,25 +75,37 @@ class TableMeta:
     def n_partitions(self) -> int:
         return len(self.files)
 
-    def read_partition(self, index: int) -> DataFrame:
+    def read_partition(
+        self, index: int, columns: Sequence[str] | None = None
+    ) -> DataFrame:
         if not 0 <= index < len(self.files):
             raise StorageError(
                 f"table {self.name!r}: partition index {index} out of range "
                 f"[0, {len(self.files)})"
             )
-        return read_partition(self.files[index], self.schema)
+        return read_partition(self.files[index], self.schema,
+                              columns=columns)
 
     def iter_partitions(
-        self, order: Sequence[int] | None = None
+        self,
+        order: Sequence[int] | None = None,
+        columns: Sequence[str] | None = None,
     ) -> Iterator[tuple[int, DataFrame]]:
         """Yield (partition_index, frame) pairs, optionally reordered.
 
         Shuffled orders simulate out-of-order input arrival (used by the
-        §8.5 confidence-interval experiment).
+        §8.5 confidence-interval experiment).  ``columns`` narrows every
+        read to the selected columns (projection pushdown).
         """
         indices = range(len(self.files)) if order is None else order
         for index in indices:
-            yield index, self.read_partition(index)
+            yield index, self.read_partition(index, columns=columns)
+
+    def partition_stats(self, index: int) -> Mapping[str, Mapping] | None:
+        """Zone-map stats for one partition (None when unavailable)."""
+        if self.stats is None:
+            return None
+        return self.stats[index]
 
     def read_all(self) -> DataFrame:
         """Materialize the entire table (exact baselines / ground truth)."""
@@ -132,6 +162,11 @@ class Catalog:
                     ],
                     "primary_key": list(meta.primary_key),
                     "clustering_key": list(meta.clustering_key),
+                    **(
+                        {"stats": [dict(s) for s in meta.stats]}
+                        if meta.stats is not None
+                        else {}
+                    ),
                 }
                 for name, meta in self.tables.items()
             },
@@ -157,6 +192,7 @@ class Catalog:
                 )
                 for item in raw["schema"]
             )
+            stats = raw.get("stats")
             catalog.add(
                 TableMeta(
                     name=name,
@@ -165,6 +201,7 @@ class Catalog:
                     schema=schema,
                     primary_key=tuple(raw["primary_key"]),
                     clustering_key=tuple(raw.get("clustering_key", ())),
+                    stats=tuple(stats) if stats is not None else None,
                 )
             )
         return catalog

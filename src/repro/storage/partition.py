@@ -16,6 +16,7 @@ import csv
 import io
 import json
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
@@ -62,8 +63,31 @@ def write_partition_npz(path: str | Path, frame: DataFrame) -> None:
     np.savez(path, **payload)
 
 
-def read_partition_npz(path: str | Path) -> DataFrame:
-    """Load a ``.npz`` partition back into a DataFrame."""
+def _selected_schema(
+    schema: Schema, columns: Sequence[str] | None, path: Path
+) -> Schema:
+    """``schema`` narrowed to ``columns`` in schema order (None = all)."""
+    if columns is None:
+        return schema
+    missing = set(columns) - set(schema.names)
+    if missing:
+        raise StorageError(
+            f"partition {path}: selected column(s) {sorted(missing)} not "
+            f"in schema {list(schema.names)}"
+        )
+    wanted = set(columns)
+    return Schema(f for f in schema if f.name in wanted)
+
+
+def read_partition_npz(
+    path: str | Path, columns: Sequence[str] | None = None
+) -> DataFrame:
+    """Load a ``.npz`` partition back into a DataFrame.
+
+    ``columns`` selects a subset of columns (projection pushdown): only
+    the named arrays are decompressed — npz members load lazily, so the
+    cost is O(selected columns), not O(schema width).
+    """
     path = Path(path)
     if not path.exists():
         raise StorageError(f"partition file not found: {path}")
@@ -71,6 +95,7 @@ def read_partition_npz(path: str | Path) -> DataFrame:
         if _SCHEMA_KEY not in archive:
             raise StorageError(f"not a repro partition (no schema): {path}")
         schema = _schema_from_json(str(archive[_SCHEMA_KEY]))
+        schema = _selected_schema(schema, columns, path)
         data = {f.name: archive[f.name] for f in schema}
     return DataFrame(data, schema=schema)
 
@@ -86,8 +111,17 @@ def write_partition_csv(path: str | Path, frame: DataFrame) -> None:
             writer.writerow(row)
 
 
-def read_partition_csv(path: str | Path, schema: Schema) -> DataFrame:
-    """Load a CSV partition, coercing columns to the supplied schema."""
+def read_partition_csv(
+    path: str | Path,
+    schema: Schema,
+    columns: Sequence[str] | None = None,
+) -> DataFrame:
+    """Load a CSV partition, coercing columns to the supplied schema.
+
+    ``columns`` restricts parsing/coercion to a subset (the text is still
+    read — CSV is row-major — but only the selected columns are
+    converted, the dominant cost at scale).
+    """
     path = Path(path)
     if not path.exists():
         raise StorageError(f"partition file not found: {path}")
@@ -102,27 +136,30 @@ def read_partition_csv(path: str | Path, schema: Schema) -> DataFrame:
         raise StorageError(
             f"CSV header {header} does not match schema {list(schema.names)}"
         )
-    columns: dict[str, np.ndarray] = {}
-    for index, field in enumerate(schema):
+    positions = {name: i for i, name in enumerate(header)}
+    selected = _selected_schema(schema, columns, path)
+    out: dict[str, np.ndarray] = {}
+    for field in selected:
+        index = positions[field.name]
         raw = [row[index] for row in rows]
         if field.dtype in (DType.INT64, DType.DATE):
-            columns[field.name] = np.array(
+            out[field.name] = np.array(
                 [int(v) for v in raw], dtype=np.int64
             )
         elif field.dtype == DType.FLOAT64:
-            columns[field.name] = np.array(
+            out[field.name] = np.array(
                 [float(v) for v in raw], dtype=np.float64
             )
         elif field.dtype == DType.BOOL:
-            columns[field.name] = np.array(
+            out[field.name] = np.array(
                 [v in ("True", "true", "1") for v in raw], dtype=np.bool_
             )
         else:
-            columns[field.name] = (
+            out[field.name] = (
                 np.array(raw) if raw
                 else np.empty(0, dtype=numpy_dtype(DType.STRING))
             )
-    return DataFrame(columns, schema=schema)
+    return DataFrame(out, schema=selected)
 
 
 def write_partition(path: str | Path, frame: DataFrame) -> None:
@@ -136,15 +173,19 @@ def write_partition(path: str | Path, frame: DataFrame) -> None:
         raise StorageError(f"unknown partition format: {path.suffix!r}")
 
 
-def read_partition(path: str | Path, schema: Schema | None = None) -> DataFrame:
+def read_partition(
+    path: str | Path,
+    schema: Schema | None = None,
+    columns: Sequence[str] | None = None,
+) -> DataFrame:
     """Dispatch on file suffix; CSV requires an explicit schema."""
     path = Path(path)
     if path.suffix == ".npz":
-        return read_partition_npz(path)
+        return read_partition_npz(path, columns=columns)
     if path.suffix == ".csv":
         if schema is None:
             raise StorageError("reading CSV partitions requires a schema")
-        return read_partition_csv(path, schema)
+        return read_partition_csv(path, schema, columns=columns)
     raise StorageError(f"unknown partition format: {path.suffix!r}")
 
 

@@ -9,6 +9,7 @@ progressive merge join rely on.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 from typing import Sequence
 
@@ -18,6 +19,7 @@ from repro.errors import StorageError
 from repro.dataframe import DataFrame
 from repro.storage.catalog import Catalog, TableMeta
 from repro.storage.partition import write_partition
+from repro.storage.zonemap import frame_stats
 
 
 def partition_boundaries(n_rows: int, rows_per_partition: int) -> list[tuple[int, int]]:
@@ -94,12 +96,17 @@ def write_table(
     primary_key: Sequence[str],
     clustering_key: Sequence[str] = (),
     fmt: str = "npz",
+    stats: bool = True,
 ) -> TableMeta:
     """Write ``frame`` as a partitioned table and register it in ``catalog``.
 
     Rows are split *in their current order* — callers are responsible for
     pre-sorting by the clustering key so that the on-disk clustering promise
     (paper §3.1 "Data Organization") holds.
+
+    ``stats`` (default on) records per-partition zone maps (column
+    min/max/null counts) in the metadata, enabling predicate-pushdown
+    partition pruning at scan time.
     """
     if fmt not in ("npz", "csv"):
         raise StorageError(f"unknown table format {fmt!r}")
@@ -107,6 +114,7 @@ def write_table(
     directory.mkdir(parents=True, exist_ok=True)
     files: list[str] = []
     counts: list[int] = []
+    zone_maps: list[dict] = []
     if clustering_key:
         bounds = clustered_boundaries(frame, rows_per_partition,
                                       clustering_key)
@@ -119,6 +127,8 @@ def write_table(
         write_partition(path, piece)
         files.append(str(path))
         counts.append(piece.n_rows)
+        if stats:
+            zone_maps.append(frame_stats(piece))
     meta = TableMeta(
         name=name,
         files=tuple(files),
@@ -126,6 +136,33 @@ def write_table(
         schema=frame.schema,
         primary_key=tuple(primary_key),
         clustering_key=tuple(clustering_key),
+        stats=tuple(zone_maps) if stats else None,
     )
     catalog.add(meta)
     return meta
+
+
+def compute_table_stats(meta: TableMeta) -> tuple[dict, ...]:
+    """Zone maps for an existing table, one full partition scan each."""
+    return tuple(
+        frame_stats(frame) for _index, frame in meta.iter_partitions()
+    )
+
+
+def add_catalog_stats(catalog: Catalog, force: bool = False) -> list[str]:
+    """Backfill zone-map stats for tables missing them (in place).
+
+    Returns the names of the tables whose stats were (re)computed —
+    the migration path for catalogs written before zone maps existed
+    (``python -m repro stats catalog.json``).  ``force`` recomputes even
+    when stats are already present.
+    """
+    updated: list[str] = []
+    for name, meta in catalog.tables.items():
+        if meta.stats is not None and not force:
+            continue
+        catalog.tables[name] = replace(
+            meta, stats=compute_table_stats(meta)
+        )
+        updated.append(name)
+    return updated

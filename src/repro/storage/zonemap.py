@@ -1,0 +1,205 @@
+"""Zone maps: per-partition column statistics and partition pruning.
+
+The extended paper (arXiv:2303.04103 §8.1) stores base tables as 512 MB
+Parquet chunks precisely so scans can be columnar and skippable.  This
+module provides the metadata half of that design:
+
+* :func:`column_stats` / :func:`frame_stats` — per-column ``min``/``max``
+  and null counts for one partition, JSON-serializable so the catalog can
+  persist them next to the file list and tuple counts (§4.4 metadata);
+* :class:`SargablePredicate` — one conjunct of a filter in the canonical
+  ``column <op> literal`` shape, with zone-map evaluation
+  (:meth:`~SargablePredicate.may_match`);
+* :func:`sargable_conjuncts` — extract the sargable conjunction from an
+  arbitrary :class:`~repro.dataframe.expr.Expr` tree (non-sargable
+  conjuncts are simply ignored — pruning only needs a sound subset);
+* :func:`prunable_partitions` — indices a scan may skip entirely.
+
+Pruning is *semantically a filter*: a partition is skipped only when the
+zone maps prove no row can satisfy the conjunction, so the final answer is
+byte-identical.  Any doubt (missing stats, mixed types, non-sargable
+shapes) keeps the partition.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.dataframe.expr import (
+    BinaryExpr,
+    Column,
+    Expr,
+    IsInExpr,
+    Literal,
+)
+
+#: Comparison symbols (as carried by BinaryExpr) usable against zone maps.
+_COMPARISONS = {">", ">=", "<", "<="}
+
+#: Symbol → flipped symbol, for literal-on-the-left conjuncts.
+_FLIPPED = {">": "<", ">=": "<=", "<": ">", "<=": ">="}
+
+_OPS = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+}
+
+
+# -- statistics ---------------------------------------------------------------
+
+def column_stats(values: np.ndarray) -> dict:
+    """``{"min": ..., "max": ..., "nulls": int}`` for one column chunk.
+
+    ``min``/``max`` exclude NaNs (a NaN never satisfies a comparison, so
+    the non-NaN envelope is the only thing pruning may rely on); they are
+    ``None`` when no non-null value exists.  All values are plain Python
+    scalars so the catalog JSON stays portable.
+    """
+    values = np.asarray(values)
+    nulls = 0
+    if values.dtype.kind == "f":
+        nan_mask = np.isnan(values)
+        nulls = int(nan_mask.sum())
+        values = values[~nan_mask]
+    if values.size == 0:
+        return {"min": None, "max": None, "nulls": nulls}
+    if values.dtype.kind in "iufb":
+        lo, hi = values.min().item(), values.max().item()
+    else:
+        strings = [str(v) for v in values.tolist()]
+        lo, hi = min(strings), max(strings)
+    return {"min": lo, "max": hi, "nulls": nulls}
+
+
+def frame_stats(frame) -> dict[str, dict]:
+    """Zone-map statistics for every column of one partition frame."""
+    return {
+        name: column_stats(frame.column(name))
+        for name in frame.column_names
+    }
+
+
+# -- sargable predicates ------------------------------------------------------
+
+@dataclass(frozen=True)
+class SargablePredicate:
+    """One ``column <op> literal`` conjunct usable against zone maps.
+
+    ``op`` is one of ``> >= < <= ==`` or ``isin`` (``value`` is then a
+    tuple of scalars).
+    """
+
+    column: str
+    op: str
+    value: object
+
+    def renamed(self, column: str) -> "SargablePredicate":
+        return SargablePredicate(column, self.op, self.value)
+
+    def may_match(self, stats: Mapping | None) -> bool:
+        """Could any row of a partition with ``stats`` satisfy this?
+
+        Missing or malformed stats keep the partition (return True);
+        proofs of emptiness prune it.
+        """
+        if stats is None:
+            return True
+        lo, hi = stats.get("min"), stats.get("max")
+        if lo is None or hi is None:
+            # No non-null value in the chunk: comparisons with NaN (and
+            # membership over an all-null chunk) are all False.
+            return False
+        try:
+            if self.op == "isin":
+                return any(lo <= v <= hi for v in self.value)  # type: ignore[operator]
+            if self.op in (">", ">="):
+                return _OPS[self.op](hi, self.value)
+            if self.op in ("<", "<="):
+                return _OPS[self.op](lo, self.value)
+            if self.op == "==":
+                return bool(lo <= self.value <= hi)  # type: ignore[operator]
+        except TypeError:
+            return True  # mixed types: no proof, keep the partition
+        return True
+
+    def __repr__(self) -> str:
+        if self.op == "isin":
+            return f"{self.column} in {list(self.value)!r}"
+        return f"{self.column} {self.op} {self.value!r}"
+
+
+def _as_comparison(expr: BinaryExpr) -> SargablePredicate | None:
+    symbol = expr.symbol
+    if symbol not in _COMPARISONS and symbol != "==":
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(left, Column) and isinstance(right, Literal):
+        column, value = left.name, right.value
+    elif isinstance(left, Literal) and isinstance(right, Column):
+        column, value = right.name, left.value
+        symbol = _FLIPPED.get(symbol, symbol)
+    else:
+        return None
+    if isinstance(value, (bool, int, float, str, np.generic)):
+        if isinstance(value, np.generic):
+            value = value.item()
+        return SargablePredicate(column, symbol, value)
+    return None
+
+
+def sargable_conjuncts(expr: Expr) -> list[SargablePredicate]:
+    """The sargable subset of ``expr``'s top-level conjunction.
+
+    Walks ``&`` nodes recursively; keeps ``col <op> literal`` comparisons
+    and ``col.isin(scalars)``.  Everything else (disjunctions, derived
+    expressions, string predicates) contributes nothing — sound, since a
+    conjunction only ever *narrows* the rows the full predicate keeps.
+    """
+    if isinstance(expr, BinaryExpr):
+        if expr.symbol == "&":
+            return sargable_conjuncts(expr.left) + sargable_conjuncts(
+                expr.right
+            )
+        pred = _as_comparison(expr)
+        return [pred] if pred is not None else []
+    if isinstance(expr, IsInExpr) and isinstance(expr.inner, Column):
+        values = tuple(
+            v.item() if isinstance(v, np.generic) else v
+            for v in expr.values
+        )
+        if all(isinstance(v, (bool, int, float, str)) for v in values):
+            return [SargablePredicate(expr.inner.name, "isin", values)]
+    return []
+
+
+# -- pruning ------------------------------------------------------------------
+
+def partition_may_match(
+    stats: Mapping[str, Mapping] | None,
+    predicates: Sequence[SargablePredicate],
+) -> bool:
+    """True unless the zone maps prove every row fails some conjunct."""
+    if stats is None:
+        return True
+    return all(pred.may_match(stats.get(pred.column)) for pred in predicates)
+
+
+def prunable_partitions(
+    partition_stats: Sequence[Mapping[str, Mapping] | None] | None,
+    predicates: Sequence[SargablePredicate],
+) -> frozenset[int]:
+    """Indices of partitions no row of which can satisfy ``predicates``."""
+    if not partition_stats or not predicates:
+        return frozenset()
+    return frozenset(
+        index
+        for index, stats in enumerate(partition_stats)
+        if not partition_may_match(stats, predicates)
+    )

@@ -1,7 +1,11 @@
 """TPC-H substrate: schemas, dbgen, loader, and the 22 benchmark queries."""
 
 from repro.tpch.dbgen import TpchTables, generate
-from repro.tpch.loader import generate_and_load, load_tables
+from repro.tpch.loader import (
+    generate_and_load,
+    load_or_generate,
+    load_tables,
+)
 from repro.tpch.schema import TABLES, TableSpec
 
 __all__ = [
@@ -10,5 +14,6 @@ __all__ = [
     "TpchTables",
     "generate",
     "generate_and_load",
+    "load_or_generate",
     "load_tables",
 ]

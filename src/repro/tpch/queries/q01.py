@@ -14,7 +14,6 @@ from repro.dataframe import (
     lit,
     sort_frame,
 )
-from repro.api import F
 from repro.tpch.queries._helpers import add, mask
 
 NAME = "q01"

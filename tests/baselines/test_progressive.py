@@ -1,6 +1,5 @@
 """Tests for the ProgressiveDB-like baseline."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import ProgressiveQuery, ProgressiveScan

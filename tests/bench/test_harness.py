@@ -1,9 +1,8 @@
 """Tests for the experiment harness and report formatting."""
 
-import numpy as np
 import pytest
 
-from repro import F, WakeContext, col
+from repro import F, WakeContext
 from repro.bench import run_wake
 from repro.bench.report import ascii_timeline, banner, format_table
 from repro.dataframe import AggSpec, group_aggregate

@@ -1,6 +1,8 @@
 """Shared fixtures: small partitioned tables for engine/API tests, plus
 the session-scoped TPC-H dataset used by the tpch/baseline/bench tests."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -10,7 +12,19 @@ from repro.storage import Catalog, write_table
 
 @pytest.fixture(scope="session")
 def tpch(tmp_path_factory):
-    """(catalog, tables) at SF 0.005 with 8 fact partitions."""
+    """(catalog, tables) at SF 0.005 with 8 fact partitions.
+
+    ``REPRO_TPCH_CACHE_DIR`` (set by CI) reuses the partitioned dataset
+    across runs instead of regenerating dbgen output every time.
+    """
+    cache_root = os.environ.get("REPRO_TPCH_CACHE_DIR")
+    if cache_root:
+        from repro.tpch import load_or_generate
+
+        return load_or_generate(
+            cache_root, scale_factor=0.005, seed=7, fact_partitions=8,
+            dimension_partitions=2,
+        )
     from repro.tpch import generate_and_load
 
     directory = tmp_path_factory.mktemp("tpch")

@@ -6,7 +6,6 @@ import pytest
 
 from repro.dataframe import (
     AggSpec,
-    DataFrame,
     col,
     group_aggregate,
     hash_join,

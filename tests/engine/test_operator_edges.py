@@ -7,7 +7,6 @@ import pytest
 from repro import CIConfig, F, WakeContext, col
 from repro.core.ci import sigma_column
 from repro.core.properties import Delivery
-from repro.dataframe import DataFrame
 from repro.storage import write_table
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dataframe import AggSpec, DataFrame, col, group_aggregate
+from repro.dataframe import AggSpec, col, group_aggregate
 from repro.dataframe.join import hash_join
 from repro.core.properties import Delivery
 from repro.engine import QueryGraph, SyncExecutor

@@ -142,3 +142,98 @@ class TestCatalog:
                 name="x", files=("a", "b"), tuple_counts=(1,),
                 schema=meta.schema, primary_key=("okey",),
             )
+
+
+class TestZoneMapStats:
+    def test_writer_records_stats(self, catalog):
+        meta = catalog.table("orders")
+        assert meta.stats is not None
+        assert len(meta.stats) == meta.n_partitions
+        first = meta.stats[0]
+        assert first["okey"] == {"min": 0, "max": 29, "nulls": 0}
+        assert first["qty"]["min"] == 0.0
+        assert first["qty"]["max"] == 58.0
+
+    def test_stats_survive_json_roundtrip(self, catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        catalog.save(path)
+        loaded = Catalog.load(path)
+        reloaded = loaded.table("orders")
+        original = catalog.table("orders")
+        assert reloaded.stats is not None
+        assert list(map(dict, reloaded.stats)) == list(
+            map(dict, original.stats)
+        )
+
+    def test_legacy_catalog_loads_without_stats(self, catalog, tmp_path):
+        """Catalogs written before zone maps existed load fine: stats
+        are None and pruning is simply disabled."""
+        import json
+
+        path = tmp_path / "catalog.json"
+        catalog.save(path)
+        doc = json.loads(path.read_text())
+        for table in doc["tables"].values():
+            table.pop("stats")
+        path.write_text(json.dumps(doc))
+        loaded = Catalog.load(path)
+        meta = loaded.table("orders")
+        assert meta.stats is None
+        assert meta.partition_stats(0) is None
+        # ... and the table still reads back in full.
+        assert meta.read_all().n_rows == 100
+
+    def test_stats_backfill(self, catalog, tmp_path):
+        from repro.storage import add_catalog_stats
+
+        path = tmp_path / "catalog.json"
+        catalog.save(path)
+        import json
+
+        doc = json.loads(path.read_text())
+        for table in doc["tables"].values():
+            table.pop("stats")
+        path.write_text(json.dumps(doc))
+        loaded = Catalog.load(path)
+        updated = add_catalog_stats(loaded)
+        assert updated == ["orders"]
+        backfilled = loaded.table("orders").stats
+        assert list(map(dict, backfilled)) == list(
+            map(dict, catalog.table("orders").stats)
+        )
+        # Idempotent unless forced.
+        assert add_catalog_stats(loaded) == []
+        assert add_catalog_stats(loaded, force=True) == ["orders"]
+
+    def test_stats_length_validated(self, catalog):
+        meta = catalog.table("orders")
+        with pytest.raises(StorageError, match="partition stats"):
+            TableMeta(
+                name="x", files=meta.files,
+                tuple_counts=meta.tuple_counts, schema=meta.schema,
+                primary_key=("okey",), stats=(meta.stats[0],),
+            )
+
+    def test_stats_disabled_write(self, tmp_path, frame):
+        cat = Catalog()
+        meta = write_table(
+            cat, tmp_path / "nostats", "orders", frame, 40,
+            primary_key=["okey"], stats=False,
+        )
+        assert meta.stats is None
+
+    def test_nan_and_string_stats(self, tmp_path):
+        from repro.storage.zonemap import column_stats
+
+        assert column_stats(
+            np.array([1.0, np.nan, 3.0])
+        ) == {"min": 1.0, "max": 3.0, "nulls": 1}
+        assert column_stats(
+            np.array([np.nan, np.nan])
+        ) == {"min": None, "max": None, "nulls": 2}
+        assert column_stats(np.array([], dtype=np.int64)) == {
+            "min": None, "max": None, "nulls": 0,
+        }
+        assert column_stats(np.array(["b", "a", "c"])) == {
+            "min": "a", "max": "c", "nulls": 0,
+        }

@@ -58,6 +58,22 @@ class TestNpz:
         with pytest.raises(StorageError, match="not found"):
             read_partition_npz(tmp_path / "nope.npz")
 
+    def test_column_selection(self, tmp_path, frame):
+        path = tmp_path / "part.npz"
+        write_partition_npz(path, frame)
+        loaded = read_partition_npz(path, columns=["name", "k"])
+        # Schema order wins, not request order; kinds survive.
+        assert loaded.column_names == ("k", "name")
+        assert loaded.schema.field("k") == frame.schema.field("k")
+        assert loaded.column("name").tolist() == ["alpha", "beta",
+                                                  "gamma"]
+
+    def test_unknown_column_selection(self, tmp_path, frame):
+        path = tmp_path / "part.npz"
+        write_partition_npz(path, frame)
+        with pytest.raises(StorageError, match="nope"):
+            read_partition_npz(path, columns=["k", "nope"])
+
     def test_non_partition_npz_rejected(self, tmp_path):
         path = tmp_path / "raw.npz"
         np.savez(path, a=np.arange(3))
@@ -85,6 +101,15 @@ class TestCsv:
         write_partition_csv(path, frame.rename({"k": "other"}))
         with pytest.raises(StorageError, match="header"):
             read_partition_csv(path, frame.schema)
+
+    def test_column_selection(self, tmp_path, frame):
+        path = tmp_path / "part.csv"
+        write_partition_csv(path, frame)
+        loaded = read_partition_csv(path, frame.schema,
+                                    columns=["flag", "d"])
+        assert loaded.column_names == ("d", "flag")
+        assert loaded.column("flag").tolist() == [True, False, True]
+        assert loaded.equals(frame.select(["d", "flag"]))
 
     def test_csv_requires_schema_via_dispatch(self, tmp_path, frame):
         path = tmp_path / "part.csv"

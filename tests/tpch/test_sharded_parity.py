@@ -7,8 +7,6 @@ operator's and the union's key-sorted concat of exact finals must be
 """
 
 import pytest
-
-from repro import WakeContext
 from repro.tpch.queries import QUERIES
 
 #: Same laptop-scale parameter overrides as test_queries.py.
