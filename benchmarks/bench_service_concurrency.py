@@ -1,0 +1,160 @@
+"""Experiment E14 — multi-query service: no starvation, near-serial
+throughput.
+
+Eight TPC-H queries run concurrently through the fair-share scheduler
+in one process.  Two properties guard the service layer:
+
+* **no starvation** — every query must produce its *first* snapshot
+  within a bounded multiple of its solo first-snapshot latency.  With
+  8 equal-priority queries the fair-share ideal is ~8x (each query gets
+  every 8th partition-step); the guard allows scheduling overhead +
+  build-phase skew on top, but catches the failure mode where one query
+  sees no steps until others finish (which would show up as a ratio on
+  the order of total-work / solo-first-snapshot, hundreds of x).
+* **near-serial aggregate throughput** — time-slicing is bookkeeping,
+  not work: total wall-clock for the concurrent batch must be within
+  1/0.7 of running the same queries back-to-back (aggregate
+  partition-step throughput >= 0.7x serial).
+
+Both record into ``benchmarks/results/BENCH_summary.json`` via the
+``guard`` fixture.
+"""
+
+import time
+
+from repro import WakeContext
+from repro.service import FairShareScheduler, SessionState
+from repro.tpch.queries import QUERIES
+
+from benchmarks.conftest import BENCH_OVERRIDES
+from repro.bench.report import banner, format_table
+
+#: A mixed batch: scans, selective filters, joins, group-bys.
+QUERY_SET = (1, 3, 5, 6, 10, 12, 14, 19)
+
+#: First-snapshot slowdown bound under 8-way sharing.  Ideal fair share
+#: is len(QUERY_SET)x; the headroom absorbs per-step work imbalance
+#: (join-heavy queries pay for neighbors' expensive steps), build-phase
+#: skew, and timer noise on millisecond-scale solo latencies.
+#: Starvation (no steps until other queries finish) shows up well above
+#: this — strictly serial FIFO already exceeds it; the step-share guard
+#: below is the tight, deterministic fairness check.
+STARVATION_BOUND = 5.0 * len(QUERY_SET)
+
+#: Deterministic companion bound: the number of *global* partition-steps
+#: executed when a query's first snapshot appears, relative to the steps
+#: the query needs on its own.  Free of timer noise; fair sharing gives
+#: ~len(QUERY_SET)x while both bounds blow up under starvation.
+STEP_SHARE_BOUND = 2.0 * len(QUERY_SET)
+
+#: Aggregate throughput floor vs serial execution.
+THROUGHPUT_FLOOR = 0.7
+
+#: Wall-clock floor for ratio denominators (timer-noise guard).
+MIN_SOLO_LATENCY = 1e-3
+
+
+def _executor(catalog, number):
+    ctx = WakeContext(catalog)
+    plan = QUERIES[number].build_plan(
+        ctx, **BENCH_OVERRIDES.get(number, {})
+    )
+    return ctx.executor_for(plan)
+
+
+def _drive(scheduler, sessions):
+    """Run a scheduler to idle, recording each session's first-snapshot
+    latency (wall since drive start and global partition-steps executed)
+    plus the total wall-clock."""
+    first_snapshot = {}
+    first_step = {}
+    steps = 0
+    started = time.perf_counter()
+    while scheduler.run_once() is not None:
+        steps += 1
+        now = time.perf_counter()
+        for number, session in sessions.items():
+            if number not in first_snapshot and len(session.buffer):
+                first_snapshot[number] = now - started
+                first_step[number] = steps
+    elapsed = time.perf_counter() - started
+    return first_snapshot, first_step, elapsed
+
+
+def test_service_concurrency(bench_data, emit, guard):
+    catalog, _tables = bench_data
+
+    # -- solo runs: per-query first-snapshot latency + serial total ----
+    solo_first = {}
+    solo_steps = {}
+    solo_elapsed = {}
+    for number in QUERY_SET:
+        scheduler = FairShareScheduler()
+        session = scheduler.submit(_executor(catalog, number))
+        firsts, first_steps, elapsed = _drive(
+            scheduler, {number: session}
+        )
+        assert session.state is SessionState.DONE
+        solo_first[number] = firsts[number]
+        solo_steps[number] = first_steps[number]
+        solo_elapsed[number] = elapsed
+    serial_total = sum(solo_elapsed.values())
+
+    # -- concurrent batch: all 8 in one scheduler ----------------------
+    scheduler = FairShareScheduler()
+    sessions = {
+        number: scheduler.submit(_executor(catalog, number),
+                                 name=f"q{number:02d}")
+        for number in QUERY_SET
+    }
+    concurrent_first, concurrent_steps, concurrent_total = _drive(
+        scheduler, sessions
+    )
+    total_steps = sum(s.steps for s in sessions.values())
+    for number, session in sessions.items():
+        assert session.state is SessionState.DONE, f"q{number:02d}"
+        assert number in concurrent_first, f"q{number:02d} starved"
+
+    ratios = {
+        number: (concurrent_first[number]
+                 / max(solo_first[number], MIN_SOLO_LATENCY))
+        for number in QUERY_SET
+    }
+    step_ratios = {
+        number: concurrent_steps[number] / solo_steps[number]
+        for number in QUERY_SET
+    }
+    worst = max(ratios.values())
+    worst_steps = max(step_ratios.values())
+    throughput_ratio = serial_total / max(concurrent_total, 1e-9)
+
+    emit(banner("E14 — 8-query concurrency (fair-share scheduler)"))
+    rows = [
+        [f"q{number:02d}",
+         f"{solo_first[number] * 1e3:.1f}",
+         f"{concurrent_first[number] * 1e3:.1f}",
+         f"{ratios[number]:.1f}x",
+         f"{step_ratios[number]:.1f}x",
+         sessions[number].steps]
+        for number in QUERY_SET
+    ]
+    emit(format_table(
+        ["query", "solo 1st snap (ms)", "shared 1st snap (ms)",
+         "slowdown", "step share", "steps"],
+        rows,
+    ))
+    emit(f"\nserial total      : {serial_total:.3f}s")
+    emit(f"concurrent total  : {concurrent_total:.3f}s "
+         f"({total_steps} partition-steps)")
+    emit(f"throughput ratio  : {throughput_ratio:.2f}x "
+         f"(floor {THROUGHPUT_FLOOR}x)")
+    emit(f"worst 1st-snapshot: {worst:.1f}x wall "
+         f"(bound {STARVATION_BOUND:.0f}x), {worst_steps:.1f}x steps "
+         f"(bound {STEP_SHARE_BOUND:.0f}x)")
+
+    guard("first_snapshot_worst_slowdown", worst, STARVATION_BOUND,
+          op="<=")
+    guard("first_snapshot_worst_step_share", worst_steps,
+          STEP_SHARE_BOUND, op="<=")
+    guard("aggregate_throughput_ratio", throughput_ratio,
+          THROUGHPUT_FLOOR)

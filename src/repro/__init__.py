@@ -37,6 +37,7 @@ from repro.errors import (
     QueryError,
     ReproError,
     SchemaError,
+    ServiceError,
     StorageError,
 )
 from repro.api import EdfFrame, F, WakeContext
@@ -64,6 +65,7 @@ __all__ = [
     "ReproError",
     "Schema",
     "SchemaError",
+    "ServiceError",
     "StorageError",
     "TableMeta",
     "WakeContext",

@@ -15,7 +15,11 @@ from repro.errors import QueryError
 from repro.core.ci import CIConfig
 from repro.core.edf import EvolvingDataFrame
 from repro.core.orderstat import DEFAULT_SKETCH_SIZE, QUANTILE_MODES
-from repro.engine.executor import SyncExecutor, ThreadedExecutor
+from repro.engine.executor import (
+    StepExecutor,
+    SyncExecutor,
+    ThreadedExecutor,
+)
 from repro.engine.graph import QueryGraph
 from repro.engine.ops import ReadOperator
 from repro.engine.planner import pushdown_plan, shard_plan
@@ -220,6 +224,27 @@ class WakeContext:
         )
         self.last_executor = engine
         return engine.stream()
+
+    def executor_for(
+        self,
+        frame: EdfFrame,
+        capture_all: bool | None = None,
+        record_timeline: bool = False,
+        parallelism: int | None = None,
+        pushdown: bool | None = None,
+    ) -> StepExecutor:
+        """A resumable :class:`StepExecutor` over the materialized plan
+        (after pushdown and the shard rewrite) — the unit the
+        multi-query service schedules (see :mod:`repro.service`).  Each
+        ``step()`` consumes one source partition; stepping to
+        completion yields snapshot sequences byte-identical to
+        :meth:`run` on the sync executor."""
+        graph, output = self._materialize(frame, parallelism, pushdown)
+        capture = self.capture_all if capture_all is None else capture_all
+        return StepExecutor(
+            graph, output, capture_all=capture,
+            record_timeline=record_timeline,
+        )
 
     def explain(self, frame: EdfFrame,
                 parallelism: int | None = None,

@@ -8,7 +8,9 @@ Commands:
 * ``explain``  — print a query's physical plan (node types, deliveries,
   clustering, schemas, scan pushdowns);
 * ``stats``    — backfill per-partition zone-map statistics into an
-  existing catalog so predicate pushdown can prune partitions.
+  existing catalog so predicate pushdown can prune partitions;
+* ``serve``    — run the multi-query snapshot-streaming server (NDJSON
+  over TCP: submit/subscribe/status/pause/resume/cancel).
 """
 
 from __future__ import annotations
@@ -75,6 +77,27 @@ def _add_stats(sub: argparse._SubParsersAction) -> None:
                    help="catalog.json to rewrite in place")
     p.add_argument("--force", action="store_true",
                    help="recompute stats even for tables that have them")
+
+
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="serve concurrent OLA queries over NDJSON/TCP "
+             "(submit/subscribe/status/pause/resume/cancel)",
+    )
+    p.add_argument("catalog", type=Path,
+                   help="catalog.json written by `generate`")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--parallelism", type=int, default=1,
+                   help="default shard count for submitted queries")
+    p.add_argument("--buffer-size", type=int, default=None,
+                   help="bound per-session snapshot buffers (slow "
+                        "subscribers then skip evicted snapshots; "
+                        "default: unbounded)")
+    p.add_argument("--no-pushdown", action="store_true",
+                   help="disable scan pushdown for submitted queries")
 
 
 def _parse_overrides(pairs: list[str]) -> dict:
@@ -158,6 +181,36 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import QueryService, SnapshotServer
+
+    ctx = WakeContext.from_catalog(args.catalog,
+                                   parallelism=args.parallelism,
+                                   pushdown=not args.no_pushdown)
+    service = QueryService(ctx, buffer_size=args.buffer_size)
+    server = SnapshotServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        task = asyncio.ensure_future(server.serve())
+        # With --port 0 the bound port is only known once listening;
+        # a failed bind must surface instead of spinning forever.
+        while not server.port and not task.done():
+            await asyncio.sleep(0.01)
+        if not task.done():
+            print(f"serving {len(service.plans)} registered plan "
+                  f"names on {server.host}:{server.port} "
+                  f"(Ctrl-C to stop)", flush=True)
+        await task
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -169,12 +222,14 @@ def main(argv: list[str] | None = None) -> int:
     _add_run(sub)
     _add_explain(sub)
     _add_stats(sub)
+    _add_serve(sub)
     args = parser.parse_args(argv)
     handlers = {
         "generate": cmd_generate,
         "run": cmd_run,
         "explain": cmd_explain,
         "stats": cmd_stats,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

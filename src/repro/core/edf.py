@@ -66,6 +66,12 @@ class EvolvingDataFrame:
     def snapshots(self) -> tuple[EdfSnapshot, ...]:
         return tuple(self._snapshots)
 
+    def snapshot(self, index: int) -> EdfSnapshot:
+        """O(1) positional access (``snapshots`` copies the whole
+        history per call — incremental consumers like the service's
+        snapshot pump should index instead)."""
+        return self._snapshots[index]
+
     def __len__(self) -> int:
         return len(self._snapshots)
 

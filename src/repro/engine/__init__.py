@@ -2,6 +2,7 @@
 shard-plan rewrite (paper §7)."""
 
 from repro.engine.executor import (
+    StepExecutor,
     SyncExecutor,
     ThreadedExecutor,
     TimelineEvent,
@@ -15,6 +16,7 @@ __all__ = [
     "Message",
     "Node",
     "QueryGraph",
+    "StepExecutor",
     "SyncExecutor",
     "ThreadedExecutor",
     "TimelineEvent",

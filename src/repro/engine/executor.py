@@ -136,8 +136,25 @@ def _append_empty_final(sink: "_SinkState", schema, progress,
     )
 
 
-class SyncExecutor:
-    """Deterministic single-threaded executor."""
+class StepExecutor:
+    """Resumable single-threaded executor; the unit of work is one
+    source partition.
+
+    ``step()`` consumes one partition from one source (or, once a source
+    is exhausted, dispatches its EOF), flushes it breadth-first through
+    the graph, and returns control to the caller.  Stepping to
+    completion reproduces :class:`SyncExecutor`'s dispatch order exactly
+    — build-side sources drain fully first, the rest round-robin one
+    partition at a time — so snapshot sequences are byte-identical to a
+    run-to-EOF execution no matter how the steps are interleaved with
+    other queries'.  This is the scheduling quantum of the multi-query
+    service (:mod:`repro.service`).
+
+    State is built lazily on the first ``step()`` (submission does not
+    open files); ``close()`` abandons a run mid-flight, closing every
+    open read stream and releasing operator state, while the collected
+    ``edf`` stays readable.
+    """
 
     def __init__(
         self,
@@ -147,109 +164,209 @@ class SyncExecutor:
         record_timeline: bool = False,
     ) -> None:
         graph.validate_output(output)
-        self.graph = graph
+        self.graph: QueryGraph | None = graph
         self.output = output
         self.capture_all = capture_all
         self.record_timeline = record_timeline
         self.timeline: list[TimelineEvent] = []
+        self._sink: _SinkState | None = None
+        self._subscribers: dict[int, list[tuple[int, int]]] | None = None
+        self._streams: dict[int, object] = {}
+        self._build: deque[int] = deque()
+        self._round_robin: deque[int] = deque()
+        self._opened = False
+        self._finished = False
+        self._closed = False
+        self._steps = 0
 
-    def run(self) -> EvolvingDataFrame:
-        graph = self.graph
-        infos = graph.resolve()
-        subscribers = graph.subscribers()
-        started_at = time.perf_counter()
-        sink = _SinkState(
-            name=graph.node(self.output).operator.name,
+    # -- lazy setup ---------------------------------------------------------------
+    def _ensure_sink(self) -> None:
+        if self._sink is not None:
+            return
+        assert self.graph is not None
+        infos = self.graph.resolve()
+        self._started_at = time.perf_counter()
+        self._sink = _SinkState(
+            name=self.graph.node(self.output).operator.name,
             delivery=infos[self.output].delivery,
             capture_all=self.capture_all,
-            started_at=started_at,
+            started_at=self._started_at,
         )
 
-        def dispatch(node_id: int, port: int, item: object) -> None:
-            pending: deque[tuple[int, int, object]] = deque(
-                [(node_id, port, item)]
-            )
-            while pending:
-                nid, prt, itm = pending.popleft()
-                node = graph.node(nid)
-                start = time.perf_counter()
-                if isinstance(itm, Message):
-                    outputs = node.operator.on_message(prt, itm)
-                    rows = itm.frame.n_rows
-                    forward_eof = False
-                else:
-                    outputs = node.operator.on_eof(prt)
-                    rows = 0
-                    forward_eof = node.operator.eof_complete
-                if self.record_timeline:
-                    self.timeline.append(
-                        TimelineEvent(node.operator.name, start,
-                                      time.perf_counter(), rows)
-                    )
-                for out in outputs:
-                    if nid == self.output:
-                        sink.accept(out)
-                    for sub_id, sub_port in subscribers[nid]:
-                        pending.append((sub_id, sub_port, out))
-                if forward_eof:
-                    if nid == self.output:
-                        sink.finish(node.operator.progress)
-                    for sub_id, sub_port in subscribers[nid]:
-                        pending.append((sub_id, sub_port, Eof(
-                            node.operator.progress)))
-
+    def _open_streams(self) -> None:
+        if self._opened:
+            return
+        self._opened = True
+        graph = self.graph
+        assert graph is not None
+        self._ensure_sink()
+        self._subscribers = graph.subscribers()
         # Sources: drain priority-0 (build sides) fully, then round-robin.
         priorities = graph.source_priorities()
-        streams: dict[int, object] = {}
         for source_id in graph.source_ids():
             op = graph.node(source_id).operator
             assert isinstance(op, SourceOperator)
-            streams[source_id] = op.stream()
+            self._streams[source_id] = op.stream()
+        self._build = deque(
+            s for s in self._streams if priorities[s] == 0
+        )
+        self._round_robin = deque(
+            s for s in self._streams if priorities[s] == 1
+        )
 
-        def run_source_to_eof(source_id: int) -> None:
-            for message in streams[source_id]:
-                self._emit_from_source(source_id, message, subscribers,
-                                       sink, dispatch)
-            self._emit_source_eof(source_id, subscribers, sink, dispatch)
+    # -- introspection ------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once every source hit EOF and the edf was sealed."""
+        return self._finished
 
-        build_sources = [s for s in streams if priorities[s] == 0]
-        stream_sources = [s for s in streams if priorities[s] == 1]
-        for source_id in build_sources:
-            run_source_to_eof(source_id)
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
-        active = {s: streams[s] for s in stream_sources}
-        while active:
-            for source_id in list(active):
-                try:
-                    message = next(active[source_id])  # type: ignore[arg-type]
-                except StopIteration:
-                    self._emit_source_eof(source_id, subscribers, sink,
-                                          dispatch)
-                    del active[source_id]
-                    continue
-                self._emit_from_source(source_id, message, subscribers,
-                                       sink, dispatch)
-        sink.finish()
-        if not len(sink.edf):
-            _append_empty_final(sink, infos[self.output].schema,
-                                graph.node(self.output).operator.progress,
-                                started_at)
-        return sink.edf
+    @property
+    def steps(self) -> int:
+        """Partition-steps (incl. EOF dispatches) executed so far."""
+        return self._steps
 
-    def _emit_from_source(self, source_id, message, subscribers, sink,
-                          dispatch) -> None:
+    @property
+    def edf(self) -> EvolvingDataFrame:
+        """The live output edf; snapshots appear as steps execute."""
+        self._ensure_sink()
+        assert self._sink is not None
+        return self._sink.edf
+
+    # -- stepping -----------------------------------------------------------------
+    def step(self) -> bool:
+        """Advance by one quantum: dispatch one source partition (or one
+        source EOF) through the graph.  Returns ``False`` iff the query
+        had already finished or was closed (no work was done)."""
+        if self._finished or self._closed:
+            return False
+        self._open_streams()
+        if self._build:
+            source_id = self._build[0]
+            if not self._pump(source_id):
+                self._build.popleft()
+        elif self._round_robin:
+            source_id = self._round_robin.popleft()
+            if self._pump(source_id):
+                self._round_robin.append(source_id)
+        self._steps += 1
+        if not self._build and not self._round_robin:
+            self._finalize()
+        return True
+
+    def _pump(self, source_id: int) -> bool:
+        """One partition from ``source_id``; False once it hits EOF."""
+        try:
+            message = next(self._streams[source_id])  # type: ignore[arg-type]
+        except StopIteration:
+            self._emit_source_eof(source_id)
+            return False
+        self._emit_from_source(source_id, message)
+        return True
+
+    def _finalize(self) -> None:
+        self._finished = True
+        graph = self.graph
+        assert graph is not None and self._sink is not None
+        self._sink.finish()
+        if not len(self._sink.edf):
+            _append_empty_final(
+                self._sink, graph.resolve()[self.output].schema,
+                graph.node(self.output).operator.progress,
+                self._started_at,
+            )
+        self._streams.clear()
+
+    def run(self) -> EvolvingDataFrame:
+        """Step until every source hit EOF; returns the sealed edf."""
+        while self.step():
+            pass
+        return self.edf
+
+    def close(self) -> None:
+        """Abandon the run: close every open read stream and release
+        operator state (build indexes, group state).  The edf keeps the
+        snapshots produced so far but will never become final.  Called
+        by the service layer on cancellation; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._ensure_sink()
+        for stream in self._streams.values():
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+        self._streams.clear()
+        self._build.clear()
+        self._round_robin.clear()
+        # Drop the graph reference: it is what keeps per-operator state
+        # (join indexes, aggregate slots, sort buffers) alive.
+        self.graph = None
+        self._subscribers = None
+
+    # -- dispatch (breadth-first flush, shared with SyncExecutor) -----------------
+    def _dispatch(self, node_id: int, port: int, item: object) -> None:
+        graph = self.graph
+        sink = self._sink
+        subscribers = self._subscribers
+        assert graph is not None and sink is not None
+        assert subscribers is not None
+        pending: deque[tuple[int, int, object]] = deque(
+            [(node_id, port, item)]
+        )
+        while pending:
+            nid, prt, itm = pending.popleft()
+            node = graph.node(nid)
+            start = time.perf_counter()
+            if isinstance(itm, Message):
+                outputs = node.operator.on_message(prt, itm)
+                rows = itm.frame.n_rows
+                forward_eof = False
+            else:
+                outputs = node.operator.on_eof(prt)
+                rows = 0
+                forward_eof = node.operator.eof_complete
+            if self.record_timeline:
+                self.timeline.append(
+                    TimelineEvent(node.operator.name, start,
+                                  time.perf_counter(), rows)
+                )
+            for out in outputs:
+                if nid == self.output:
+                    sink.accept(out)
+                for sub_id, sub_port in subscribers[nid]:
+                    pending.append((sub_id, sub_port, out))
+            if forward_eof:
+                if nid == self.output:
+                    sink.finish(node.operator.progress)
+                for sub_id, sub_port in subscribers[nid]:
+                    pending.append((sub_id, sub_port, Eof(
+                        node.operator.progress)))
+
+    def _emit_from_source(self, source_id: int, message: Message) -> None:
+        assert self._sink is not None and self._subscribers is not None
         if source_id == self.output:
-            sink.accept(message)
-        for sub_id, sub_port in subscribers[source_id]:
-            dispatch(sub_id, sub_port, message)
+            self._sink.accept(message)
+        for sub_id, sub_port in self._subscribers[source_id]:
+            self._dispatch(sub_id, sub_port, message)
 
-    def _emit_source_eof(self, source_id, subscribers, sink,
-                         dispatch) -> None:
+    def _emit_source_eof(self, source_id: int) -> None:
+        assert self.graph is not None
+        assert self._sink is not None and self._subscribers is not None
         op = self.graph.node(source_id).operator
         if source_id == self.output:
-            sink.finish(op.progress)
-        for sub_id, sub_port in subscribers[source_id]:
-            dispatch(sub_id, sub_port, Eof(op.progress))
+            self._sink.finish(op.progress)
+        for sub_id, sub_port in self._subscribers[source_id]:
+            self._dispatch(sub_id, sub_port, Eof(op.progress))
+
+
+class SyncExecutor(StepExecutor):
+    """Deterministic single-threaded run-to-completion executor: step
+    until all sources hit EOF (see :class:`StepExecutor` for the pump
+    loop; this class is the classic blocking entry point)."""
 
 
 class ThreadedExecutor:
@@ -275,6 +392,22 @@ class ThreadedExecutor:
         self.timeline: list[TimelineEvent] = []
         self._timeline_lock = threading.Lock()
         self._last_edf: EvolvingDataFrame | None = None
+        #: Shared abort flag: flipped by the error path *and* by
+        #: external cancellation; once set, blocked bounded-channel puts
+        #: convert into drops and every node thread winds down.
+        self._abort = threading.Event()
+
+    def cancel(self) -> None:
+        """Externally abort an in-flight ``run()``/``stream()``.
+
+        Reuses the error-path abort protocol: sources stop streaming,
+        blocked puts into full channels become drops, and an EOF
+        cascade drains the graph, so every worker thread joins instead
+        of leaking.  The stream then ends with whatever snapshots were
+        already produced (the edf never becomes final).  Idempotent and
+        safe to call from any thread.
+        """
+        self._abort.set()
 
     def _record(self, name: str, start: float, end: float,
                 rows: int) -> None:
@@ -295,9 +428,11 @@ class ThreadedExecutor:
         """Execute while *yielding* each snapshot as it is produced —
         the live-consumer API (progressive visualization, dashboards).
 
-        The generator must be consumed to completion (or the process
-        torn down); node threads are daemonic, so an abandoned generator
-        leaks no non-daemon threads but does waste the remaining work.
+        Closing the generator mid-stream (``close()``, garbage
+        collection of an abandoned iterator, or a ``KeyboardInterrupt``
+        in the consumer loop) shuts the executor down cleanly: the
+        abort flag flips, blocked channel puts become drops, and every
+        node thread is joined before ``GeneratorExit`` propagates.
         """
         graph = self.graph
         infos = graph.resolve()
@@ -311,12 +446,13 @@ class ThreadedExecutor:
         }
         sink_channel: queue.Queue = queue.Queue()
         errors: list[BaseException] = []
-        #: Set on the first node error.  Once aborting, every blocked
-        #: bounded-channel put converts into a bounded retry that drops
-        #: its item — consumers may already have exited, and a blocking
-        #: put into a full channel nobody drains would park the producer
-        #: until the join timeout, masking the original error.
-        abort = threading.Event()
+        # Set on the first node error, by cancel(), or when the
+        # generator is closed mid-stream.  Once aborting, every blocked
+        # bounded-channel put converts into a bounded retry that drops
+        # its item — consumers may already have exited, and a blocking
+        # put into a full channel nobody drains would park the producer
+        # until the join timeout, masking the original error.
+        abort = self._abort
 
         def put_item(channel_: queue.Queue, item: object) -> None:
             while True:
@@ -404,31 +540,42 @@ class ThreadedExecutor:
         for thread in threads:
             thread.start()
         yielded = 0
-        while True:
-            try:
-                item = sink_channel.get(timeout=0.1)
-            except queue.Empty:
-                # Belt and braces: if the output's EOF was lost to an
-                # aborting channel, stop once every node thread is done.
-                if abort.is_set() and not any(
-                    t.is_alive() for t in threads
-                ):
+        completed = False
+        try:
+            while True:
+                try:
+                    item = sink_channel.get(timeout=0.1)
+                except queue.Empty:
+                    # Belt and braces: if the output's EOF was lost to an
+                    # aborting channel, stop once every node thread is
+                    # done.
+                    if abort.is_set() and not any(
+                        t.is_alive() for t in threads
+                    ):
+                        break
+                    continue
+                if isinstance(item, Eof):
+                    sink.finish(item.progress)
+                else:
+                    sink.accept(item)
+                while yielded < len(sink.edf):
+                    yield sink.edf.snapshots[yielded]
+                    yielded += 1
+                if isinstance(item, Eof):
                     break
-                continue
-            if isinstance(item, Eof):
-                sink.finish(item.progress)
-            else:
-                sink.accept(item)
-            while yielded < len(sink.edf):
-                yield sink.edf.snapshots[yielded]
-                yielded += 1
-            if isinstance(item, Eof):
-                break
-        # With the abort protocol above, threads unblock within one retry
-        # interval of a failure; a short timeout suffices on that path.
-        join_timeout = 5.0 if errors else 30.0
-        for thread in threads:
-            thread.join(timeout=join_timeout)
+            completed = True
+        finally:
+            # Abandoned mid-stream (GeneratorExit from close()/GC, or an
+            # exception such as KeyboardInterrupt in the consumer loop):
+            # flip the abort flag so blocked puts become drops, then
+            # join every node thread before the exception propagates.
+            if not completed:
+                abort.set()
+            # With the abort protocol, threads unblock within one retry
+            # interval of a failure; a short timeout suffices there.
+            join_timeout = 30.0 if completed and not errors else 5.0
+            for thread in threads:
+                thread.join(timeout=join_timeout)
         if errors:
             # The original failure always wins over secondary symptoms
             # (e.g. a straggler thread still tearing down).

@@ -40,3 +40,8 @@ class ExecutionError(ReproError):
 
 class InferenceError(ReproError):
     """Aggregate inference could not produce an estimate (bad growth state)."""
+
+
+class ServiceError(ReproError):
+    """The multi-query service rejected a request or the connection to a
+    snapshot server failed."""

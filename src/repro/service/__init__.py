@@ -1,0 +1,38 @@
+"""Multi-query service: run many online-aggregation queries in one
+process and stream their snapshots to subscribers.
+
+Layering (bottom-up):
+
+* :class:`repro.engine.executor.StepExecutor` — the resumable executor
+  whose quantum is one source partition;
+* :mod:`repro.service.session` — query lifecycle (SUBMITTED → RUNNING →
+  PAUSED/DONE/CANCELLED/FAILED) plus per-session snapshot buffers with
+  non-blocking subscription cursors;
+* :mod:`repro.service.scheduler` — a cooperative fair-share (stride)
+  scheduler time-slicing partition-steps across sessions;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  stdlib-only NDJSON-over-TCP protocol (``submit`` / ``subscribe`` /
+  ``status`` / ``pause`` / ``resume`` / ``cancel``) streaming snapshots
+  as they are produced (``repro serve``).
+"""
+
+from repro.service.scheduler import FairShareScheduler
+from repro.service.session import (
+    QuerySession,
+    SessionState,
+    SnapshotBuffer,
+    Subscription,
+)
+from repro.service.server import QueryService, SnapshotServer
+from repro.service.client import ServiceClient
+
+__all__ = [
+    "FairShareScheduler",
+    "QueryService",
+    "QuerySession",
+    "ServiceClient",
+    "SessionState",
+    "SnapshotBuffer",
+    "SnapshotServer",
+    "Subscription",
+]

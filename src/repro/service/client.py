@@ -1,0 +1,129 @@
+"""Blocking NDJSON client for the snapshot server.
+
+One :class:`ServiceClient` owns one TCP connection; requests on it are
+serialized (a ``subscribe`` stream occupies the connection until its
+``end`` event).  Open one client per concurrent subscription — they are
+cheap — and control the same sessions from any of them.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Iterator, Mapping
+
+from repro.errors import ServiceError
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.SnapshotServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float | None = None,
+    ) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing -----------------------------------------------------------------
+    def _send(self, payload: dict) -> None:
+        self._file.write((json.dumps(payload) + "\n").encode())
+        self._file.flush()
+
+    def _read(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        return json.loads(line)
+
+    def _request(self, payload: dict) -> dict:
+        self._send(payload)
+        reply = self._read()
+        if reply.get("ok") is False:
+            raise ServiceError(reply.get("error", "request failed"))
+        return reply
+
+    # -- operations ---------------------------------------------------------------
+    def submit(
+        self,
+        query: str,
+        params: Mapping | None = None,
+        priority: float = 1.0,
+        parallelism: int | None = None,
+        pushdown: bool | None = None,
+        name: str | None = None,
+        paused: bool = False,
+    ) -> str:
+        """Submit a registered query; returns the new session id.
+        ``paused=True`` admits it without running — attach subscribers,
+        then ``resume``."""
+        request: dict = {"op": "submit", "query": query,
+                         "priority": priority}
+        if paused:
+            request["paused"] = True
+        if params:
+            request["params"] = dict(params)
+        if parallelism is not None:
+            request["parallelism"] = parallelism
+        if pushdown is not None:
+            request["pushdown"] = pushdown
+        if name is not None:
+            request["name"] = name
+        return self._request(request)["session"]
+
+    def status(self, session: str | None = None) -> dict:
+        """One session's status, or ``{"sessions": [...]}`` for all."""
+        request: dict = {"op": "status"}
+        if session is not None:
+            request["session"] = session
+        return self._request(request)
+
+    def pause(self, session: str) -> str:
+        return self._request({"op": "pause", "session": session})["state"]
+
+    def resume(self, session: str) -> str:
+        return self._request({"op": "resume",
+                              "session": session})["state"]
+
+    def cancel(self, session: str) -> str:
+        return self._request({"op": "cancel",
+                              "session": session})["state"]
+
+    def prune(self, keep_latest: int = 0) -> list[str]:
+        """Drop finished sessions server-side; returns removed ids."""
+        return self._request({"op": "prune",
+                              "keep_latest": keep_latest})["removed"]
+
+    def subscribe(
+        self,
+        session: str,
+        start: int = 0,
+        include_frame: bool = True,
+    ) -> Iterator[dict]:
+        """Yield snapshot events (and the terminal ``end`` event) for a
+        session, blocking between snapshots as they are produced.
+        Snapshots already buffered server-side are replayed first, so
+        subscribing after completion still yields the full refinement."""
+        self._request({"op": "subscribe", "session": session,
+                       "start": start, "include_frame": include_frame})
+        while True:
+            event = self._read()
+            yield event
+            if event.get("event") == "end":
+                return
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,248 @@
+"""Cooperative fair-share scheduler over partition-steps.
+
+Stride scheduling: every session carries a virtual time, advanced by
+``1/priority`` per executed step, and the scheduler always runs the
+runnable session with the smallest virtual time (a min-heap, so picking
+is O(log n) per step; stale heap entries from pause/cancel are
+lazily discarded via an epoch token, bounding the worst case at
+O(active queries)).  A priority-2 query therefore receives twice the
+partition-steps per unit time of a priority-1 query while both are
+runnable.  Newly submitted and resumed sessions enter at the current
+virtual clock, so they neither starve incumbents nor claim a catch-up
+burst for time spent paused.
+
+The scheduler is *cooperative*: one step (one source partition pushed
+through one query's graph) is the indivisible quantum, executed under
+the scheduler lock.  Control operations (pause/resume/cancel/submit)
+take the same lock, so a cancel can never race the step it interrupts —
+cancellation closes the executor's read streams and releases its
+operator state before returning.  Subscribers never take this lock;
+they wait on the per-session buffer instead, so a slow consumer cannot
+block execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+
+from repro.engine.executor import StepExecutor
+from repro.errors import QueryError
+from repro.service.session import QuerySession, SessionState
+
+#: How long the background loop dozes when nothing is runnable.
+_IDLE_WAIT = 0.05
+
+
+class FairShareScheduler:
+    """Time-slices partition-steps across registered query sessions."""
+
+    def __init__(self, buffer_size: int | None = None) -> None:
+        self._lock = threading.RLock()
+        self._work = threading.Condition(self._lock)
+        self._sessions: dict[str, QuerySession] = {}
+        self._heap: list[tuple[float, int, str, int]] = []
+        self._counter = 0  # submission-order tie break
+        self._clock = 0.0  # virtual time of the last scheduled session
+        self._next_id = 1
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+        self._buffer_size = buffer_size
+
+    # -- registration -------------------------------------------------------------
+    def submit(
+        self,
+        executor: StepExecutor,
+        name: str | None = None,
+        priority: float = 1.0,
+        paused: bool = False,
+    ) -> QuerySession:
+        """Register a query for execution; returns its live session.
+        ``paused=True`` admits the session without scheduling it (e.g.
+        to attach subscribers first), until ``resume``."""
+        with self._work:
+            session_id = f"s{self._next_id}"
+            self._next_id += 1
+            session = QuerySession(
+                session_id,
+                name or session_id,
+                executor,
+                priority=priority,
+                buffer_size=self._buffer_size,
+            )
+            session.vtime = self._clock
+            self._sessions[session_id] = session
+            if paused:
+                session.state = SessionState.PAUSED
+            else:
+                self._push(session)
+                self._work.notify_all()
+            return session
+
+    def _push(self, session: QuerySession) -> None:
+        session.epoch += 1
+        self._counter += 1
+        heapq.heappush(
+            self._heap,
+            (session.vtime, self._counter, session.session_id,
+             session.epoch),
+        )
+
+    # -- lookup -------------------------------------------------------------------
+    def get(self, session_id: str) -> QuerySession:
+        with self._lock:
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise QueryError(
+                    f"no session {session_id!r}"
+                ) from None
+
+    def sessions(self) -> list[QuerySession]:
+        with self._lock:
+            return [self._sessions[k] for k in sorted(
+                self._sessions, key=lambda s: int(s[1:]))]
+
+    # -- control plane ------------------------------------------------------------
+    def pause(self, session_id: str) -> SessionState:
+        """Stop scheduling a session (its state so far is retained)."""
+        with self._lock:
+            session = self.get(session_id)
+            if session.state in (SessionState.SUBMITTED,
+                                 SessionState.RUNNING):
+                session.state = SessionState.PAUSED
+                session.epoch += 1  # invalidate its heap entry
+            return session.state
+
+    def resume(self, session_id: str) -> SessionState:
+        """Re-enter a paused session at the current virtual clock."""
+        with self._work:
+            session = self.get(session_id)
+            if session.state is SessionState.PAUSED:
+                session.state = (SessionState.RUNNING if session.steps
+                                 else SessionState.SUBMITTED)
+                session.vtime = max(session.vtime, self._clock)
+                self._push(session)
+                self._work.notify_all()
+            return session.state
+
+    def cancel(self, session_id: str) -> SessionState:
+        """Terminally stop a session: release its operator state, close
+        its read streams, and seal its snapshot buffer.  Safe while the
+        scheduler thread runs — the shared lock serializes the cancel
+        against any in-flight step."""
+        with self._lock:
+            session = self.get(session_id)
+            if session.terminal:
+                return session.state
+            session.state = SessionState.CANCELLED
+            session.epoch += 1
+            session.pump_snapshots()
+            session.executor.close()
+            session.buffer.close()
+            session.finished_at = time.monotonic()
+            return session.state
+
+    def prune(self, keep_latest: int = 0) -> list[str]:
+        """Drop terminal (DONE/CANCELLED/FAILED) sessions, releasing
+        their snapshot history; returns the removed session ids.
+
+        Long-running servers accumulate finished sessions (each pinning
+        its full edf) until pruned — call this periodically, optionally
+        keeping the ``keep_latest`` most recently finished for
+        late subscribers.  Non-terminal sessions are never touched.
+        """
+        with self._lock:
+            terminal = [s for s in self.sessions() if s.terminal]
+            terminal.sort(key=lambda s: s.finished_at or 0.0)
+            victims = (terminal[:-keep_latest] if keep_latest
+                       else terminal)
+            for session in victims:
+                del self._sessions[session.session_id]
+            return [s.session_id for s in victims]
+
+    # -- stepping -----------------------------------------------------------------
+    def run_once(self) -> QuerySession | None:
+        """Execute one partition-step of the fairest runnable session;
+        returns it, or ``None`` when nothing is runnable."""
+        with self._lock:
+            session = self._pop_runnable()
+            if session is None:
+                return None
+            if session.state is SessionState.SUBMITTED:
+                session.state = SessionState.RUNNING
+            try:
+                session.executor.step()
+            except BaseException as exc:  # noqa: BLE001 - recorded on the session
+                session.error = exc
+                session.state = SessionState.FAILED
+                session.pump_snapshots()
+                try:
+                    session.executor.close()
+                finally:
+                    session.buffer.close()
+                return session
+            session.steps += 1
+            session.vtime += 1.0 / session.priority
+            session.pump_snapshots()
+            if session.executor.done:
+                session.state = SessionState.DONE
+                session.buffer.close()
+                session.finished_at = time.monotonic()
+            else:
+                self._push(session)
+            return session
+
+    def _pop_runnable(self) -> QuerySession | None:
+        while self._heap:
+            vtime, _, session_id, epoch = heapq.heappop(self._heap)
+            session = self._sessions.get(session_id)
+            if session is None or epoch != session.epoch:
+                continue  # stale entry (paused/cancelled/re-pushed)
+            if session.state not in (SessionState.SUBMITTED,
+                                     SessionState.RUNNING):
+                continue
+            self._clock = vtime
+            return session
+        return None
+
+    def run_until_idle(self) -> None:
+        """Step until nothing is runnable (runnable sessions drain to
+        DONE; paused sessions stay paused)."""
+        while self.run_once() is not None:
+            pass
+
+    # -- background-thread mode ---------------------------------------------------
+    def start(self) -> None:
+        """Run the step loop on a daemon thread (the server mode)."""
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stopping = False
+            self._thread = threading.Thread(
+                target=self._loop, name="wake-scheduler", daemon=True
+            )
+            self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            with self._work:
+                if self._stopping:
+                    return
+            if self.run_once() is None:
+                with self._work:
+                    if self._stopping:
+                        return
+                    self._work.wait(_IDLE_WAIT)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the background loop (sessions keep their state; call
+        ``cancel`` per session to release executor resources)."""
+        with self._work:
+            self._stopping = True
+            self._work.notify_all()
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join(timeout=timeout)

@@ -1,0 +1,375 @@
+"""Snapshot-streaming server: NDJSON over TCP (stdlib asyncio only).
+
+Wire protocol — one JSON object per line, newline-terminated, in both
+directions.  Requests carry an ``op``:
+
+* ``{"op": "submit", "query": "q06", "params": {...}, "priority": 2,
+  "parallelism": 4}`` → ``{"ok": true, "session": "s1", ...}``
+* ``{"op": "status"}`` (all sessions) or
+  ``{"op": "status", "session": "s1"}``
+* ``{"op": "pause" | "resume" | "cancel", "session": "s1"}``
+* ``{"op": "prune", "keep_latest": 4}`` — drop finished sessions
+  (their retained snapshot history) so long-running servers reclaim
+  memory; returns the removed session ids.
+* ``{"op": "subscribe", "session": "s1", "start": 0,
+  "include_frame": true}`` → an ack line, then one
+  ``{"event": "snapshot", ...}`` line per snapshot *as it is produced*
+  (snapshots before ``start`` are replayed from the session buffer),
+  terminated by ``{"event": "end", "state": "done" | "cancelled" |
+  "failed"}``.  ``dropped`` on a snapshot counts evictions a slow
+  subscriber skipped (bounded buffers only).
+
+Execution happens on the scheduler's worker thread; the asyncio loop
+only shuttles lines, so a stalled client connection never blocks query
+progress (subscription reads run in the default thread-pool executor
+against the session's snapshot buffer).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Callable, Mapping
+
+from repro.api.context import WakeContext
+from repro.api.frame_api import EdfFrame
+from repro.core.edf import EdfSnapshot
+from repro.errors import QueryError
+from repro.service.scheduler import FairShareScheduler
+from repro.service.session import QuerySession, Subscription
+
+#: Poll interval for subscription reads — short enough that server
+#: shutdown and client disconnects are noticed promptly.
+_SUBSCRIBE_POLL = 0.1
+
+
+def tpch_plan_registry() -> dict[str, Callable[..., EdfFrame]]:
+    """The default plan registry: the 22 TPC-H queries as ``q01``…``q22``
+    (with unpadded ``q1``… aliases)."""
+    from repro.tpch.queries import QUERIES
+
+    registry: dict[str, Callable[..., EdfFrame]] = {}
+    for number, query in QUERIES.items():
+        def factory(ctx: WakeContext, _query=query, **params) -> EdfFrame:
+            return _query.build_plan(ctx, **params)
+
+        registry[f"q{number:02d}"] = factory
+        registry[f"q{number}"] = factory
+    return registry
+
+
+class QueryService:
+    """A WakeContext + plan registry + fair-share scheduler: the
+    process-wide multi-query engine the server (or an embedding
+    application) drives."""
+
+    def __init__(
+        self,
+        ctx: WakeContext,
+        plans: Mapping[str, Callable[..., EdfFrame]] | None = None,
+        buffer_size: int | None = None,
+    ) -> None:
+        self.ctx = ctx
+        self.plans = (dict(plans) if plans is not None
+                      else tpch_plan_registry())
+        self.scheduler = FairShareScheduler(buffer_size=buffer_size)
+
+    def submit(
+        self,
+        query: str,
+        params: Mapping | None = None,
+        priority: float = 1.0,
+        parallelism: int | None = None,
+        pushdown: bool | None = None,
+        name: str | None = None,
+        paused: bool = False,
+    ) -> QuerySession:
+        """Build the named plan and register it with the scheduler."""
+        try:
+            factory = self.plans[query]
+        except KeyError:
+            known = ", ".join(sorted(self.plans))
+            raise QueryError(
+                f"unknown query {query!r}; known: {known}"
+            ) from None
+        frame = factory(self.ctx, **dict(params or {}))
+        executor = self.ctx.executor_for(
+            frame, parallelism=parallelism, pushdown=pushdown
+        )
+        return self.scheduler.submit(
+            executor, name=name or query, priority=priority,
+            paused=paused,
+        )
+
+    def start(self) -> None:
+        self.scheduler.start()
+
+    def stop(self) -> None:
+        self.scheduler.stop()
+
+
+def snapshot_event(
+    session: QuerySession,
+    snapshot: EdfSnapshot,
+    dropped: int = 0,
+    include_frame: bool = True,
+) -> dict:
+    """Serialize one snapshot as a wire event."""
+    event = {
+        "event": "snapshot",
+        "session": session.session_id,
+        "name": session.name,
+        "sequence": snapshot.sequence,
+        "t": snapshot.t,
+        "wall_time": snapshot.wall_time,
+        "rows_processed": snapshot.rows_processed,
+        "n_rows": snapshot.frame.n_rows,
+        "final": snapshot.is_final,
+    }
+    if dropped:
+        event["dropped"] = dropped
+    if include_frame:
+        event["columns"] = snapshot.frame.to_pydict()
+    return event
+
+
+def _encode(payload: dict) -> bytes:
+    # default=str covers numpy scalars / datetimes in frame columns.
+    return (json.dumps(payload, default=str) + "\n").encode()
+
+
+class SnapshotServer:
+    """Asyncio TCP front-end over a :class:`QueryService`.
+
+    Use ``asyncio.run(server.serve())`` for a foreground server (the
+    CLI), or ``start()``/``stop()`` to run it on a background thread
+    with its own event loop (tests, notebooks, the demo)."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port  # 0 = ephemeral; updated once listening
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- request handling ---------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                if not line.strip():
+                    continue
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be an object")
+                except ValueError as exc:
+                    writer.write(_encode(
+                        {"ok": False, "error": f"bad request: {exc}"}
+                    ))
+                    await writer.drain()
+                    continue
+                try:
+                    await self._dispatch(request, reader, writer)
+                except (QueryError, KeyError, TypeError,
+                        ValueError) as exc:
+                    # Wire fields are untrusted: a bad priority/params/
+                    # start must produce an error reply, not kill the
+                    # connection.
+                    writer.write(_encode({"ok": False,
+                                          "error": str(exc)}))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown: complete normally so the loop's
+            # connection callback doesn't log a spurious error.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(
+        self,
+        request: dict,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        op = request.get("op")
+        scheduler = self.service.scheduler
+        if op == "submit":
+            if "query" not in request:
+                raise QueryError("submit needs a 'query'")
+            session = self.service.submit(
+                str(request["query"]),
+                params=request.get("params"),
+                priority=float(request.get("priority", 1.0)),
+                parallelism=request.get("parallelism"),
+                pushdown=request.get("pushdown"),
+                name=request.get("name"),
+                paused=bool(request.get("paused", False)),
+            )
+            writer.write(_encode({"ok": True, **session.status()}))
+        elif op == "status":
+            if "session" in request:
+                session = scheduler.get(str(request["session"]))
+                writer.write(_encode({"ok": True, **session.status()}))
+            else:
+                writer.write(_encode({
+                    "ok": True,
+                    "sessions": [s.status()
+                                 for s in scheduler.sessions()],
+                }))
+        elif op in ("pause", "resume", "cancel"):
+            if "session" not in request:
+                raise QueryError(f"{op} needs a 'session'")
+            session_id = str(request["session"])
+            state = getattr(scheduler, op)(session_id)
+            writer.write(_encode({"ok": True, "session": session_id,
+                                  "state": state.value}))
+        elif op == "prune":
+            removed = scheduler.prune(
+                keep_latest=int(request.get("keep_latest", 0))
+            )
+            writer.write(_encode({"ok": True, "removed": removed}))
+        elif op == "subscribe":
+            if "session" not in request:
+                raise QueryError("subscribe needs a 'session'")
+            session = scheduler.get(str(request["session"]))
+            writer.write(_encode({"ok": True, "subscribed":
+                                  session.session_id}))
+            await writer.drain()
+            await self._stream_snapshots(
+                session, reader, writer,
+                start=int(request.get("start", 0)),
+                include_frame=bool(request.get("include_frame", True)),
+            )
+        else:
+            raise QueryError(f"unknown op {op!r}")
+
+    async def _stream_snapshots(
+        self,
+        session: QuerySession,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        start: int,
+        include_frame: bool,
+    ) -> None:
+        """Stream buffered + live snapshots until the session ends."""
+        loop = asyncio.get_running_loop()
+        subscription = Subscription(session.buffer, start=start)
+        while True:
+            # A subscriber that disconnects while the session is idle
+            # (paused, or between snapshots) would otherwise keep this
+            # polling coroutine alive until server shutdown.
+            if reader.at_eof() or writer.is_closing():
+                return
+            seen_dropped = subscription.dropped
+            snapshot = await loop.run_in_executor(
+                None, subscription.next, _SUBSCRIBE_POLL
+            )
+            if snapshot is not None:
+                writer.write(_encode(snapshot_event(
+                    session, snapshot,
+                    dropped=subscription.dropped - seen_dropped,
+                    include_frame=include_frame,
+                )))
+                await writer.drain()
+                continue
+            if subscription.finished:
+                writer.write(_encode({
+                    "event": "end",
+                    "session": session.session_id,
+                    "state": session.state.value,
+                    "error": (repr(session.error)
+                              if session.error is not None else None),
+                }))
+                await writer.drain()
+                return
+
+    # -- foreground mode ----------------------------------------------------------
+    async def serve(self) -> None:
+        """Start the scheduler and serve until cancelled (CLI mode)."""
+        self.service.start()
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            self.service.stop()
+
+    # -- background-thread mode ---------------------------------------------------
+    def start(self) -> "SnapshotServer":
+        """Serve on a daemon thread with a private event loop; returns
+        once the socket is listening (``self.port`` is then bound)."""
+        if self._thread is not None:
+            return self
+        self.service.start()
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                server = loop.run_until_complete(asyncio.start_server(
+                    self._handle_connection, self.host, self.port
+                ))
+            except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+                failure.append(exc)
+                started.set()
+                loop.close()
+                return
+            self.port = server.sockets[0].getsockname()[1]
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                server.close()
+                loop.run_until_complete(server.wait_closed())
+                tasks = asyncio.all_tasks(loop)
+                for task in tasks:
+                    task.cancel()
+                if tasks:
+                    loop.run_until_complete(asyncio.gather(
+                        *tasks, return_exceptions=True
+                    ))
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="wake-server", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        if failure:
+            self._thread = None
+            self.service.stop()
+            raise failure[0]
+        return self
+
+    def stop(self) -> None:
+        """Stop the background server and the scheduler thread."""
+        loop, thread = self._loop, self._thread
+        self._loop = self._thread = None
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=10)
+        self.service.stop()

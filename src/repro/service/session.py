@@ -1,0 +1,241 @@
+"""Query sessions: lifecycle state machine + snapshot buffers.
+
+A :class:`QuerySession` wraps one :class:`~repro.engine.executor.
+StepExecutor` submitted to the service.  The scheduler thread drives it
+(``RUNNING`` → ``DONE``/``FAILED``); the control plane pauses, resumes,
+or cancels it.  Snapshots produced by the executor are pumped into a
+:class:`SnapshotBuffer` from which any number of subscribers read at
+their own pace — execution appends without ever blocking on a consumer,
+so a slow subscriber can never stall a query (backpressure is handled
+by eviction when the buffer is bounded, never by stalling the
+producer).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from enum import Enum
+from typing import Iterator
+
+from repro.core.edf import EdfSnapshot
+from repro.engine.executor import StepExecutor
+from repro.errors import QueryError
+
+
+class SessionState(Enum):
+    """Lifecycle: SUBMITTED → RUNNING → PAUSED | DONE | CANCELLED |
+    FAILED (PAUSED can resume back to RUNNING; the last three are
+    terminal)."""
+
+    SUBMITTED = "submitted"
+    RUNNING = "running"
+    PAUSED = "paused"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+
+#: States from which no further steps will ever execute.
+TERMINAL_STATES = frozenset(
+    {SessionState.DONE, SessionState.CANCELLED, SessionState.FAILED}
+)
+
+
+class SnapshotBuffer:
+    """Append-only snapshot sequence with independent read cursors.
+
+    The producer (the scheduler thread) appends and never blocks; each
+    subscriber holds a cursor — the index of the next snapshot it wants
+    — and blocks (with optional timeout) only on *its own* reads.  With
+    ``maxlen`` set, only the newest ``maxlen`` snapshots are retained:
+    a lagging cursor skips forward and is told how many snapshots it
+    dropped.  ``close()`` wakes every waiting subscriber; a closed
+    buffer still serves the snapshots it retains.
+    """
+
+    def __init__(self, maxlen: int | None = None) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise QueryError(f"buffer maxlen must be >= 1, got {maxlen}")
+        self._cond = threading.Condition()
+        self._snapshots: list[EdfSnapshot] = []
+        self._base = 0  # global index of _snapshots[0]
+        self._maxlen = maxlen
+        self._closed = False
+
+    def append(self, snapshot: EdfSnapshot) -> None:
+        with self._cond:
+            self._snapshots.append(snapshot)
+            if (self._maxlen is not None
+                    and len(self._snapshots) > self._maxlen):
+                overflow = len(self._snapshots) - self._maxlen
+                del self._snapshots[:overflow]
+                self._base += overflow
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """No more snapshots will ever arrive; wake all waiters."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        """Total snapshots ever appended (independent of eviction)."""
+        with self._cond:
+            return self._base + len(self._snapshots)
+
+    def get(
+        self, cursor: int, timeout: float | None = None
+    ) -> tuple[EdfSnapshot | None, int, int]:
+        """Read the snapshot at ``cursor`` (or the oldest retained one
+        past it), blocking until it exists.
+
+        Returns ``(snapshot, next_cursor, dropped)`` where ``dropped``
+        counts evicted snapshots the cursor skipped, or
+        ``(None, cursor, 0)`` when the buffer closed with nothing newer
+        (or the timeout expired).
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            while True:
+                end = self._base + len(self._snapshots)
+                if cursor < end:
+                    index = max(cursor, self._base)
+                    snapshot = self._snapshots[index - self._base]
+                    return snapshot, index + 1, index - cursor
+                if self._closed:
+                    return None, cursor, 0
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None, cursor, 0
+                self._cond.wait(remaining)
+
+
+class Subscription:
+    """One subscriber's cursor over a session's snapshot buffer."""
+
+    def __init__(self, buffer: SnapshotBuffer, start: int = 0) -> None:
+        self._buffer = buffer
+        self._cursor = start
+        #: Snapshots this subscriber missed to bounded-buffer eviction.
+        self.dropped = 0
+
+    @property
+    def cursor(self) -> int:
+        return self._cursor
+
+    def next(self, timeout: float | None = None) -> EdfSnapshot | None:
+        """The next unseen snapshot, or ``None`` when the stream is over
+        (buffer closed and drained) or ``timeout`` expired."""
+        snapshot, self._cursor, dropped = self._buffer.get(
+            self._cursor, timeout=timeout
+        )
+        self.dropped += dropped
+        return snapshot
+
+    @property
+    def finished(self) -> bool:
+        """True once the buffer is closed and fully consumed."""
+        return (self._buffer.closed
+                and self._cursor >= len(self._buffer))
+
+    def __iter__(self) -> Iterator[EdfSnapshot]:
+        while True:
+            snapshot = self.next()
+            if snapshot is None:
+                return
+            yield snapshot
+
+
+class QuerySession:
+    """One submitted query: executor + lifecycle + snapshot buffer.
+
+    State is written only under the owning scheduler's lock (the
+    scheduler mutates RUNNING/DONE/FAILED from its step loop; control
+    threads mutate PAUSED/CANCELLED through the scheduler's methods, so
+    a cancel can never race a step).
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        name: str,
+        executor: StepExecutor,
+        priority: float = 1.0,
+        buffer_size: int | None = None,
+    ) -> None:
+        if priority <= 0:
+            raise QueryError(
+                f"session priority must be > 0, got {priority}"
+            )
+        self.session_id = session_id
+        self.name = name
+        self.executor = executor
+        self.priority = float(priority)
+        self.state = SessionState.SUBMITTED
+        self.error: BaseException | None = None
+        self.buffer = SnapshotBuffer(maxlen=buffer_size)
+        self.steps = 0
+        #: Stride-scheduling virtual time (advanced by 1/priority per
+        #: step; owned by the scheduler).
+        self.vtime = 0.0
+        #: Heap-entry validity token (owned by the scheduler).
+        self.epoch = 0
+        self.submitted_at = time.monotonic()
+        self.finished_at: float | None = None
+        self._pumped = 0
+
+    # -- scheduler side -----------------------------------------------------------
+    def pump_snapshots(self) -> int:
+        """Move newly produced executor snapshots into the buffer.
+        Returns how many were transferred.  Never blocks.  Indexed
+        access keeps the per-step cost O(new snapshots), not O(all
+        snapshots ever produced)."""
+        edf = self.executor.edf
+        moved = 0
+        while self._pumped < len(edf):
+            self.buffer.append(edf.snapshot(self._pumped))
+            self._pumped += 1
+            moved += 1
+        return moved
+
+    # -- shared views -------------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def subscribe(self, start: int = 0) -> Subscription:
+        """A new cursor over this session's snapshots.  ``start=0``
+        replays from the first retained snapshot, so subscribers that
+        attach after completion still see the full refinement."""
+        return Subscription(self.buffer, start=start)
+
+    def status(self) -> dict:
+        """A JSON-friendly summary (the wire ``status`` payload)."""
+        edf = self.executor.edf
+        count = len(edf)
+        latest = edf.snapshot(count - 1) if count else None
+        return {
+            "session": self.session_id,
+            "name": self.name,
+            "state": self.state.value,
+            "priority": self.priority,
+            "steps": self.steps,
+            "snapshots": count,
+            "t": latest.t if latest is not None else 0.0,
+            "final": latest.is_final if latest is not None else False,
+            "error": repr(self.error) if self.error is not None else None,
+        }
+
+    def __repr__(self) -> str:
+        return (f"QuerySession({self.session_id!r}, {self.name!r}, "
+                f"state={self.state.value})")

@@ -1,9 +1,24 @@
 """Tests for the live snapshot-streaming API."""
 
+import threading
+import time
+
 import pytest
 
 from repro import F, WakeContext, col
 from repro.dataframe import AggSpec, group_aggregate
+
+
+def _wake_threads():
+    return [t for t in threading.enumerate()
+            if t.name.startswith("wake-") and t.is_alive()]
+
+
+def _assert_no_wake_threads(deadline=5.0):
+    end = time.monotonic() + deadline
+    while _wake_threads() and time.monotonic() < end:
+        time.sleep(0.01)
+    assert not _wake_threads(), _wake_threads()
 
 
 class TestStream:
@@ -66,6 +81,68 @@ class TestStream:
         ctx = WakeContext(catalog, executor="threads")
         final = ctx.run(ctx.table("sales")).get_final()
         assert final.n_rows == sales_frame.n_rows
+
+
+class TestStreamAbandonment:
+    def test_closing_generator_mid_stream_joins_threads(self, catalog):
+        """Regression: dropping the stream() generator after partial
+        consumption (``close()``, or a ``KeyboardInterrupt``/``break``
+        in the consumer loop followed by GC) must shut the executor
+        down cleanly — abort flag set, node threads joined — instead of
+        leaking busy daemon threads."""
+        ctx = WakeContext(catalog)
+        plan = ctx.table("sales").agg(F.sum("qty").alias("s"),
+                                      by=["cust"])
+        stream = ctx.stream(plan, source_delay=0.05)
+        first = next(stream)  # partially consume...
+        assert first.t <= 1.0
+        stream.close()  # ...then drop the stream mid-flight
+        _assert_no_wake_threads()
+
+    def test_abandoned_generator_collected_without_hanging(self,
+                                                           catalog):
+        ctx = WakeContext(catalog)
+        plan = ctx.table("sales").sum("qty")
+        stream = ctx.stream(plan, source_delay=0.05)
+        next(stream)
+        del stream  # GC closes the generator (GeneratorExit path)
+        _assert_no_wake_threads()
+
+    def test_external_cancel_ends_stream_promptly(self, catalog):
+        """cancel() reuses the error-path abort flag: sources stop,
+        blocked puts become drops, and the stream ends with a partial
+        (never-final) edf while every worker thread joins."""
+        ctx = WakeContext(catalog)
+        plan = ctx.table("sales").agg(F.sum("qty").alias("s"),
+                                      by=["cust"])
+        stream = ctx.stream(plan, source_delay=0.05)
+        next(stream)
+        ctx.last_executor.cancel()
+        trailing = list(stream)  # ends instead of running to EOF
+        assert all(not s.is_final for s in trailing)
+        _assert_no_wake_threads()
+
+    def test_cancel_interrupts_blocking_run(self, catalog):
+        ctx = WakeContext(catalog)
+        plan = ctx.table("sales").agg(F.sum("qty").alias("s"),
+                                      by=["cust"])
+        result = {}
+
+        def consumer():
+            result["edf"] = ctx.run(plan, executor="threads",
+                                    source_delay=0.05)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while ctx.last_executor is None and time.monotonic() < deadline:
+            time.sleep(0.005)
+        time.sleep(0.1)
+        ctx.last_executor.cancel()
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "cancelled run() failed to return"
+        assert not result["edf"].is_final
+        _assert_no_wake_threads()
 
 
 class TestDoubleScan:

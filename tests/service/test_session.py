@@ -1,0 +1,140 @@
+"""SnapshotBuffer / Subscription / QuerySession unit tests."""
+
+import threading
+
+import pytest
+
+from repro import F, WakeContext
+from repro.errors import QueryError
+from repro.service import (
+    QuerySession,
+    SessionState,
+    SnapshotBuffer,
+    Subscription,
+)
+
+
+def _snapshots(ctx_catalog, n=None):
+    ctx = WakeContext(ctx_catalog)
+    plan = ctx.table("sales").agg(F.sum("qty").alias("s"), by=["cust"])
+    edf = ctx.run(plan)
+    snaps = list(edf.snapshots)
+    return snaps if n is None else snaps[:n]
+
+
+class TestSnapshotBuffer:
+    def test_append_then_read_in_order(self, catalog):
+        snaps = _snapshots(catalog)
+        buffer = SnapshotBuffer()
+        for s in snaps:
+            buffer.append(s)
+        sub = Subscription(buffer)
+        got = [sub.next(timeout=0.1) for _ in snaps]
+        assert [s.sequence for s in got] == [s.sequence for s in snaps]
+        assert sub.dropped == 0
+
+    def test_read_blocks_until_append(self, catalog):
+        snaps = _snapshots(catalog, 1)
+        buffer = SnapshotBuffer()
+        sub = Subscription(buffer)
+        result = []
+
+        def reader():
+            result.append(sub.next(timeout=5.0))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        buffer.append(snaps[0])
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert result[0] is snaps[0]
+
+    def test_timeout_returns_none(self):
+        sub = Subscription(SnapshotBuffer())
+        assert sub.next(timeout=0.01) is None
+        assert not sub.finished
+
+    def test_close_wakes_waiters_and_finishes(self, catalog):
+        snaps = _snapshots(catalog, 2)
+        buffer = SnapshotBuffer()
+        for s in snaps:
+            buffer.append(s)
+        buffer.close()
+        sub = Subscription(buffer)
+        assert list(sub) == snaps  # replay still works after close
+        assert sub.finished
+        assert sub.next(timeout=0.01) is None
+
+    def test_bounded_buffer_evicts_and_reports_drops(self, catalog):
+        snaps = _snapshots(catalog)
+        assert len(snaps) >= 4
+        buffer = SnapshotBuffer(maxlen=2)
+        slow = Subscription(buffer)
+        for s in snaps:
+            buffer.append(s)  # producer never blocks
+        buffer.close()
+        got = list(slow)
+        assert len(got) == 2  # only the newest two retained
+        assert got == snaps[-2:]
+        assert slow.dropped == len(snaps) - 2
+        assert len(buffer) == len(snaps)  # total appended, not retained
+
+    def test_fresh_cursor_is_not_penalized(self, catalog):
+        snaps = _snapshots(catalog, 3)
+        buffer = SnapshotBuffer()
+        for s in snaps:
+            buffer.append(s)
+        late = Subscription(buffer, start=len(snaps))
+        assert late.next(timeout=0.01) is None  # nothing new yet
+
+    def test_bad_maxlen_rejected(self):
+        with pytest.raises(QueryError):
+            SnapshotBuffer(maxlen=0)
+
+
+class TestQuerySession:
+    def _session(self, catalog, **kwargs):
+        ctx = WakeContext(catalog)
+        plan = ctx.table("sales").agg(F.sum("qty").alias("s"),
+                                      by=["cust"])
+        return QuerySession("s1", "sum", ctx.executor_for(plan),
+                            **kwargs)
+
+    def test_initial_state(self, catalog):
+        session = self._session(catalog)
+        assert session.state is SessionState.SUBMITTED
+        assert not session.terminal
+        status = session.status()
+        assert status["state"] == "submitted"
+        assert status["snapshots"] == 0
+
+    def test_pump_moves_new_snapshots_only(self, catalog):
+        session = self._session(catalog)
+        while session.executor.step():
+            session.pump_snapshots()
+        total = len(session.executor.edf)
+        assert len(session.buffer) == total
+        assert session.pump_snapshots() == 0  # idempotent
+
+    def test_status_reports_progress(self, catalog):
+        session = self._session(catalog)
+        while session.executor.step():
+            pass
+        session.pump_snapshots()
+        status = session.status()
+        assert status["t"] == 1.0
+        assert status["final"] is True
+
+    def test_bad_priority_rejected(self, catalog):
+        with pytest.raises(QueryError):
+            self._session(catalog, priority=0)
+
+    def test_late_subscriber_replays_everything(self, catalog):
+        session = self._session(catalog)
+        while session.executor.step():
+            session.pump_snapshots()
+        session.buffer.close()
+        sub = session.subscribe()
+        replayed = list(sub)
+        assert [s.sequence for s in replayed] == list(
+            range(len(session.executor.edf)))

@@ -1,0 +1,138 @@
+"""Scheduler-driven execution vs ``WakeContext.run()`` on TPC-H.
+
+The StepExecutor's contract is that a query's dispatch order is a
+function of its own plan only — however its partition-steps are
+interleaved with other queries', every snapshot sequence must be
+*byte*-identical to the run-to-completion sync engine's.  These tests
+drive every TPC-H query through the fair-share scheduler alone and
+four-at-a-time and compare full snapshot sequences (hence also finals)
+against ``WakeContext.run()``.
+"""
+
+import pytest
+
+from repro import WakeContext
+from repro.service import FairShareScheduler, SessionState
+from repro.tpch.queries import QUERIES
+
+#: Same laptop-scale parameter overrides as test_queries.py.
+OVERRIDES = {11: {"fraction": 0.005}, 18: {"threshold": 150}}
+
+#: Four-at-a-time batches covering every query.
+BATCHES = [tuple(range(n, min(n + 4, 23))) for n in range(1, 23, 4)]
+
+
+def _plan(ctx, number):
+    query = QUERIES[number]
+    return query.build_plan(ctx, **OVERRIDES.get(number, {}))
+
+
+def assert_sequences_byte_identical(got, expected, label):
+    assert len(got) == len(expected), (
+        f"{label}: {len(got)} snapshots vs {len(expected)}"
+    )
+    for a, b in zip(got.snapshots, expected.snapshots):
+        assert a.sequence == b.sequence, label
+        assert a.t == b.t, label
+        assert dict(a.progress.done) == dict(b.progress.done), label
+        assert tuple(a.frame.column_names) == \
+            tuple(b.frame.column_names), label
+        for name in a.frame.column_names:
+            assert (a.frame.column(name).tobytes()
+                    == b.frame.column(name).tobytes()), (
+                f"{label}: column {name!r} drifted under the scheduler"
+            )
+
+
+@pytest.fixture(scope="module")
+def baselines(tpch):
+    """``WakeContext.run()`` snapshot sequences for all 22 queries.
+
+    One fresh context per query: scan labels (progress-counter keys)
+    depend on how many times a context has scanned each table, so
+    plans must be built the same way on both sides of the comparison.
+    """
+    catalog, _tables = tpch
+    out = {}
+    for number in sorted(QUERIES):
+        ctx = WakeContext(catalog)
+        out[number] = ctx.run(_plan(ctx, number))
+    return out
+
+
+@pytest.mark.parametrize("number", sorted(QUERIES))
+def test_scheduler_solo_parity(number, tpch, baselines):
+    catalog, _tables = tpch
+    ctx = WakeContext(catalog)
+    scheduler = FairShareScheduler()
+    session = scheduler.submit(
+        ctx.executor_for(_plan(ctx, number)), name=f"q{number:02d}"
+    )
+    scheduler.run_until_idle()
+    assert session.state is SessionState.DONE
+    assert_sequences_byte_identical(
+        session.executor.edf, baselines[number], f"q{number:02d} solo"
+    )
+
+
+@pytest.mark.parametrize("batch", BATCHES,
+                         ids=lambda b: "q" + "-".join(map(str, b)))
+def test_scheduler_concurrent_parity(batch, tpch, baselines):
+    """Four queries time-sliced through one scheduler each still match
+    their solo ``run()`` snapshot-for-snapshot."""
+    catalog, _tables = tpch
+    scheduler = FairShareScheduler()
+    sessions = {}
+    for number in batch:
+        ctx = WakeContext(catalog)
+        sessions[number] = scheduler.submit(
+            ctx.executor_for(_plan(ctx, number)),
+            name=f"q{number:02d}",
+            priority=1.0 + 0.5 * (number % 3),  # uneven shares
+        )
+    scheduler.run_until_idle()
+    for number, session in sessions.items():
+        assert session.state is SessionState.DONE
+        assert_sequences_byte_identical(
+            session.executor.edf, baselines[number],
+            f"q{number:02d} concurrent",
+        )
+
+
+@pytest.mark.parametrize("number", [1, 3, 6])
+def test_scheduler_composes_with_sharding_and_pushdown(number, tpch,
+                                                       baselines):
+    """parallelism=4 + pushdown under the scheduler still produces the
+    byte-identical final (the scheduler drives the rewritten plan)."""
+    catalog, _tables = tpch
+    ctx = WakeContext(catalog)
+    scheduler = FairShareScheduler()
+    session = scheduler.submit(
+        ctx.executor_for(_plan(ctx, number), parallelism=4),
+        name=f"q{number:02d}@4",
+    )
+    scheduler.run_until_idle()
+    got = session.executor.edf.get_final()
+    expected = baselines[number].get_final()
+    assert tuple(got.column_names) == tuple(expected.column_names)
+    for name in expected.column_names:
+        assert (got.column(name).tobytes()
+                == expected.column(name).tobytes())
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("number", sorted(QUERIES))
+def test_scheduler_sharded_parity_full_suite(number, tpch, baselines):
+    """All 22 queries at parallelism=4 under the scheduler (slow tier)."""
+    catalog, _tables = tpch
+    ctx = WakeContext(catalog)
+    scheduler = FairShareScheduler()
+    session = scheduler.submit(
+        ctx.executor_for(_plan(ctx, number), parallelism=4)
+    )
+    scheduler.run_until_idle()
+    got = session.executor.edf.get_final()
+    expected = baselines[number].get_final()
+    for name in expected.column_names:
+        assert (got.column(name).tobytes()
+                == expected.column(name).tobytes())
