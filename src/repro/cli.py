@@ -98,6 +98,21 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                         "default: unbounded)")
     p.add_argument("--no-pushdown", action="store_true",
                    help="disable scan pushdown for submitted queries")
+    p.add_argument("--retry-max-attempts", type=int, default=3,
+                   help="tries per partition before giving up "
+                        "(1 = fail fast on the first transient error)")
+    p.add_argument("--retry-backoff", type=float, default=0.05,
+                   help="seconds before the first retry (doubled per "
+                        "attempt, deterministic, no jitter)")
+    p.add_argument("--retry-backoff-max", type=float, default=1.0,
+                   help="cap on the per-retry backoff in seconds")
+    p.add_argument("--retry-budget", type=int, default=64,
+                   help="total retries one session may consume")
+    p.add_argument("--on-partition-error", choices=("fail", "skip"),
+                   default="fail",
+                   help="after retries are exhausted: fail the session "
+                        "(default) or skip the partition and keep "
+                        "refining a degraded answer")
 
 
 def _parse_overrides(pairs: list[str]) -> dict:
@@ -184,12 +199,20 @@ def cmd_stats(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.service import QueryService, SnapshotServer
+    from repro.service import QueryService, RetryPolicy, SnapshotServer
 
     ctx = WakeContext.from_catalog(args.catalog,
                                    parallelism=args.parallelism,
                                    pushdown=not args.no_pushdown)
-    service = QueryService(ctx, buffer_size=args.buffer_size)
+    retry = RetryPolicy(
+        max_attempts=args.retry_max_attempts,
+        backoff_base=args.retry_backoff,
+        backoff_max=args.retry_backoff_max,
+        retry_budget=args.retry_budget,
+        on_partition_error=args.on_partition_error,
+    )
+    service = QueryService(ctx, buffer_size=args.buffer_size,
+                           retry=retry)
     server = SnapshotServer(service, host=args.host, port=args.port)
 
     async def _serve() -> None:

@@ -154,6 +154,23 @@ class StepExecutor:
     open files); ``close()`` abandons a run mid-flight, closing every
     open read stream and releasing operator state, while the collected
     ``edf`` stays readable.
+
+    **Fault tolerance contract.**  A ``step()`` that raises falls into
+    one of two classes, exposed via :attr:`step_retry_safe`:
+
+    * the failure happened while *pulling* the next partition from a
+      source (the read itself) — no executor or operator state advanced,
+      the source cursor is still on the failed partition, and calling
+      ``step()`` again retries exactly that partition
+      (``step_retry_safe`` is ``True``);
+    * the failure happened while *dispatching* a message through the
+      graph — operator state may be half-updated and a retry would
+      double-process (``step_retry_safe`` is ``False``).
+
+    After a retry-safe failure, :meth:`quarantine_current` arms the
+    skip-and-degrade path: the next step skips the failing partition,
+    emitting the empty progress-advancing DELTA the pruning path uses,
+    and the skip is recorded in :attr:`quarantined`.
     """
 
     def __init__(
@@ -178,6 +195,15 @@ class StepExecutor:
         self._finished = False
         self._closed = False
         self._steps = 0
+        self._retry_safe = False
+        self._failed_source: int | None = None
+        #: Partitions skipped by the fault-tolerance skip-and-degrade
+        #: path (``QuarantinedPartition`` records, in skip order).
+        self.quarantined: list = []
+        #: Test seam (fault injection): when set, called with this
+        #: executor at the top of every step, before any state advances
+        #: — an exception raised here is always retry-safe.
+        self.before_step = None
 
     # -- lazy setup ---------------------------------------------------------------
     def _ensure_sink(self) -> None:
@@ -230,6 +256,13 @@ class StepExecutor:
         return self._steps
 
     @property
+    def step_retry_safe(self) -> bool:
+        """True when the last failed ``step()`` stopped before any state
+        advanced (the pull raised), so re-stepping retries the same
+        partition instead of corrupting operator state."""
+        return self._retry_safe
+
+    @property
     def edf(self) -> EvolvingDataFrame:
         """The live output edf; snapshots appear as steps execute."""
         self._ensure_sink()
@@ -243,14 +276,25 @@ class StepExecutor:
         had already finished or was closed (no work was done)."""
         if self._finished or self._closed:
             return False
+        if self.before_step is not None:
+            self._retry_safe = True
+            self._failed_source = None
+            self.before_step(self)
+        self._retry_safe = False
+        self._failed_source = None
         self._open_streams()
         if self._build:
             source_id = self._build[0]
             if not self._pump(source_id):
                 self._build.popleft()
         elif self._round_robin:
-            source_id = self._round_robin.popleft()
-            if self._pump(source_id):
+            # Peek, pump, then rotate: a pull failure leaves the deque
+            # untouched, so a retried step targets the same source (and
+            # the source cursor the same partition).
+            source_id = self._round_robin[0]
+            alive = self._pump(source_id)
+            self._round_robin.popleft()
+            if alive:
                 self._round_robin.append(source_id)
         self._steps += 1
         if not self._build and not self._round_robin:
@@ -264,8 +308,33 @@ class StepExecutor:
         except StopIteration:
             self._emit_source_eof(source_id)
             return False
+        except BaseException:
+            # The pull advanced nothing (the source cursor is still on
+            # the failed partition), so this failure is retryable.
+            self._retry_safe = True
+            self._failed_source = source_id
+            raise
         self._emit_from_source(source_id, message)
         return True
+
+    def quarantine_current(self):
+        """Skip the partition the last retry-safe failure was reading:
+        the next step emits the empty progress-advancing DELTA the
+        pruning path uses instead of re-reading the file, so the query
+        keeps refining without the partition's rows.  Returns the
+        :class:`~repro.engine.ops.read.QuarantinedPartition` skipped, or
+        ``None`` when the failure's source does not support skipping
+        (no retry-safe failure recorded, or a non-scan source)."""
+        if self._failed_source is None:
+            return None
+        stream = self._streams.get(self._failed_source)
+        arm = getattr(stream, "quarantine_next", None)
+        if arm is None:
+            return None
+        record = arm()
+        if record is not None:
+            self.quarantined.append(record)
+        return record
 
     def _finalize(self) -> None:
         self._finished = True

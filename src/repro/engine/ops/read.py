@@ -22,6 +22,7 @@ The scan layer accepts two pushdowns from the planner
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from repro.errors import QueryError
@@ -31,6 +32,103 @@ from repro.engine.message import Message
 from repro.engine.ops.base import SourceOperator
 from repro.storage.catalog import TableMeta
 from repro.storage.zonemap import SargablePredicate, prunable_partitions
+
+
+@dataclass(frozen=True)
+class QuarantinedPartition:
+    """One partition a scan gave up on (fault tolerance's skip mode)."""
+
+    source: str
+    table: str
+    index: int
+    path: str
+    rows: int
+
+
+class PartitionStream:
+    """Iterator yielding one DELTA message per partition — the
+    retry-safe form of the old generator-based scan.
+
+    A generator dies the moment an exception propagates out of it; this
+    class instead keeps an explicit cursor that only advances *after* a
+    partition is read successfully, so a transient read failure leaves
+    the stream positioned on the same partition and the very next
+    ``next()`` retries it.  That property is what makes the service's
+    per-step retry sound: a retried step re-reads exactly the partition
+    that failed, nothing is skipped or double-counted.
+
+    ``quarantine_next()`` arms the skip-and-degrade path: the next pull
+    does not touch the failing file and instead emits the same
+    empty-DELTA-that-advances-progress message the zone-map pruning path
+    uses, so downstream snapshot cadence and growth inference keep
+    refining without the partition's rows.
+    """
+
+    def __init__(self, op: "ReadOperator") -> None:
+        self._op = op
+        self._indices = list(
+            range(op.meta.n_partitions)
+            if op.order is None
+            else op.order
+        )
+        self._pruned = op.pruned_partitions()
+        self._schema = op.scan_schema()
+        self._pos = 0
+        self._quarantine_next = False
+        # Per-stream state is rebuilt from scratch: constructing (or
+        # restarting) the iterator twice must not double-merge progress
+        # into the operator, so ``_progress`` is *reset*, not merged.
+        self._progress = Progress.start(
+            op.source_name, op.meta.total_tuples
+        )
+        op._progress = self._progress
+
+    def __iter__(self) -> "PartitionStream":
+        return self
+
+    def __next__(self) -> Message:
+        op = self._op
+        if self._pos >= len(self._indices):
+            raise StopIteration
+        index = self._indices[self._pos]
+        if index in self._pruned or self._quarantine_next:
+            # Pruned or quarantined: advance progress by the partition's
+            # tuple count without touching the file.  The empty partial
+            # still flows so downstream refresh cadence and growth
+            # inference match the full scan exactly.
+            self._quarantine_next = False
+            frame = DataFrame.empty(self._schema)
+            advance = op.meta.tuple_counts[index]
+        else:
+            frame = op.meta.read_partition(index, columns=op.columns)
+            advance = frame.n_rows
+        self._pos += 1
+        self._progress = self._progress.advanced(
+            op.source_name, advance
+        )
+        op._progress = self._progress
+        return Message(frame=frame, progress=self._progress,
+                       kind=Delivery.DELTA)
+
+    def quarantine_next(self) -> QuarantinedPartition | None:
+        """Arm the skip for the partition the cursor points at (the one
+        whose read just failed); returns its description, or ``None``
+        when the stream is already exhausted."""
+        if self._pos >= len(self._indices):
+            return None
+        index = self._indices[self._pos]
+        self._quarantine_next = True
+        return QuarantinedPartition(
+            source=self._op.source_name,
+            table=self._op.meta.name,
+            index=index,
+            path=str(self._op.meta.files[index]),
+            rows=int(self._op.meta.tuple_counts[index]),
+        )
+
+    def close(self) -> None:
+        """Exhaust the stream (the executor's stream-shutdown hook)."""
+        self._pos = len(self._indices)
 
 
 class ReadOperator(SourceOperator):
@@ -111,36 +209,6 @@ class ReadOperator(SourceOperator):
         )
 
     def stream(self) -> Iterator[Message]:
-        # Per-stream state is rebuilt from scratch: constructing (or
-        # restarting) the iterator twice must not double-merge progress
-        # into the operator, so ``_progress`` is *reset*, not merged.
-        progress = Progress.start(self.source_name, self.meta.total_tuples)
-        self._progress = progress
-        skipped = self.pruned_partitions()
-        schema = self.scan_schema()
-        indices = (
-            range(self.meta.n_partitions)
-            if self.order is None
-            else self.order
-        )
-        for index in indices:
-            if index in skipped:
-                # Pruned: advance progress by the partition's tuple count
-                # without touching the file.  The empty partial still
-                # flows so downstream refresh cadence and growth
-                # inference match the unpruned scan exactly.
-                progress = progress.advanced(
-                    self.source_name, self.meta.tuple_counts[index]
-                )
-                self._progress = progress
-                yield Message(
-                    frame=DataFrame.empty(schema),
-                    progress=progress,
-                    kind=Delivery.DELTA,
-                )
-                continue
-            frame = self.meta.read_partition(index, columns=self.columns)
-            progress = progress.advanced(self.source_name, frame.n_rows)
-            self._progress = progress
-            yield Message(frame=frame, progress=progress,
-                          kind=Delivery.DELTA)
+        """A fresh retry-safe cursor over the table's partitions (see
+        :class:`PartitionStream` for the fault-tolerance contract)."""
+        return PartitionStream(self)

@@ -27,7 +27,43 @@ class ColumnNotFoundError(SchemaError):
 
 
 class StorageError(ReproError):
-    """A partitioned table or catalog is missing, corrupt, or inconsistent."""
+    """A partitioned table or catalog is missing, corrupt, or inconsistent.
+
+    Raise one of the two subclasses where the failure mode is known:
+    :class:`TransientStorageError` for conditions that may clear on a
+    retry, :class:`PermanentStorageError` for ones that never will.
+    ``path`` / ``partition`` / ``table`` carry the failing partition's
+    context when available (set by the storage layer's raise sites).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        partition: int | None = None,
+        table: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.partition = partition
+        self.table = table
+
+
+class TransientStorageError(StorageError):
+    """A partition read failed in a way a retry may fix: the file is
+    missing, locked, truncated, or fails to decompress — all expected
+    states for a partition that is still being written or moved."""
+
+
+class PermanentStorageError(StorageError):
+    """A partition or catalog is structurally broken (corrupt schema,
+    unknown format, inconsistent metadata); retrying cannot help."""
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when retrying the failed operation has a chance to succeed."""
+    return isinstance(exc, TransientStorageError)
 
 
 class QueryError(ReproError):

@@ -9,13 +9,17 @@ Layering (bottom-up):
   PAUSED/DONE/CANCELLED/FAILED) plus per-session snapshot buffers with
   non-blocking subscription cursors;
 * :mod:`repro.service.scheduler` — a cooperative fair-share (stride)
-  scheduler time-slicing partition-steps across sessions;
+  scheduler time-slicing partition-steps across sessions, with
+  optional fault tolerance (:mod:`repro.service.retry`): transient
+  partition-read failures retry with deterministic backoff, and
+  skip-and-degrade mode quarantines partitions that keep failing;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
   stdlib-only NDJSON-over-TCP protocol (``submit`` / ``subscribe`` /
   ``status`` / ``pause`` / ``resume`` / ``cancel``) streaming snapshots
   as they are produced (``repro serve``).
 """
 
+from repro.service.retry import PARTITION_ERROR_MODES, RetryPolicy
 from repro.service.scheduler import FairShareScheduler
 from repro.service.session import (
     QuerySession,
@@ -28,8 +32,10 @@ from repro.service.client import ServiceClient
 
 __all__ = [
     "FairShareScheduler",
+    "PARTITION_ERROR_MODES",
     "QueryService",
     "QuerySession",
+    "RetryPolicy",
     "ServiceClient",
     "SessionState",
     "SnapshotBuffer",

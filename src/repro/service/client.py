@@ -23,9 +23,19 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 8765,
         timeout: float | None = None,
+        read_timeout: float | None = None,
     ) -> None:
+        """``timeout`` bounds the initial connect; ``read_timeout``
+        bounds every subsequent reply read (``None`` = wait forever, the
+        default — but set it for unattended clients: a hung server then
+        raises :class:`~repro.errors.ServiceError` instead of blocking
+        ``subscribe()`` indefinitely).  Defaults to ``timeout`` when
+        only that is given."""
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout)
+        self._read_timeout = (read_timeout if read_timeout is not None
+                              else timeout)
+        self._sock.settimeout(self._read_timeout)
         self._file = self._sock.makefile("rwb")
 
     # -- plumbing -----------------------------------------------------------------
@@ -34,7 +44,13 @@ class ServiceClient:
         self._file.flush()
 
     def _read(self) -> dict:
-        line = self._file.readline()
+        try:
+            line = self._file.readline()
+        except (socket.timeout, TimeoutError) as exc:
+            raise ServiceError(
+                f"no reply within {self._read_timeout}s (server hung "
+                f"or unreachable?)"
+            ) from exc
         if not line:
             raise ServiceError("server closed the connection")
         return json.loads(line)

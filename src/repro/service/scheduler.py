@@ -19,6 +19,21 @@ cancellation closes the executor's read streams and releases its
 operator state before returning.  Subscribers never take this lock;
 they wait on the per-session buffer instead, so a slow consumer cannot
 block execution.
+
+**Fault tolerance.**  With a :class:`~repro.service.retry.RetryPolicy`
+attached, a step that raises a *retry-safe transient* error (the
+partition read failed, no operator state advanced — see
+:attr:`StepExecutor.step_retry_safe`) does not FAIL the session:
+the session re-enters at its current virtual clock after a
+deterministic capped-exponential backoff.  Backoff never sleeps under
+the scheduler lock — the cooling session parks in a ready-time heap
+while every other session keeps stepping.  Once attempts or the
+per-session retry budget are exhausted, ``on_partition_error="skip"``
+quarantines the partition (the scan emits the pruning path's empty
+progress-advancing DELTA and the loss is recorded as degraded state);
+the default ``"fail"`` keeps fail-fast semantics.  ``KeyboardInterrupt``
+and ``SystemExit`` are never swallowed into a FAILED session: the
+session is restored to its runnable state and the exception re-raised.
 """
 
 from __future__ import annotations
@@ -28,7 +43,8 @@ import threading
 import time
 
 from repro.engine.executor import StepExecutor
-from repro.errors import QueryError
+from repro.errors import QueryError, is_transient
+from repro.service.retry import RetryPolicy
 from repro.service.session import QuerySession, SessionState
 
 #: How long the background loop dozes when nothing is runnable.
@@ -38,17 +54,27 @@ _IDLE_WAIT = 0.05
 class FairShareScheduler:
     """Time-slices partition-steps across registered query sessions."""
 
-    def __init__(self, buffer_size: int | None = None) -> None:
+    def __init__(
+        self,
+        buffer_size: int | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self._lock = threading.RLock()
         self._work = threading.Condition(self._lock)
         self._sessions: dict[str, QuerySession] = {}
         self._heap: list[tuple[float, int, str, int]] = []
+        #: Sessions waiting out a retry backoff: (ready_monotonic,
+        #: counter, session_id, epoch).  Admitted back into the main
+        #: heap at their own vtime once ready.
+        self._cooling: list[tuple[float, int, str, int]] = []
         self._counter = 0  # submission-order tie break
         self._clock = 0.0  # virtual time of the last scheduled session
         self._next_id = 1
         self._thread: threading.Thread | None = None
         self._stopping = False
         self._buffer_size = buffer_size
+        #: Fault-tolerance policy; ``None`` = fail-fast (no retries).
+        self.retry = retry
 
     # -- registration -------------------------------------------------------------
     def submit(
@@ -165,8 +191,11 @@ class FairShareScheduler:
     # -- stepping -----------------------------------------------------------------
     def run_once(self) -> QuerySession | None:
         """Execute one partition-step of the fairest runnable session;
-        returns it, or ``None`` when nothing is runnable."""
+        returns it, or ``None`` when nothing is runnable right now
+        (sessions cooling off between retries do not count as
+        runnable — see :meth:`next_ready_in`)."""
         with self._lock:
+            self._admit_cooled()
             session = self._pop_runnable()
             if session is None:
                 return None
@@ -174,16 +203,16 @@ class FairShareScheduler:
                 session.state = SessionState.RUNNING
             try:
                 session.executor.step()
-            except BaseException as exc:  # noqa: BLE001 - recorded on the session
-                session.error = exc
-                session.state = SessionState.FAILED
-                session.pump_snapshots()
-                try:
-                    session.executor.close()
-                finally:
-                    session.buffer.close()
-                return session
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    # Never swallow an interrupt into a FAILED session:
+                    # restore the session to its runnable state (it was
+                    # popped above) and let the interrupt propagate.
+                    self._push(session)
+                    raise
+                return self._handle_step_error(session, exc)
             session.steps += 1
+            session.attempt = 0  # the current step succeeded
             session.vtime += 1.0 / session.priority
             session.pump_snapshots()
             if session.executor.done:
@@ -193,6 +222,89 @@ class FairShareScheduler:
             else:
                 self._push(session)
             return session
+
+    def _handle_step_error(
+        self, session: QuerySession, exc: BaseException
+    ) -> QuerySession:
+        """Retry, quarantine, or fail a session whose step raised.
+        Called under the lock; never sleeps."""
+        policy = self.retry
+        session.last_error = exc
+        # Only a retry-safe failure (the partition pull raised before
+        # any operator state advanced) may be retried or skipped —
+        # a mid-dispatch failure would double-process on retry.
+        retry_safe = (policy is not None
+                      and session.executor.step_retry_safe)
+        if retry_safe and is_transient(exc):
+            session.attempt += 1
+            if (session.attempt < policy.max_attempts
+                    and session.retries_used < policy.retry_budget):
+                session.retries_used += 1
+                delay = policy.backoff(session.attempt)
+                self._cool(session, delay)
+                return session
+        if retry_safe and policy.on_partition_error == "skip":
+            record = session.executor.quarantine_current()
+            if record is not None:
+                # Quarantined: the next step emits the empty
+                # progress-advancing DELTA instead of re-reading the
+                # file, and the loss is recorded as degraded state.
+                session.quarantined.append(record)
+                session.attempt = 0
+                self._push(session)
+                self._work.notify_all()
+                return session
+        session.error = exc
+        session.state = SessionState.FAILED
+        session.pump_snapshots()
+        try:
+            session.executor.close()
+        finally:
+            # Seal with the error: subscribers receive a terminal
+            # error event instead of inferring failure from silence.
+            session.buffer.close(error=exc)
+        session.finished_at = time.monotonic()
+        return session
+
+    def _cool(self, session: QuerySession, delay: float) -> None:
+        """Park a session until its backoff expires (lock held; the
+        actual waiting happens off-lock in the callers' idle loops)."""
+        session.epoch += 1
+        self._counter += 1
+        heapq.heappush(
+            self._cooling,
+            (time.monotonic() + delay, self._counter,
+             session.session_id, session.epoch),
+        )
+
+    def _admit_cooled(self) -> None:
+        """Move sessions whose backoff expired back into the run heap."""
+        now = time.monotonic()
+        while self._cooling and self._cooling[0][0] <= now:
+            _, _, session_id, epoch = heapq.heappop(self._cooling)
+            session = self._sessions.get(session_id)
+            if (session is None or epoch != session.epoch
+                    or session.state not in (SessionState.SUBMITTED,
+                                             SessionState.RUNNING)):
+                continue  # paused/cancelled/pruned while cooling
+            self._push(session)
+
+    def next_ready_in(self) -> float | None:
+        """Seconds until the earliest cooling session is ready to retry
+        (0.0 when one is overdue), or ``None`` when nothing is cooling.
+        Lets idle loops sleep off-lock instead of spinning."""
+        with self._lock:
+            now = time.monotonic()
+            while self._cooling:
+                ready, _, session_id, epoch = self._cooling[0]
+                session = self._sessions.get(session_id)
+                if (session is None or epoch != session.epoch
+                        or session.state not in (SessionState.SUBMITTED,
+                                                 SessionState.RUNNING)):
+                    heapq.heappop(self._cooling)  # stale entry
+                    continue
+                return max(0.0, ready - now)
+            return None
 
     def _pop_runnable(self) -> QuerySession | None:
         while self._heap:
@@ -209,9 +321,17 @@ class FairShareScheduler:
 
     def run_until_idle(self) -> None:
         """Step until nothing is runnable (runnable sessions drain to
-        DONE; paused sessions stay paused)."""
-        while self.run_once() is not None:
-            pass
+        DONE; paused sessions stay paused).  Sessions cooling off
+        between retries are waited for — off the lock — so the call
+        still drains everything that can eventually run."""
+        while True:
+            if self.run_once() is not None:
+                continue
+            delay = self.next_ready_in()
+            if delay is None:
+                return
+            if delay > 0:
+                time.sleep(delay)  # off-lock: others keep stepping
 
     # -- background-thread mode ---------------------------------------------------
     def start(self) -> None:
@@ -231,10 +351,13 @@ class FairShareScheduler:
                 if self._stopping:
                     return
             if self.run_once() is None:
+                delay = self.next_ready_in()
+                wait = (_IDLE_WAIT if delay is None
+                        else min(_IDLE_WAIT, max(delay, 0.001)))
                 with self._work:
                     if self._stopping:
                         return
-                    self._work.wait(_IDLE_WAIT)
+                    self._work.wait(wait)
 
     def stop(self, timeout: float = 10.0) -> None:
         """Stop the background loop (sessions keep their state; call

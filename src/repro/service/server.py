@@ -16,8 +16,11 @@ directions.  Requests carry an ``op``:
   ``{"event": "snapshot", ...}`` line per snapshot *as it is produced*
   (snapshots before ``start`` are replayed from the session buffer),
   terminated by ``{"event": "end", "state": "done" | "cancelled" |
-  "failed"}``.  ``dropped`` on a snapshot counts evictions a slow
-  subscriber skipped (bounded buffers only).
+  "failed", "error": ...}``.  ``dropped`` on a snapshot counts
+  evictions a slow subscriber skipped (bounded buffers only); a
+  ``degraded`` field appears once skip-and-degrade mode quarantines
+  partitions (see :mod:`repro.service.retry`), and a FAILED session's
+  stream always terminates with the ``end`` event carrying its error.
 
 Execution happens on the scheduler's worker thread; the asyncio loop
 only shuttles lines, so a stalled client connection never blocks query
@@ -36,6 +39,7 @@ from repro.api.context import WakeContext
 from repro.api.frame_api import EdfFrame
 from repro.core.edf import EdfSnapshot
 from repro.errors import QueryError
+from repro.service.retry import RetryPolicy
 from repro.service.scheduler import FairShareScheduler
 from repro.service.session import QuerySession, Subscription
 
@@ -69,11 +73,14 @@ class QueryService:
         ctx: WakeContext,
         plans: Mapping[str, Callable[..., EdfFrame]] | None = None,
         buffer_size: int | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.ctx = ctx
         self.plans = (dict(plans) if plans is not None
                       else tpch_plan_registry())
-        self.scheduler = FairShareScheduler(buffer_size=buffer_size)
+        self.scheduler = FairShareScheduler(
+            buffer_size=buffer_size, retry=retry
+        )
 
     def submit(
         self,
@@ -129,6 +136,11 @@ def snapshot_event(
     }
     if dropped:
         event["dropped"] = dropped
+    degraded = session.degraded()
+    if degraded is not None:
+        # Skip-and-degrade mode: the answer is refining but is missing
+        # the quarantined partitions' rows — subscribers must know.
+        event["degraded"] = degraded
     if include_frame:
         event["columns"] = snapshot.frame.to_pydict()
     return event

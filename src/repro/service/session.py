@@ -62,6 +62,7 @@ class SnapshotBuffer:
         self._base = 0  # global index of _snapshots[0]
         self._maxlen = maxlen
         self._closed = False
+        self._error: BaseException | None = None
 
     def append(self, snapshot: EdfSnapshot) -> None:
         with self._cond:
@@ -73,16 +74,29 @@ class SnapshotBuffer:
                 self._base += overflow
             self._cond.notify_all()
 
-    def close(self) -> None:
-        """No more snapshots will ever arrive; wake all waiters."""
+    def close(self, error: BaseException | None = None) -> None:
+        """No more snapshots will ever arrive; wake all waiters.
+
+        ``error`` seals the buffer with the terminal failure, so
+        subscribers that drain it learn *why* the stream ended instead
+        of having to infer it from session state."""
         with self._cond:
             self._closed = True
+            if error is not None and self._error is None:
+                self._error = error
             self._cond.notify_all()
 
     @property
     def closed(self) -> bool:
         with self._cond:
             return self._closed
+
+    @property
+    def error(self) -> BaseException | None:
+        """The terminal error the buffer was sealed with (None unless
+        the producing session FAILED)."""
+        with self._cond:
+            return self._error
 
     def __len__(self) -> int:
         """Total snapshots ever appended (independent of eviction)."""
@@ -148,6 +162,12 @@ class Subscription:
         return (self._buffer.closed
                 and self._cursor >= len(self._buffer))
 
+    @property
+    def error(self) -> BaseException | None:
+        """The terminal error of a FAILED session's stream (None while
+        the session is live or when it ended cleanly)."""
+        return self._buffer.error
+
     def __iter__(self) -> Iterator[EdfSnapshot]:
         while True:
             snapshot = self.next()
@@ -185,6 +205,17 @@ class QuerySession:
         self.error: BaseException | None = None
         self.buffer = SnapshotBuffer(maxlen=buffer_size)
         self.steps = 0
+        #: Consecutive failed attempts at the *current* step (reset to 0
+        #: by the scheduler after any successful step or quarantine).
+        self.attempt = 0
+        #: Total retries consumed across the session's lifetime
+        #: (bounded by the retry policy's ``retry_budget``).
+        self.retries_used = 0
+        #: Most recent step error (kept even after a successful retry,
+        #: so degraded state can report what went wrong).
+        self.last_error: BaseException | None = None
+        #: Quarantined-partition records (skip-and-degrade mode).
+        self.quarantined: list = []
         #: Stride-scheduling virtual time (advanced by 1/priority per
         #: step; owned by the scheduler).
         self.vtime = 0.0
@@ -219,6 +250,30 @@ class QuerySession:
         attach after completion still see the full refinement."""
         return Subscription(self.buffer, start=start)
 
+    def degraded(self) -> dict | None:
+        """Degraded-state summary, or ``None`` for a healthy session.
+
+        A session degrades when skip-and-degrade mode quarantines
+        partitions: the answer keeps refining but is missing the listed
+        partitions' rows.  JSON-friendly (wire ``status`` payload)."""
+        if not self.quarantined:
+            return None
+        return {
+            "partitions": [
+                {
+                    "source": q.source,
+                    "table": q.table,
+                    "index": q.index,
+                    "path": q.path,
+                    "rows": q.rows,
+                }
+                for q in self.quarantined
+            ],
+            "rows_lost": int(sum(q.rows for q in self.quarantined)),
+            "last_error": (repr(self.last_error)
+                           if self.last_error is not None else None),
+        }
+
     def status(self) -> dict:
         """A JSON-friendly summary (the wire ``status`` payload)."""
         edf = self.executor.edf
@@ -234,6 +289,8 @@ class QuerySession:
             "t": latest.t if latest is not None else 0.0,
             "final": latest.is_final if latest is not None else False,
             "error": repr(self.error) if self.error is not None else None,
+            "retries": self.retries_used,
+            "degraded": self.degraded(),
         }
 
     def __repr__(self) -> str:

@@ -20,7 +20,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Mapping, Sequence
 
-from repro.errors import StorageError
+from repro.errors import (
+    PermanentStorageError,
+    StorageError,
+    TransientStorageError,
+)
 from repro.dataframe import (
     AttributeKind,
     DataFrame,
@@ -78,13 +82,30 @@ class TableMeta:
     def read_partition(
         self, index: int, columns: Sequence[str] | None = None
     ) -> DataFrame:
+        """Read one partition, classifying and contextualizing failures.
+
+        Storage errors are re-raised with the table name, partition
+        index, and file path attached (same transient/permanent class,
+        original error chained as the cause) so retry and quarantine
+        decisions upstream know exactly which partition failed.
+        """
         if not 0 <= index < len(self.files):
-            raise StorageError(
-                f"table {self.name!r}: partition index {index} out of range "
-                f"[0, {len(self.files)})"
+            raise PermanentStorageError(
+                f"table {self.name!r}: partition index {index} out of "
+                f"range [0, {len(self.files)})",
+                table=self.name,
+                partition=index,
             )
-        return read_partition(self.files[index], self.schema,
-                              columns=columns)
+        path = self.files[index]
+        try:
+            return read_partition(path, self.schema, columns=columns)
+        except StorageError as exc:
+            raise type(exc)(
+                f"table {self.name!r} partition {index}: {exc}",
+                path=exc.path or str(path),
+                partition=index,
+                table=self.name,
+            ) from exc
 
     def iter_partitions(
         self,
@@ -177,11 +198,15 @@ class Catalog:
     def load(cls, path: str | Path) -> "Catalog":
         path = Path(path)
         if not path.exists():
-            raise StorageError(f"catalog file not found: {path}")
+            raise TransientStorageError(
+                f"catalog file not found: {path}", path=str(path)
+            )
         try:
             doc = json.loads(path.read_text())
         except json.JSONDecodeError as exc:
-            raise StorageError(f"corrupt catalog {path}: {exc}") from exc
+            raise PermanentStorageError(
+                f"corrupt catalog {path}: {exc}", path=str(path)
+            ) from exc
         catalog = cls(root=doc.get("root"))
         for name, raw in doc.get("tables", {}).items():
             schema = Schema(

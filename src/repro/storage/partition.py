@@ -15,12 +15,18 @@ from __future__ import annotations
 import csv
 import io
 import json
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
-from repro.errors import StorageError
+from repro.errors import (
+    PermanentStorageError,
+    StorageError,
+    TransientStorageError,
+)
 from repro.dataframe import (
     AttributeKind,
     DataFrame,
@@ -51,7 +57,22 @@ def _schema_from_json(payload: str) -> Schema:
             for item in raw
         )
     except (json.JSONDecodeError, KeyError, ValueError) as exc:
-        raise StorageError(f"corrupt embedded schema: {exc}") from exc
+        raise PermanentStorageError(
+            f"corrupt embedded schema: {exc}"
+        ) from exc
+
+
+#: Low-level failures that can mean a partition file is mid-write,
+#: mid-move, locked, or truncated — a retry may find it whole.  (numpy
+#: surfaces truncated archives as OSError/EOFError/BadZipFile/zlib.error
+#: and mangled npy headers as ValueError.)
+_TRANSIENT_READ_ERRORS = (
+    OSError,
+    EOFError,
+    ValueError,
+    zipfile.BadZipFile,
+    zlib.error,
+)
 
 
 def write_partition_npz(path: str | Path, frame: DataFrame) -> None:
@@ -71,9 +92,10 @@ def _selected_schema(
         return schema
     missing = set(columns) - set(schema.names)
     if missing:
-        raise StorageError(
+        raise PermanentStorageError(
             f"partition {path}: selected column(s) {sorted(missing)} not "
-            f"in schema {list(schema.names)}"
+            f"in schema {list(schema.names)}",
+            path=str(path),
         )
     wanted = set(columns)
     return Schema(f for f in schema if f.name in wanted)
@@ -87,16 +109,38 @@ def read_partition_npz(
     ``columns`` selects a subset of columns (projection pushdown): only
     the named arrays are decompressed — npz members load lazily, so the
     cost is O(selected columns), not O(schema width).
+
+    Failures are classified: a missing, truncated, or undecompressable
+    file raises :class:`TransientStorageError` (it may still be
+    mid-write); a corrupt or absent embedded schema raises
+    :class:`PermanentStorageError`.
     """
     path = Path(path)
     if not path.exists():
-        raise StorageError(f"partition file not found: {path}")
-    with np.load(path, allow_pickle=False) as archive:
-        if _SCHEMA_KEY not in archive:
-            raise StorageError(f"not a repro partition (no schema): {path}")
-        schema = _schema_from_json(str(archive[_SCHEMA_KEY]))
-        schema = _selected_schema(schema, columns, path)
-        data = {f.name: archive[f.name] for f in schema}
+        raise TransientStorageError(
+            f"partition file not found (mid-write or mid-move?): {path}",
+            path=str(path),
+        )
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if _SCHEMA_KEY not in archive:
+                raise PermanentStorageError(
+                    f"not a repro partition (no schema): {path}",
+                    path=str(path),
+                )
+            schema = _schema_from_json(str(archive[_SCHEMA_KEY]))
+            schema = _selected_schema(schema, columns, path)
+            data = {f.name: archive[f.name] for f in schema}
+    except StorageError as exc:
+        if exc.path is None:
+            exc.path = str(path)
+        raise
+    except _TRANSIENT_READ_ERRORS as exc:
+        raise TransientStorageError(
+            f"partition {path} unreadable (truncated/locked/mid-write?): "
+            f"{exc}",
+            path=str(path),
+        ) from exc
     return DataFrame(data, schema=schema)
 
 
@@ -124,41 +168,66 @@ def read_partition_csv(
     """
     path = Path(path)
     if not path.exists():
-        raise StorageError(f"partition file not found: {path}")
-    with open(path, newline="") as handle:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise StorageError(f"empty CSV partition: {path}") from None
-        rows = list(reader)
+        raise TransientStorageError(
+            f"partition file not found (mid-write or mid-move?): {path}",
+            path=str(path),
+        )
+    try:
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise TransientStorageError(
+                    f"empty CSV partition (mid-write?): {path}",
+                    path=str(path),
+                ) from None
+            rows = list(reader)
+    except StorageError:
+        raise
+    except OSError as exc:
+        raise TransientStorageError(
+            f"partition {path} unreadable (locked/mid-write?): {exc}",
+            path=str(path),
+        ) from exc
     if tuple(header) != schema.names:
-        raise StorageError(
-            f"CSV header {header} does not match schema {list(schema.names)}"
+        raise PermanentStorageError(
+            f"CSV header {header} does not match schema "
+            f"{list(schema.names)}",
+            path=str(path),
         )
     positions = {name: i for i, name in enumerate(header)}
     selected = _selected_schema(schema, columns, path)
     out: dict[str, np.ndarray] = {}
-    for field in selected:
-        index = positions[field.name]
-        raw = [row[index] for row in rows]
-        if field.dtype in (DType.INT64, DType.DATE):
-            out[field.name] = np.array(
-                [int(v) for v in raw], dtype=np.int64
-            )
-        elif field.dtype == DType.FLOAT64:
-            out[field.name] = np.array(
-                [float(v) for v in raw], dtype=np.float64
-            )
-        elif field.dtype == DType.BOOL:
-            out[field.name] = np.array(
-                [v in ("True", "true", "1") for v in raw], dtype=np.bool_
-            )
-        else:
-            out[field.name] = (
-                np.array(raw) if raw
-                else np.empty(0, dtype=numpy_dtype(DType.STRING))
-            )
+    try:
+        for field in selected:
+            index = positions[field.name]
+            raw = [row[index] for row in rows]
+            if field.dtype in (DType.INT64, DType.DATE):
+                out[field.name] = np.array(
+                    [int(v) for v in raw], dtype=np.int64
+                )
+            elif field.dtype == DType.FLOAT64:
+                out[field.name] = np.array(
+                    [float(v) for v in raw], dtype=np.float64
+                )
+            elif field.dtype == DType.BOOL:
+                out[field.name] = np.array(
+                    [v in ("True", "true", "1") for v in raw],
+                    dtype=np.bool_,
+                )
+            else:
+                out[field.name] = (
+                    np.array(raw) if raw
+                    else np.empty(0, dtype=numpy_dtype(DType.STRING))
+                )
+    except (ValueError, IndexError) as exc:
+        # Unparseable cells / ragged rows: the writer may still be
+        # appending, so a retry is worth a shot.
+        raise TransientStorageError(
+            f"partition {path} has unparseable rows (mid-write?): {exc}",
+            path=str(path),
+        ) from exc
     return DataFrame(out, schema=selected)
 
 
@@ -170,7 +239,9 @@ def write_partition(path: str | Path, frame: DataFrame) -> None:
     elif path.suffix == ".csv":
         write_partition_csv(path, frame)
     else:
-        raise StorageError(f"unknown partition format: {path.suffix!r}")
+        raise PermanentStorageError(
+            f"unknown partition format: {path.suffix!r}", path=str(path)
+        )
 
 
 def read_partition(
@@ -184,9 +255,13 @@ def read_partition(
         return read_partition_npz(path, columns=columns)
     if path.suffix == ".csv":
         if schema is None:
-            raise StorageError("reading CSV partitions requires a schema")
+            raise PermanentStorageError(
+                "reading CSV partitions requires a schema", path=str(path)
+            )
         return read_partition_csv(path, schema, columns=columns)
-    raise StorageError(f"unknown partition format: {path.suffix!r}")
+    raise PermanentStorageError(
+        f"unknown partition format: {path.suffix!r}", path=str(path)
+    )
 
 
 def estimate_csv_bytes(frame: DataFrame) -> int:

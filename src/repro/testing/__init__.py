@@ -1,0 +1,5 @@
+"""Deterministic test harnesses (fault injection, chaos tooling)."""
+
+from repro.testing.faults import FaultInjector, InjectedFault
+
+__all__ = ["FaultInjector", "InjectedFault"]

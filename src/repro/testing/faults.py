@@ -1,0 +1,211 @@
+"""Deterministic fault injection for chaos-testing the engine.
+
+A :class:`FaultInjector` decides — from a seed, reproducibly — which
+partition reads and executor steps fail, how, and how many times.  Two
+properties make the injected schedules usable for *byte-identical*
+chaos tests:
+
+* decisions are keyed by **site** (``(table, partition index)`` for
+  reads), not by call order, so a retry of the failed partition meets
+  the *continuation* of that site's schedule (fail N consecutive
+  attempts, then succeed) no matter how steps from other queries
+  interleave;
+* the schedule uses no wall-clock or global randomness: the same seed
+  and the same sites produce the same faults, every run.
+
+Faults come in three kinds:
+
+* ``"transient"`` — raises :class:`~repro.errors.TransientStorageError`
+  (retryable: mid-write file, lock contention, torn decompress);
+* ``"permanent"`` — raises :class:`~repro.errors.PermanentStorageError`
+  (not retryable: corrupt schema, unknown format);
+* ``"slow"`` — sleeps ``slow_delay`` seconds, then succeeds (straggler
+  I/O; exercises backoff-free latency paths).
+
+Wrap a catalog (``wrap_catalog``) to inject at the storage boundary, or
+an executor (``wrap_executor``) to inject at the scheduler-step
+boundary (always retry-safe, by the executor's ``before_step``
+contract).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    PermanentStorageError,
+    QueryError,
+    TransientStorageError,
+)
+from repro.storage.catalog import Catalog, TableMeta
+
+#: Fault kinds an injector knows how to raise.
+FAULT_KINDS = ("transient", "permanent", "slow")
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the injector actually fired (audit record)."""
+
+    table: str
+    partition: int
+    kind: str
+    path: str | None = None
+
+
+class _FaultyTableMeta(TableMeta):
+    """A :class:`TableMeta` whose reads pass through an injector."""
+
+    def read_partition(self, index, columns=None):
+        self._injector.before_read(  # type: ignore[attr-defined]
+            self.name, index,
+            self.files[index] if 0 <= index < len(self.files) else None,
+        )
+        return super().read_partition(index, columns=columns)
+
+
+@dataclass
+class _Site:
+    """Remaining fault schedule for one (table, partition) site."""
+
+    kinds: list[str] = field(default_factory=list)
+
+
+class FaultInjector:
+    """Seeded, site-keyed fault scheduler.
+
+    ``transient_rate`` injects random transient faults: each *site*
+    (table, partition) independently faults with that probability,
+    failing ``fault_times`` consecutive attempts before clearing —
+    exactly the shape a retry policy must absorb.  ``plan_fault``
+    schedules explicit faults on top (any kind, any count).
+    ``max_faults`` caps the total injected, bounding worst-case chaos.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        transient_rate: float = 0.0,
+        fault_times: int = 1,
+        slow_delay: float = 0.0,
+        max_faults: int | None = None,
+    ) -> None:
+        if not 0.0 <= transient_rate <= 1.0:
+            raise QueryError(
+                f"transient_rate must be in [0, 1], got {transient_rate}"
+            )
+        if fault_times < 1:
+            raise QueryError(
+                f"fault_times must be >= 1, got {fault_times}"
+            )
+        self.seed = seed
+        self.transient_rate = transient_rate
+        self.fault_times = fault_times
+        self.slow_delay = slow_delay
+        self.max_faults = max_faults
+        #: Every fault fired so far, in firing order.
+        self.injected: list[InjectedFault] = []
+        self._sites: dict[tuple[str, int], _Site] = {}
+        self._step_faults: list[str] = []
+
+    # -- scheduling ---------------------------------------------------------------
+    def plan_fault(
+        self, table: str, index: int, kind: str = "transient",
+        times: int = 1,
+    ) -> None:
+        """Explicitly schedule ``times`` consecutive faults of ``kind``
+        for one partition site (appended after any already planned)."""
+        if kind not in FAULT_KINDS:
+            raise QueryError(
+                f"fault kind must be one of {FAULT_KINDS}, got {kind!r}"
+            )
+        site = self._sites.setdefault((table, index), _Site())
+        site.kinds.extend([kind] * times)
+
+    def plan_step_fault(self, kind: str = "transient",
+                        times: int = 1) -> None:
+        """Schedule ``times`` faults at the executor-step boundary
+        (fired by wrapped executors' ``before_step``, FIFO)."""
+        if kind not in FAULT_KINDS:
+            raise QueryError(
+                f"fault kind must be one of {FAULT_KINDS}, got {kind!r}"
+            )
+        self._step_faults.extend([kind] * times)
+
+    def _site(self, table: str, index: int) -> _Site:
+        key = (table, index)
+        site = self._sites.get(key)
+        if site is None:
+            # Site-keyed RNG: the decision depends only on (seed, table,
+            # partition), never on the order sites are first touched, so
+            # concurrent queries sharing a catalog see one schedule.
+            rng = random.Random(f"{self.seed}:{table}:{index}")
+            site = _Site()
+            if rng.random() < self.transient_rate:
+                site.kinds = ["transient"] * self.fault_times
+            self._sites[key] = site
+        return site
+
+    # -- firing -------------------------------------------------------------------
+    def _budget_left(self) -> bool:
+        return (self.max_faults is None
+                or len(self.injected) < self.max_faults)
+
+    def _fire(self, table: str, partition: int, kind: str,
+              path: str | None) -> None:
+        self.injected.append(
+            InjectedFault(table=table, partition=partition, kind=kind,
+                          path=path)
+        )
+        where = f"table {table!r} partition {partition}"
+        if kind == "transient":
+            raise TransientStorageError(
+                f"injected transient fault: {where}",
+                path=path, partition=partition, table=table,
+            )
+        if kind == "permanent":
+            raise PermanentStorageError(
+                f"injected permanent fault: {where}",
+                path=path, partition=partition, table=table,
+            )
+        time.sleep(self.slow_delay)  # "slow": delay, then succeed
+
+    def before_read(self, table: str, index: int,
+                    path: str | None) -> None:
+        """Hook run before every wrapped partition read; raises (or
+        sleeps) per the site's remaining schedule."""
+        site = self._site(table, index)
+        if not site.kinds or not self._budget_left():
+            return
+        self._fire(table, index, site.kinds.pop(0), path)
+
+    def before_step(self, executor) -> None:
+        """Hook for :attr:`StepExecutor.before_step` (retry-safe)."""
+        if not self._step_faults or not self._budget_left():
+            return
+        self._fire("<step>", -1, self._step_faults.pop(0), None)
+
+    # -- wrapping -----------------------------------------------------------------
+    def wrap_table(self, meta: TableMeta) -> TableMeta:
+        """A copy of ``meta`` whose reads consult this injector."""
+        wrapped = _FaultyTableMeta(
+            **{f.name: getattr(meta, f.name)
+               for f in dataclasses.fields(meta)}
+        )
+        object.__setattr__(wrapped, "_injector", self)
+        return wrapped
+
+    def wrap_catalog(self, catalog: Catalog) -> Catalog:
+        """A shallow catalog copy with every table wrapped."""
+        return Catalog(
+            tables={name: self.wrap_table(meta)
+                    for name, meta in catalog.tables.items()},
+            root=catalog.root,
+        )
+
+    def wrap_executor(self, executor) -> None:
+        """Inject at the step boundary of ``executor`` (in place)."""
+        executor.before_step = self.before_step

@@ -1,0 +1,118 @@
+"""Failure surfacing on the wire: FAILED sessions end their snapshot
+streams with a terminal error event, and a client read timeout turns a
+hung server into a :class:`ServiceError` instead of a forever-block."""
+
+import pytest
+
+from repro import F, WakeContext, col
+from repro.errors import ServiceError
+from repro.service import QueryService, ServiceClient, SnapshotServer
+
+
+def _plans():
+    def failing(ctx, **params):
+        def boom(frame):
+            # sales partitions are 10 rows of okey sorted ascending;
+            # partitions 0-2 (okey < 15) pass, partition 3 raises —
+            # so subscribers see real snapshots *before* the failure.
+            if frame.column("okey").min() >= 15:
+                raise RuntimeError("disk on fire")
+            return frame
+
+        return (ctx.table("sales")
+                .map_partitions(boom, schema=ctx.table("sales").schema)
+                .agg(F.sum("qty").alias("s"), by=["cust"]))
+
+    return {
+        "failing": failing,
+        "sum_by_cust": lambda ctx, **p: ctx.table("sales").agg(
+            F.sum("qty").alias("s"), by=["cust"]
+        ),
+        "filtered": lambda ctx, threshold=30: (
+            ctx.table("sales").filter(col("qty") > threshold)
+            .agg(F.count(None).alias("n"))
+        ),
+    }
+
+
+@pytest.fixture
+def server(catalog):
+    ctx = WakeContext(catalog)
+    service = QueryService(ctx, plans=_plans())
+    server = SnapshotServer(service, port=0).start()
+    yield server
+    server.stop()
+
+
+class TestFailedSessionStreaming:
+    def test_mid_stream_subscriber_gets_terminal_error_event(
+        self, server
+    ):
+        """Regression: a subscriber attached while the session runs must
+        receive the ``end`` event carrying the failure — not hang, not
+        see the stream drop silently."""
+        with ServiceClient(port=server.port, timeout=30) as control:
+            # paused submit: the subscriber attaches before any step
+            session = control.submit("failing", paused=True)
+            with ServiceClient(port=server.port, timeout=30) as sub:
+                stream = sub.subscribe(session)
+                control.resume(session)
+                events = list(stream)  # terminates despite the failure
+            assert events[-1]["event"] == "end"
+            assert events[-1]["state"] == "failed"
+            assert "disk on fire" in events[-1]["error"]
+            snapshots = [e for e in events if e["event"] == "snapshot"]
+            assert snapshots, "no snapshots before the failure"
+            assert all(not e["final"] for e in snapshots)
+            assert control.status(session)["state"] == "failed"
+
+    def test_late_subscriber_to_failed_session_also_ends(self, server):
+        with ServiceClient(port=server.port, timeout=30) as client:
+            session = client.submit("failing")
+            events = list(client.subscribe(session))
+            assert events[-1]["state"] == "failed"
+            replay = list(client.subscribe(session))  # after FAILED
+            assert replay[-1]["event"] == "end"
+            assert replay[-1]["state"] == "failed"
+            assert "disk on fire" in replay[-1]["error"]
+
+    def test_failure_event_in_scheduler_buffer(self, server):
+        """The in-process view: the session buffer is sealed with the
+        error, so embedded subscribers see it without the wire."""
+        with ServiceClient(port=server.port, timeout=30) as client:
+            session_id = client.submit("failing")
+            list(client.subscribe(session_id))
+        session = server.service.scheduler.get(session_id)
+        assert session.buffer.closed
+        assert isinstance(session.buffer.error, RuntimeError)
+        assert session.subscribe().error is session.buffer.error
+
+
+class TestClientReadTimeout:
+    def test_hung_stream_raises_service_error(self, server):
+        """A paused session produces no events; a read-timeout client
+        must surface that as ServiceError instead of blocking forever."""
+        with ServiceClient(port=server.port, timeout=30) as control:
+            session = control.submit("sum_by_cust", paused=True)
+            with ServiceClient(port=server.port, timeout=30,
+                               read_timeout=0.2) as sub:
+                stream = sub.subscribe(session)
+                with pytest.raises(ServiceError, match="no reply"):
+                    next(stream)
+            control.cancel(session)
+
+    def test_timeout_does_not_fire_on_healthy_traffic(self, server):
+        with ServiceClient(port=server.port, timeout=30,
+                           read_timeout=5.0) as client:
+            session = client.submit("sum_by_cust")
+            events = list(client.subscribe(session))
+            assert events[-1]["state"] == "done"
+
+    def test_read_timeout_defaults_to_connect_timeout(self, server):
+        client = ServiceClient(port=server.port, timeout=0.2)
+        try:
+            session = client.submit("filtered", paused=True)
+            with pytest.raises(ServiceError, match="no reply"):
+                next(client.subscribe(session))
+        finally:
+            client.close()

@@ -1,0 +1,153 @@
+"""FaultInjector: deterministic, site-keyed fault schedules."""
+
+import pytest
+
+from repro import F, WakeContext
+from repro.errors import (
+    PermanentStorageError,
+    QueryError,
+    TransientStorageError,
+)
+from repro.testing import FaultInjector
+
+
+def _read_all_with_retries(meta, index, max_tries=10):
+    """Retry a wrapped read until it succeeds; returns (frame, tries)."""
+    for attempt in range(1, max_tries + 1):
+        try:
+            return meta.read_partition(index), attempt
+        except TransientStorageError:
+            continue
+    raise AssertionError("fault never cleared")
+
+
+class TestPlannedFaults:
+    def test_transient_fires_n_times_then_clears(self, catalog):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 2, kind="transient", times=3)
+        meta = injector.wrap_catalog(catalog).table("sales")
+        frame, tries = _read_all_with_retries(meta, 2)
+        assert tries == 4  # 3 injected failures + 1 success
+        assert frame.n_rows == 10
+        assert [f.kind for f in injector.injected] == ["transient"] * 3
+        assert all(f.table == "sales" and f.partition == 2
+                   for f in injector.injected)
+
+    def test_fault_error_carries_site_context(self, catalog):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 1)
+        meta = injector.wrap_catalog(catalog).table("sales")
+        with pytest.raises(TransientStorageError) as info:
+            meta.read_partition(1)
+        assert info.value.table == "sales"
+        assert info.value.partition == 1
+
+    def test_permanent_fault_kind(self, catalog):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 0, kind="permanent")
+        meta = injector.wrap_catalog(catalog).table("sales")
+        with pytest.raises(PermanentStorageError):
+            meta.read_partition(0)
+        assert meta.read_partition(0).n_rows == 10  # one-shot
+
+    def test_slow_fault_succeeds(self, catalog):
+        injector = FaultInjector(slow_delay=0.0)
+        injector.plan_fault("sales", 0, kind="slow")
+        meta = injector.wrap_catalog(catalog).table("sales")
+        assert meta.read_partition(0).n_rows == 10
+        assert [f.kind for f in injector.injected] == ["slow"]
+
+    def test_unfaulted_sites_read_clean(self, catalog):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 3)
+        wrapped = injector.wrap_catalog(catalog)
+        assert wrapped.table("sales").read_partition(0).n_rows == 10
+        assert wrapped.table("customers").read_partition(0).n_rows == 5
+        assert injector.injected == []
+
+    def test_original_catalog_untouched(self, catalog):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 0, times=99)
+        injector.wrap_catalog(catalog)
+        assert catalog.table("sales").read_partition(0).n_rows == 10
+
+    def test_max_faults_caps_total(self, catalog):
+        injector = FaultInjector(max_faults=2)
+        injector.plan_fault("sales", 0, times=5)
+        meta = injector.wrap_catalog(catalog).table("sales")
+        _frame, tries = _read_all_with_retries(meta, 0)
+        assert tries == 3  # capped at 2 injected failures
+        assert len(injector.injected) == 2
+
+
+class TestSeededSchedules:
+    def test_rate_one_faults_every_site(self, catalog):
+        injector = FaultInjector(seed=7, transient_rate=1.0,
+                                 fault_times=2)
+        meta = injector.wrap_catalog(catalog).table("sales")
+        for index in range(meta.n_partitions):
+            _frame, tries = _read_all_with_retries(meta, index)
+            assert tries == 3
+
+    def test_rate_zero_never_faults(self, catalog):
+        injector = FaultInjector(seed=7, transient_rate=0.0)
+        meta = injector.wrap_catalog(catalog).table("sales")
+        for index in range(meta.n_partitions):
+            meta.read_partition(index)
+        assert injector.injected == []
+
+    def test_site_decisions_independent_of_touch_order(self, catalog):
+        """The fault schedule is a function of (seed, site) — reading
+        partitions in a different order meets the same faults."""
+        def fault_map(order):
+            injector = FaultInjector(seed=11, transient_rate=0.5)
+            meta = injector.wrap_catalog(catalog).table("sales")
+            hits = {}
+            for index in order:
+                try:
+                    meta.read_partition(index)
+                    hits[index] = False
+                except TransientStorageError:
+                    hits[index] = True
+            return hits
+
+        n = catalog.table("sales").n_partitions
+        forward = fault_map(range(n))
+        backward = fault_map(reversed(range(n)))
+        assert forward == backward
+        assert any(forward.values()) and not all(forward.values())
+
+
+class TestStepFaults:
+    def test_step_fault_is_retry_safe(self, catalog):
+        ctx = WakeContext(catalog)
+        plan = ctx.table("sales").agg(F.sum("qty").alias("s"),
+                                      by=["cust"])
+        executor = ctx.executor_for(plan)
+        injector = FaultInjector()
+        injector.plan_step_fault(times=2)
+        injector.wrap_executor(executor)
+        for _ in range(2):
+            with pytest.raises(TransientStorageError):
+                executor.step()
+            assert executor.step_retry_safe
+        edf = executor.run()  # faults cleared; completes normally
+        ref = WakeContext(catalog)
+        expected = ref.run(
+            ref.table("sales").agg(F.sum("qty").alias("s"), by=["cust"])
+        ).get_final()
+        assert (edf.get_final().column("s").tobytes()
+                == expected.column("s").tobytes())
+
+
+class TestValidation:
+    def test_bad_rate_and_kind_raise(self, catalog):
+        with pytest.raises(QueryError):
+            FaultInjector(transient_rate=1.5)
+        with pytest.raises(QueryError):
+            FaultInjector(fault_times=0)
+        injector = FaultInjector()
+        with pytest.raises(QueryError):
+            injector.plan_fault("sales", 0, kind="gremlins")
+        with pytest.raises(QueryError):
+            injector.plan_step_fault(kind="gremlins")

@@ -1,0 +1,338 @@
+"""Scheduler fault tolerance: retry, backoff, budget, skip-and-degrade.
+
+Uses the deterministic :class:`FaultInjector` to make partition reads
+fail on schedule, then asserts the scheduler's recovery contract:
+transient errors retry (off-lock backoff) and still produce the exact
+fault-free answer; exhausted retries fail or — in skip mode —
+quarantine the partition and keep refining a degraded answer.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro import F, WakeContext
+from repro.errors import QueryError, TransientStorageError
+from repro.service import FairShareScheduler, RetryPolicy, SessionState
+from repro.storage import Catalog
+from repro.testing import FaultInjector
+
+#: Millisecond-scale backoff so retry paths run at full test speed.
+FAST = RetryPolicy(max_attempts=3, backoff_base=0.001,
+                   backoff_max=0.002)
+
+
+def _plan(ctx):
+    return ctx.table("sales").agg(F.sum("qty").alias("s"), by=["cust"])
+
+
+def _executor(catalog):
+    ctx = WakeContext(catalog)
+    return ctx.executor_for(_plan(ctx))
+
+
+def _reference_final(catalog):
+    ctx = WakeContext(catalog)
+    return ctx.run(_plan(ctx)).get_final()
+
+
+def _without_partitions(catalog, table, skipped):
+    """A catalog whose ``table`` drops the ``skipped`` partitions —
+    ground truth for what a degraded (quarantined) run should answer."""
+    meta = catalog.table(table)
+    keep = [i for i in range(meta.n_partitions) if i not in skipped]
+    reduced = dataclasses.replace(
+        meta,
+        files=tuple(meta.files[i] for i in keep),
+        tuple_counts=tuple(meta.tuple_counts[i] for i in keep),
+        stats=(tuple(meta.stats[i] for i in keep)
+               if meta.stats is not None else None),
+    )
+    tables = dict(catalog.tables)
+    tables[table] = reduced
+    return Catalog(tables=tables, root=catalog.root)
+
+
+class TestRetrySuccess:
+    def test_transient_fault_retries_to_exact_answer(self, catalog):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 2, times=2)  # < max_attempts
+        scheduler = FairShareScheduler(retry=FAST)
+        session = scheduler.submit(
+            _executor(injector.wrap_catalog(catalog)), name="retrying"
+        )
+        scheduler.run_until_idle()
+        assert session.state is SessionState.DONE
+        assert session.retries_used == 2
+        assert session.degraded() is None
+        assert session.status()["retries"] == 2
+        expected = _reference_final(catalog)
+        assert (session.executor.edf.get_final().column("s").tobytes()
+                == expected.column("s").tobytes())
+
+    def test_retry_does_not_skip_or_double_count(self, catalog):
+        """Snapshot count and progress match a fault-free run exactly —
+        the retried partition is read once, never skipped."""
+        injector = FaultInjector()
+        injector.plan_fault("sales", 0, times=1)
+        injector.plan_fault("sales", 5, times=2)
+        scheduler = FairShareScheduler(retry=FAST)
+        session = scheduler.submit(
+            _executor(injector.wrap_catalog(catalog))
+        )
+        scheduler.run_until_idle()
+        clean = FairShareScheduler()
+        baseline = clean.submit(_executor(catalog))
+        clean.run_until_idle()
+        assert session.state is SessionState.DONE
+        got = session.executor.edf
+        want = baseline.executor.edf
+        assert len(got) == len(want)
+        for a, b in zip(got.snapshots, want.snapshots):
+            assert dict(a.progress.done) == dict(b.progress.done)
+
+    def test_healthy_sessions_keep_stepping_during_backoff(self,
+                                                           catalog):
+        """A cooling session must not stall the scheduler: a healthy
+        session submitted alongside it completes meanwhile."""
+        injector = FaultInjector()
+        injector.plan_fault("sales", 0, times=2)
+        slow = RetryPolicy(max_attempts=3, backoff_base=0.2,
+                           backoff_max=0.2)
+        scheduler = FairShareScheduler(retry=slow)
+        faulty = scheduler.submit(
+            _executor(injector.wrap_catalog(catalog)), name="faulty"
+        )
+        healthy = scheduler.submit(_executor(catalog), name="healthy")
+        start = time.monotonic()
+        while not healthy.terminal:
+            assert scheduler.run_once() is not None or \
+                scheduler.next_ready_in() is not None
+            if scheduler.run_once() is None:
+                time.sleep(0.005)
+        healthy_done_at = time.monotonic() - start
+        assert healthy.state is SessionState.DONE
+        # the healthy query never waited out the 0.2 s+0.2 s backoffs
+        assert healthy_done_at < 0.2
+        scheduler.run_until_idle()
+        assert faulty.state is SessionState.DONE
+
+    def test_background_loop_retries_to_done(self, catalog):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 1, times=2)
+        scheduler = FairShareScheduler(retry=FAST)
+        scheduler.start()
+        try:
+            session = scheduler.submit(
+                _executor(injector.wrap_catalog(catalog))
+            )
+            deadline = time.monotonic() + 10
+            while not session.terminal and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert session.state is SessionState.DONE
+            assert session.retries_used == 2
+        finally:
+            scheduler.stop()
+
+
+class TestRetryExhaustion:
+    def test_attempts_exhausted_fails_with_sealed_error(self, catalog):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 2, times=FAST.max_attempts)
+        scheduler = FairShareScheduler(retry=FAST)
+        session = scheduler.submit(
+            _executor(injector.wrap_catalog(catalog))
+        )
+        scheduler.run_until_idle()
+        assert session.state is SessionState.FAILED
+        assert session.retries_used == FAST.max_attempts - 1
+        assert isinstance(session.error, TransientStorageError)
+        assert session.buffer.closed
+        assert session.buffer.error is session.error
+        assert session.status()["error"] is not None
+
+    def test_retry_budget_bounds_total_retries(self, catalog):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 0, times=5)
+        policy = RetryPolicy(max_attempts=10, backoff_base=0.001,
+                             backoff_max=0.002, retry_budget=2)
+        scheduler = FairShareScheduler(retry=policy)
+        session = scheduler.submit(
+            _executor(injector.wrap_catalog(catalog))
+        )
+        scheduler.run_until_idle()
+        assert session.state is SessionState.FAILED
+        assert session.retries_used == 2
+
+    def test_permanent_fault_never_retries(self, catalog):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 3, kind="permanent")
+        scheduler = FairShareScheduler(retry=FAST)
+        session = scheduler.submit(
+            _executor(injector.wrap_catalog(catalog))
+        )
+        scheduler.run_until_idle()
+        assert session.state is SessionState.FAILED
+        assert session.retries_used == 0
+        assert len(injector.injected) == 1
+
+    def test_no_policy_keeps_fail_fast_semantics(self, catalog):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 0, times=1)
+        scheduler = FairShareScheduler()  # no RetryPolicy
+        session = scheduler.submit(
+            _executor(injector.wrap_catalog(catalog))
+        )
+        scheduler.run_until_idle()
+        assert session.state is SessionState.FAILED
+        assert session.retries_used == 0
+
+    def test_dispatch_phase_failure_never_retries(self, catalog):
+        """An operator raising mid-dispatch may have half-updated state;
+        even a transient error class must fail the session there."""
+        ctx = WakeContext(catalog)
+
+        def boom(frame):
+            raise TransientStorageError("flaky operator")
+
+        plan = ctx.table("sales").map_partitions(
+            boom, schema=ctx.table("sales").schema
+        )
+        scheduler = FairShareScheduler(retry=FAST)
+        session = scheduler.submit(ctx.executor_for(plan))
+        scheduler.run_until_idle()
+        assert session.state is SessionState.FAILED
+        assert session.retries_used == 0
+        assert not session.executor.step_retry_safe
+
+
+class TestSkipAndDegrade:
+    SKIP_POLICY = RetryPolicy(max_attempts=1, backoff_base=0.0,
+                              on_partition_error="skip")
+
+    def test_quarantine_reports_degraded_and_matches_reduced(
+        self, catalog
+    ):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 4, kind="permanent")
+        scheduler = FairShareScheduler(retry=self.SKIP_POLICY)
+        session = scheduler.submit(
+            _executor(injector.wrap_catalog(catalog)), name="degraded"
+        )
+        scheduler.run_until_idle()
+        assert session.state is SessionState.DONE
+        degraded = session.degraded()
+        assert degraded is not None
+        assert degraded["rows_lost"] == 10
+        (record,) = degraded["partitions"]
+        assert record["table"] == "sales" and record["index"] == 4
+        assert degraded["last_error"] is not None
+        assert session.status()["degraded"] == degraded
+        # the degraded final == fault-free final minus exactly that
+        # partition's rows
+        expected = _reference_final(
+            _without_partitions(catalog, "sales", {4})
+        )
+        got = session.executor.edf.get_final()
+        assert got.column("s").tobytes() == expected.column("s").tobytes()
+
+    def test_multiple_quarantines_accumulate(self, catalog):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 1, kind="permanent")
+        injector.plan_fault("sales", 5, kind="permanent")
+        scheduler = FairShareScheduler(retry=self.SKIP_POLICY)
+        session = scheduler.submit(
+            _executor(injector.wrap_catalog(catalog))
+        )
+        scheduler.run_until_idle()
+        assert session.state is SessionState.DONE
+        assert session.degraded()["rows_lost"] == 20
+        expected = _reference_final(
+            _without_partitions(catalog, "sales", {1, 5})
+        )
+        got = session.executor.edf.get_final()
+        assert got.column("s").tobytes() == expected.column("s").tobytes()
+
+    def test_skip_mode_still_retries_transients_first(self, catalog):
+        """Transient faults within the attempt budget recover fully —
+        skip only triggers once retries are exhausted."""
+        injector = FaultInjector()
+        injector.plan_fault("sales", 0, times=1)
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.001,
+                             backoff_max=0.002,
+                             on_partition_error="skip")
+        scheduler = FairShareScheduler(retry=policy)
+        session = scheduler.submit(
+            _executor(injector.wrap_catalog(catalog))
+        )
+        scheduler.run_until_idle()
+        assert session.state is SessionState.DONE
+        assert session.degraded() is None  # recovered, nothing lost
+        expected = _reference_final(catalog)
+        got = session.executor.edf.get_final()
+        assert got.column("s").tobytes() == expected.column("s").tobytes()
+
+
+class TestControlPlaneInteraction:
+    def test_keyboard_interrupt_propagates_and_session_survives(
+        self, catalog
+    ):
+        """A Ctrl-C during a step must re-raise, not melt the session
+        into FAILED — and the session must still be runnable after."""
+        scheduler = FairShareScheduler(retry=FAST)
+        session = scheduler.submit(_executor(catalog))
+        fired = []
+
+        def interrupt(executor):
+            if not fired:
+                fired.append(True)
+                raise KeyboardInterrupt
+
+        session.executor.before_step = interrupt
+        with pytest.raises(KeyboardInterrupt):
+            scheduler.run_once()
+        assert session.state is not SessionState.FAILED
+        scheduler.run_until_idle()
+        assert session.state is SessionState.DONE
+
+    def test_cancel_while_cooling_is_honored(self, catalog):
+        injector = FaultInjector()
+        injector.plan_fault("sales", 0, times=2)
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.05,
+                             backoff_max=0.05)
+        scheduler = FairShareScheduler(retry=policy)
+        session = scheduler.submit(
+            _executor(injector.wrap_catalog(catalog))
+        )
+        while scheduler.run_once() is not None:
+            pass  # drains until the session is cooling
+        assert scheduler.next_ready_in() is not None
+        scheduler.cancel(session.session_id)
+        assert scheduler.next_ready_in() is None  # stale entry dropped
+        scheduler.run_until_idle()  # returns without waiting
+        assert session.state is SessionState.CANCELLED
+
+
+class TestPolicy:
+    def test_backoff_is_deterministic_capped_exponential(self):
+        policy = RetryPolicy(backoff_base=0.05, backoff_factor=2.0,
+                             backoff_max=0.15)
+        assert policy.backoff(1) == pytest.approx(0.05)
+        assert policy.backoff(2) == pytest.approx(0.10)
+        assert policy.backoff(3) == pytest.approx(0.15)  # capped
+        assert policy.backoff(9) == pytest.approx(0.15)
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(QueryError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(QueryError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(QueryError):
+            RetryPolicy(retry_budget=-1)
+        with pytest.raises(QueryError):
+            RetryPolicy(on_partition_error="explode")
+        with pytest.raises(QueryError):
+            RetryPolicy().backoff(0)

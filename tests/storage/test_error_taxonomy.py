@@ -1,0 +1,165 @@
+"""Transient vs permanent storage-error classification.
+
+The retry layer's contract rests on this taxonomy: a
+:class:`TransientStorageError` means a retry may succeed (mid-write,
+locked, truncated file); a :class:`PermanentStorageError` means it
+never will (corrupt schema, unknown format).  Every classified error
+carries the partition path — and, through the catalog, the table name
+and partition index — with the original failure chained as the cause.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.errors import (
+    PermanentStorageError,
+    StorageError,
+    TransientStorageError,
+    is_transient,
+)
+from repro.storage import Catalog
+from repro.storage.partition import read_partition, write_partition
+
+
+@pytest.fixture
+def frame():
+    return DataFrame({
+        "k": np.arange(6, dtype=np.int64),
+        "v": np.linspace(0.0, 1.0, 6),
+    })
+
+
+class TestIsTransient:
+    def test_classification_helper(self):
+        assert is_transient(TransientStorageError("x"))
+        assert not is_transient(PermanentStorageError("x"))
+        assert not is_transient(StorageError("x"))  # unclassified
+        assert not is_transient(RuntimeError("x"))
+
+
+class TestNpzClassification:
+    def test_missing_file_is_transient(self, tmp_path):
+        missing = tmp_path / "p0.npz"
+        with pytest.raises(TransientStorageError) as info:
+            read_partition(missing)
+        assert info.value.path == str(missing)
+
+    def test_truncated_file_is_transient(self, tmp_path, frame):
+        path = tmp_path / "p0.npz"
+        write_partition(path, frame)
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) // 2])  # torn write
+        with pytest.raises(TransientStorageError) as info:
+            read_partition(path)
+        assert info.value.path == str(path)
+        assert info.value.__cause__ is not None
+
+    def test_garbage_bytes_are_transient(self, tmp_path):
+        path = tmp_path / "p0.npz"
+        path.write_bytes(b"\x00" * 64)  # could still be mid-write
+        with pytest.raises(TransientStorageError):
+            read_partition(path)
+
+    def test_foreign_npz_without_schema_is_permanent(self, tmp_path):
+        path = tmp_path / "p0.npz"
+        np.savez(path, data=np.arange(3))  # no embedded schema
+        with pytest.raises(PermanentStorageError) as info:
+            read_partition(path)
+        assert info.value.path == str(path)
+
+    def test_corrupt_embedded_schema_is_permanent(self, tmp_path):
+        path = tmp_path / "p0.npz"
+        np.savez(path, __schema__=np.array("not valid json {"),
+                 k=np.arange(3))
+        with pytest.raises(PermanentStorageError) as info:
+            read_partition(path)
+        assert "schema" in str(info.value)
+
+    def test_unknown_selected_column_is_permanent(self, tmp_path, frame):
+        path = tmp_path / "p0.npz"
+        write_partition(path, frame)
+        with pytest.raises(PermanentStorageError):
+            read_partition(path, columns=["nope"])
+
+
+class TestCsvClassification:
+    def test_missing_and_empty_are_transient(self, tmp_path, frame):
+        missing = tmp_path / "p0.csv"
+        with pytest.raises(TransientStorageError):
+            read_partition(missing, frame.schema)
+        missing.write_text("")  # writer opened it, nothing flushed yet
+        with pytest.raises(TransientStorageError):
+            read_partition(missing, frame.schema)
+
+    def test_header_mismatch_is_permanent(self, tmp_path, frame):
+        path = tmp_path / "p0.csv"
+        path.write_text("wrong,header\n1,2\n")
+        with pytest.raises(PermanentStorageError):
+            read_partition(path, frame.schema)
+
+    def test_unparseable_cells_are_transient(self, tmp_path, frame):
+        path = tmp_path / "p0.csv"
+        path.write_text("k,v\n1,0.5\nnot-an-int,oops\n")  # torn row
+        with pytest.raises(TransientStorageError):
+            read_partition(path, frame.schema)
+
+    def test_csv_without_schema_is_permanent(self, tmp_path, frame):
+        path = tmp_path / "p0.csv"
+        write_partition(path, frame)
+        with pytest.raises(PermanentStorageError):
+            read_partition(path)
+
+    def test_unknown_format_is_permanent(self, tmp_path, frame):
+        with pytest.raises(PermanentStorageError):
+            write_partition(tmp_path / "p0.parquet", frame)
+        with pytest.raises(PermanentStorageError):
+            read_partition(tmp_path / "p0.parquet")
+
+
+class TestCatalogContext:
+    def test_table_read_attaches_context_and_chains(self, catalog,
+                                                    tmp_path):
+        """The catalog re-raises the *same class* with table name,
+        partition index, and path attached, original error chained."""
+        meta = catalog.table("sales")
+        victim = meta.files[2]
+        from pathlib import Path
+        payload = Path(victim).read_bytes()
+        Path(victim).unlink()  # simulate a mid-move partition
+        try:
+            with pytest.raises(TransientStorageError) as info:
+                meta.read_partition(2)
+            exc = info.value
+            assert exc.table == "sales"
+            assert exc.partition == 2
+            assert exc.path == str(victim)
+            assert isinstance(exc.__cause__, TransientStorageError)
+            assert "sales" in str(exc) and "partition 2" in str(exc)
+        finally:
+            Path(victim).write_bytes(payload)
+
+    def test_out_of_range_partition_is_permanent(self, catalog):
+        meta = catalog.table("sales")
+        with pytest.raises(PermanentStorageError) as info:
+            meta.read_partition(meta.n_partitions)
+        assert info.value.table == "sales"
+
+    def test_catalog_load_missing_is_transient(self, tmp_path):
+        with pytest.raises(TransientStorageError):
+            Catalog.load(tmp_path / "catalog.json")
+
+    def test_catalog_load_corrupt_is_permanent(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        path.write_text("{not json")
+        with pytest.raises(PermanentStorageError):
+            Catalog.load(path)
+
+    def test_catalog_roundtrip_still_works(self, catalog, tmp_path):
+        path = tmp_path / "cat.json"
+        catalog.save(path)
+        loaded = Catalog.load(path)
+        assert loaded.names() == catalog.names()
+        assert json.loads(path.read_text())["tables"]

@@ -1,0 +1,140 @@
+"""Chaos parity: TPC-H under injected faults.
+
+The fault-tolerance contract is exact, not approximate: a query that
+recovers from transient partition-read failures must produce the
+**byte-identical snapshot sequence** of a fault-free run (same
+snapshots, same progress, same column bytes — retried partitions are
+read once, never skipped, never double-counted).  Skip-and-degrade mode
+is equally exact: the degraded final equals the fault-free final over
+the catalog *minus precisely the quarantined partitions*.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import WakeContext
+from repro.service import FairShareScheduler, RetryPolicy, SessionState
+from repro.storage import Catalog
+from repro.testing import FaultInjector
+from repro.tpch.queries import QUERIES
+from tests.tpch.utils import assert_sequences_byte_identical
+
+#: A scan-heavy spread: aggregate (1), join pipeline (3), selective
+#: filter + pruning (6), join + conditional aggregate (14).
+CHAOS_QUERIES = [1, 3, 6, 14]
+
+#: Millisecond backoff so retries don't slow the blocking tier.
+POLICY = RetryPolicy(max_attempts=4, backoff_base=0.0005,
+                     backoff_max=0.002)
+
+
+def _plan(ctx, number):
+    return QUERIES[number].build_plan(ctx)
+
+
+@pytest.fixture(scope="module")
+def baselines(tpch):
+    catalog, _tables = tpch
+    out = {}
+    for number in CHAOS_QUERIES:
+        ctx = WakeContext(catalog)
+        out[number] = ctx.run(_plan(ctx, number))
+    return out
+
+
+@pytest.mark.parametrize("number", CHAOS_QUERIES)
+def test_transient_chaos_is_byte_identical(number, tpch, baselines):
+    catalog, _tables = tpch
+    injector = FaultInjector(seed=number, transient_rate=0.3,
+                            fault_times=2)
+    injector.plan_fault("lineitem", 0, times=2)  # ≥1 fault guaranteed
+    ctx = WakeContext(injector.wrap_catalog(catalog))
+    scheduler = FairShareScheduler(retry=POLICY)
+    session = scheduler.submit(
+        ctx.executor_for(_plan(ctx, number)), name=f"q{number:02d}"
+    )
+    scheduler.run_until_idle()
+    assert injector.injected, "chaos test injected no faults"
+    assert session.state is SessionState.DONE
+    assert session.retries_used >= 2
+    assert session.degraded() is None
+    assert_sequences_byte_identical(
+        session.executor.edf, baselines[number],
+        f"q{number:02d} under chaos",
+    )
+
+
+def test_concurrent_chaos_sessions_stay_byte_identical(tpch, baselines):
+    """Two faulting queries time-sliced through one scheduler: each
+    retries independently and both match their fault-free baselines."""
+    catalog, _tables = tpch
+    scheduler = FairShareScheduler(retry=POLICY)
+    sessions = {}
+    for number in (1, 6):
+        injector = FaultInjector(seed=100 + number, transient_rate=0.4,
+                                 fault_times=2)
+        injector.plan_fault("lineitem", 1, times=2)
+        ctx = WakeContext(injector.wrap_catalog(catalog))
+        sessions[number] = scheduler.submit(
+            ctx.executor_for(_plan(ctx, number)), name=f"q{number}"
+        )
+    scheduler.run_until_idle()
+    for number, session in sessions.items():
+        assert session.state is SessionState.DONE
+        assert_sequences_byte_identical(
+            session.executor.edf, baselines[number],
+            f"q{number:02d} concurrent chaos",
+        )
+
+
+def _without_partitions(catalog, table, skipped):
+    meta = catalog.table(table)
+    keep = [i for i in range(meta.n_partitions) if i not in skipped]
+    reduced = dataclasses.replace(
+        meta,
+        files=tuple(meta.files[i] for i in keep),
+        tuple_counts=tuple(meta.tuple_counts[i] for i in keep),
+        stats=(tuple(meta.stats[i] for i in keep)
+               if meta.stats is not None else None),
+    )
+    tables = dict(catalog.tables)
+    tables[table] = reduced
+    return Catalog(tables=tables, root=catalog.root)
+
+
+def test_skip_mode_degraded_final_is_exact_minus_quarantined(tpch):
+    """Skip-and-degrade on q06: permanent faults on two lineitem
+    partitions quarantine them; the degraded final equals the fault-free
+    final computed over the catalog without exactly those partitions."""
+    catalog, _tables = tpch
+    skipped = {2, 5}
+    injector = FaultInjector()
+    for index in skipped:
+        injector.plan_fault("lineitem", index, kind="permanent")
+    policy = RetryPolicy(max_attempts=1, backoff_base=0.0,
+                         on_partition_error="skip")
+    ctx = WakeContext(injector.wrap_catalog(catalog))
+    scheduler = FairShareScheduler(retry=policy)
+    session = scheduler.submit(ctx.executor_for(_plan(ctx, 6)),
+                               name="q06-degraded")
+    scheduler.run_until_idle()
+    assert session.state is SessionState.DONE
+    degraded = session.degraded()
+    assert degraded is not None
+    meta = catalog.table("lineitem")
+    assert degraded["rows_lost"] == sum(
+        meta.tuple_counts[i] for i in skipped
+    )
+    assert {p["index"] for p in degraded["partitions"]} == skipped
+    reduced_ctx = WakeContext(
+        _without_partitions(catalog, "lineitem", skipped)
+    )
+    expected = reduced_ctx.run(_plan(reduced_ctx, 6)).get_final()
+    got = session.executor.edf.get_final()
+    assert tuple(got.column_names) == tuple(expected.column_names)
+    for name in expected.column_names:
+        assert (got.column(name).tobytes()
+                == expected.column(name).tobytes()), (
+            f"degraded q06 column {name!r} != reduced-catalog run"
+        )

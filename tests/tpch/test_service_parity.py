@@ -14,6 +14,7 @@ import pytest
 from repro import WakeContext
 from repro.service import FairShareScheduler, SessionState
 from repro.tpch.queries import QUERIES
+from tests.tpch.utils import assert_sequences_byte_identical
 
 #: Same laptop-scale parameter overrides as test_queries.py.
 OVERRIDES = {11: {"fraction": 0.005}, 18: {"threshold": 150}}
@@ -25,23 +26,6 @@ BATCHES = [tuple(range(n, min(n + 4, 23))) for n in range(1, 23, 4)]
 def _plan(ctx, number):
     query = QUERIES[number]
     return query.build_plan(ctx, **OVERRIDES.get(number, {}))
-
-
-def assert_sequences_byte_identical(got, expected, label):
-    assert len(got) == len(expected), (
-        f"{label}: {len(got)} snapshots vs {len(expected)}"
-    )
-    for a, b in zip(got.snapshots, expected.snapshots):
-        assert a.sequence == b.sequence, label
-        assert a.t == b.t, label
-        assert dict(a.progress.done) == dict(b.progress.done), label
-        assert tuple(a.frame.column_names) == \
-            tuple(b.frame.column_names), label
-        for name in a.frame.column_names:
-            assert (a.frame.column(name).tobytes()
-                    == b.frame.column(name).tobytes()), (
-                f"{label}: column {name!r} drifted under the scheduler"
-            )
 
 
 @pytest.fixture(scope="module")

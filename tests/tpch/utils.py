@@ -30,3 +30,22 @@ def assert_frames_close(
             )
         else:
             assert a.tolist() == b.tolist(), f"column {name!r} differs"
+
+
+def assert_sequences_byte_identical(got, expected, label):
+    """Assert two edf snapshot sequences match snapshot-for-snapshot,
+    byte-for-byte (sequence numbers, t, progress, and column bytes)."""
+    assert len(got) == len(expected), (
+        f"{label}: {len(got)} snapshots vs {len(expected)}"
+    )
+    for a, b in zip(got.snapshots, expected.snapshots):
+        assert a.sequence == b.sequence, label
+        assert a.t == b.t, label
+        assert dict(a.progress.done) == dict(b.progress.done), label
+        assert tuple(a.frame.column_names) == \
+            tuple(b.frame.column_names), label
+        for name in a.frame.column_names:
+            assert (a.frame.column(name).tobytes()
+                    == b.frame.column(name).tobytes()), (
+                f"{label}: column {name!r} drifted"
+            )
