@@ -22,7 +22,11 @@ from repro.engine.executor import (
 )
 from repro.engine.graph import QueryGraph
 from repro.engine.ops import ReadOperator
-from repro.engine.planner import pushdown_plan, shard_plan
+from repro.engine.optimizer import (
+    OptimizerTrace,
+    build_optimizer,
+    validate_rule_names,
+)
 from repro.storage.catalog import Catalog, TableMeta
 from repro.api.frame_api import EdfFrame, PlanNode
 
@@ -43,6 +47,8 @@ class WakeContext:
         sketch_size: int = DEFAULT_SKETCH_SIZE,
         parallelism: int = 1,
         pushdown: bool = True,
+        optimize: bool = True,
+        optimizer_disable: Sequence[str] = (),
     ) -> None:
         if executor not in _EXECUTORS:
             raise QueryError(
@@ -85,10 +91,22 @@ class WakeContext:
         #: Both are semantically invisible — finals and snapshot ``t``
         #: sequences are byte-identical with pushdown off.
         self.pushdown = pushdown
+        #: Master switch for the plan-rewrite optimizer (default on).
+        #: ``False`` submits plans exactly as written — every rewrite
+        #: rule is off; the exchange rewrite still honors an explicit
+        #: ``parallelism`` (a resource request, not an optimization).
+        self.optimize = optimize
+        #: Individual rule names to disable (see
+        #: ``repro.engine.optimizer.RULE_NAMES``) — the per-rule escape
+        #: hatch; validated eagerly so typos fail at session setup.
+        self.optimizer_disable = validate_rule_names(optimizer_disable)
         #: When set, every table is read in a seed-derived shuffled
         #: partition order (the §8.5 out-of-order-input experiment).
         self.partition_shuffle_seed = partition_shuffle_seed
         self.last_executor: SyncExecutor | ThreadedExecutor | None = None
+        #: Trace of the most recent submit's optimization (rule → nodes
+        #: rewritten, pass count, plan hash).
+        self.last_trace: OptimizerTrace | None = None
         self._scan_counts: dict[str, int] = {}
 
     @classmethod
@@ -145,19 +163,26 @@ class WakeContext:
         frame: EdfFrame,
         parallelism: int | None,
         pushdown: bool | None = None,
+        optimize: bool | None = None,
     ) -> tuple[QueryGraph, int]:
-        """Instantiate the plan, push scans down, apply the shard rewrite."""
+        """Instantiate the plan and run the rule optimizer over it
+        (logical rules to fixed point, then pushdowns and the shard
+        rewrite).  The per-submit trace lands in :attr:`last_trace`."""
         graph = QueryGraph()
         output = frame.plan.materialize(graph, {})
-        push = self.pushdown if pushdown is None else pushdown
-        if push:
-            graph, output = pushdown_plan(graph, output)
         shards = self.parallelism if parallelism is None else parallelism
         if shards < 1:
             raise QueryError(
                 f"parallelism must be >= 1, got {shards}"
             )
-        return shard_plan(graph, output, shards)
+        optimizer = build_optimizer(
+            parallelism=shards,
+            pushdown=self.pushdown if pushdown is None else pushdown,
+            optimize=self.optimize if optimize is None else optimize,
+            disable=self.optimizer_disable,
+        )
+        graph, output, self.last_trace = optimizer.optimize(graph, output)
+        return graph, output
 
     def run(
         self,
@@ -168,6 +193,7 @@ class WakeContext:
         source_delay: float = 0.0,
         parallelism: int | None = None,
         pushdown: bool | None = None,
+        optimize: bool | None = None,
     ) -> EvolvingDataFrame:
         """Execute a plan, returning its evolving output.
 
@@ -176,9 +202,12 @@ class WakeContext:
         exact final answer (``capture_all=False``).  ``parallelism``
         overrides the session shard count for this run (K > 1 shards
         stateful shuffle subplans into K hash-partitioned replicas);
-        ``pushdown`` overrides the session's scan-pushdown setting.
+        ``pushdown`` overrides the session's scan-pushdown setting and
+        ``optimize`` the session's optimizer switch.
         """
-        graph, output = self._materialize(frame, parallelism, pushdown)
+        graph, output = self._materialize(
+            frame, parallelism, pushdown, optimize
+        )
         which = executor or self.executor
         capture = self.capture_all if capture_all is None else capture_all
         if which == "sync":
@@ -208,6 +237,7 @@ class WakeContext:
         source_delay: float = 0.0,
         parallelism: int | None = None,
         pushdown: bool | None = None,
+        optimize: bool | None = None,
     ):
         """Execute on the threaded engine, *yielding* snapshots live.
 
@@ -216,7 +246,9 @@ class WakeContext:
         progressive visualization)").  The generator ends with the exact
         final snapshot.
         """
-        graph, output = self._materialize(frame, parallelism, pushdown)
+        graph, output = self._materialize(
+            frame, parallelism, pushdown, optimize
+        )
         engine = ThreadedExecutor(
             graph, output, capture_all=True,
             record_timeline=record_timeline,
@@ -232,6 +264,7 @@ class WakeContext:
         record_timeline: bool = False,
         parallelism: int | None = None,
         pushdown: bool | None = None,
+        optimize: bool | None = None,
     ) -> StepExecutor:
         """A resumable :class:`StepExecutor` over the materialized plan
         (after pushdown and the shard rewrite) — the unit the
@@ -239,7 +272,9 @@ class WakeContext:
         ``step()`` consumes one source partition; stepping to
         completion yields snapshot sequences byte-identical to
         :meth:`run` on the sync executor."""
-        graph, output = self._materialize(frame, parallelism, pushdown)
+        graph, output = self._materialize(
+            frame, parallelism, pushdown, optimize
+        )
         capture = self.capture_all if capture_all is None else capture_all
         return StepExecutor(
             graph, output, capture_all=capture,
@@ -248,14 +283,18 @@ class WakeContext:
 
     def explain(self, frame: EdfFrame,
                 parallelism: int | None = None,
-                pushdown: bool | None = None) -> str:
+                pushdown: bool | None = None,
+                optimize: bool | None = None) -> str:
         """Human-readable plan: node names, deliveries, schemas (after
-        the pushdown pass and, when parallelism > 1, the shard rewrite).
+        the optimizer has run), followed by the optimizer trace —
+        rule name → nodes rewritten — and the canonical plan hash.
 
         Scan nodes additionally render their pushed-down projection
         (``columns=[...]``), pushed predicates, and how many partitions
         the zone maps prune (``prune=k/n``)."""
-        graph, output = self._materialize(frame, parallelism, pushdown)
+        graph, output = self._materialize(
+            frame, parallelism, pushdown, optimize
+        )
         infos = graph.resolve()
         lines = []
         for nid in sorted(graph.nodes):
@@ -291,4 +330,6 @@ class WakeContext:
                     )
                 if details:
                     lines.append("      scan " + " ".join(details))
+        if self.last_trace is not None:
+            lines.extend(self.last_trace.render())
         return "\n".join(lines)

@@ -251,12 +251,22 @@ class EdfFrame:
             (self._plan, other._plan),
         )
 
-    def agg(self, *aggs: AggExpr, by: Sequence[str] = (),
+    def agg(self, *aggs: "AggExpr | dict", by: Sequence[str] = (),
             ci: bool | None = None,
             growth: str = "fitted",
             quantile_mode: str | None = None,
             sketch_size: int | None = None) -> "EdfFrame":
         """Aggregate (optionally grouped).
+
+        Each positional argument is an :class:`AggExpr` (the ``F``
+        namespace) or a pandas-style multi-spec dict mapping column →
+        aggregate name or list of names::
+
+            frame.agg({"qty": ["sum", "mean"], "price": "max"},
+                      by=["region"])
+
+        Dict entries get the default ``<agg>_<column>`` aliases; synonym
+        names (``std``, ``mean``, ``nunique``) are accepted.
 
         ``ci=True`` attaches §6 confidence-interval sigma columns
         (defaults to the context's CI setting).  ``growth`` selects the
@@ -268,9 +278,22 @@ class EdfFrame:
         reservoir of ``sketch_size`` values per group, approximate);
         defaults to the context's setting.
         """
-        if not aggs:
+        exprs: list[AggExpr] = []
+        for item in aggs:
+            if isinstance(item, dict):
+                for column, fns in item.items():
+                    names = [fns] if isinstance(fns, str) else list(fns)
+                    if not names:
+                        raise QueryError(
+                            f"agg dict entry {column!r} names no "
+                            f"aggregates"
+                        )
+                    exprs.extend(AggExpr(fn, column) for fn in names)
+            else:
+                exprs.append(item)
+        if not exprs:
             raise QueryError("agg requires at least one aggregate")
-        specs = [a.to_spec() for a in aggs]
+        specs = [a.to_spec() for a in exprs]
         name = self._name("agg")
         if ci is None:
             config = self._context.ci
@@ -320,6 +343,36 @@ class EdfFrame:
                        alias: str | None = None) -> "EdfFrame":
         spec = AggExpr("count_distinct", column,
                        alias or f"distinct_{column}")
+        return self.agg(spec, by=by)
+
+    def var(self, column: str, by: Sequence[str] = (),
+            alias: str | None = None) -> "EdfFrame":
+        return self.agg(AggExpr("var", column, alias or f"var_{column}"),
+                        by=by)
+
+    def stddev(self, column: str, by: Sequence[str] = (),
+               alias: str | None = None) -> "EdfFrame":
+        spec = AggExpr("stddev", column, alias or f"stddev_{column}")
+        return self.agg(spec, by=by)
+
+    def sem(self, column: str, by: Sequence[str] = (),
+            alias: str | None = None) -> "EdfFrame":
+        return self.agg(AggExpr("sem", column, alias or f"sem_{column}"),
+                        by=by)
+
+    def prod(self, column: str, by: Sequence[str] = (),
+             alias: str | None = None) -> "EdfFrame":
+        spec = AggExpr("prod", column, alias or f"prod_{column}")
+        return self.agg(spec, by=by)
+
+    def first(self, column: str, by: Sequence[str] = (),
+              alias: str | None = None) -> "EdfFrame":
+        spec = AggExpr("first", column, alias or f"first_{column}")
+        return self.agg(spec, by=by)
+
+    def last(self, column: str, by: Sequence[str] = (),
+             alias: str | None = None) -> "EdfFrame":
+        spec = AggExpr("last", column, alias or f"last_{column}")
         return self.agg(spec, by=by)
 
     def median(self, column: str, by: Sequence[str] = (),

@@ -1,8 +1,14 @@
 """Aggregate expression builders: the ``F`` namespace.
 
-Mirrors the paper's §3.1 grammar::
+Mirrors the paper's §3.1 grammar, extended with the mergeable
+sem/prod/first/last family::
 
-    agg := sum | count | avg | count_distinct | min | max | var | stddev
+    agg := sum | count | avg | count_distinct | min | max
+         | var | stddev | sem | prod | first | last
+         | median | quantile
+
+pandas-style synonyms (``std``, ``mean``, ``nunique``) are accepted and
+normalize to the canonical names at spec construction.
 
 Usage: ``frame.agg(F.sum("l_quantity").alias("sum_qty"), by=["l_orderkey"])``.
 """
@@ -71,6 +77,36 @@ class F:
     @staticmethod
     def stddev(column: str) -> AggExpr:
         return AggExpr("stddev", column)
+
+    # pandas-style synonyms: the raw name is kept for the default alias
+    # (``std_x``), then normalized to the canonical aggregate in AggSpec.
+    @staticmethod
+    def std(column: str) -> AggExpr:
+        return AggExpr("std", column)
+
+    @staticmethod
+    def mean(column: str) -> AggExpr:
+        return AggExpr("mean", column)
+
+    @staticmethod
+    def nunique(column: str) -> AggExpr:
+        return AggExpr("nunique", column)
+
+    @staticmethod
+    def sem(column: str) -> AggExpr:
+        return AggExpr("sem", column)
+
+    @staticmethod
+    def prod(column: str) -> AggExpr:
+        return AggExpr("prod", column)
+
+    @staticmethod
+    def first(column: str) -> AggExpr:
+        return AggExpr("first", column)
+
+    @staticmethod
+    def last(column: str) -> AggExpr:
+        return AggExpr("last", column)
 
     @staticmethod
     def median(column: str) -> AggExpr:

@@ -54,6 +54,13 @@ def _add_run(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--no-pushdown", action="store_true",
                    help="disable scan pushdown (projection + zone-map "
                         "partition pruning)")
+    p.add_argument("--no-optimize", action="store_true",
+                   help="disable every plan-rewrite rule (the plan runs "
+                        "exactly as written)")
+    p.add_argument("--disable-rule", action="append", default=[],
+                   metavar="RULE",
+                   help="disable one optimizer rule by name "
+                        "(repeatable; see repro.engine.RULE_NAMES)")
 
 
 def _add_explain(sub: argparse._SubParsersAction) -> None:
@@ -65,6 +72,12 @@ def _add_explain(sub: argparse._SubParsersAction) -> None:
                    help="show the plan after the shard rewrite")
     p.add_argument("--no-pushdown", action="store_true",
                    help="show the plan without scan pushdown")
+    p.add_argument("--no-optimize", action="store_true",
+                   help="show the plan with every rewrite rule off")
+    p.add_argument("--disable-rule", action="append", default=[],
+                   metavar="RULE",
+                   help="disable one optimizer rule by name "
+                        "(repeatable)")
 
 
 def _add_stats(sub: argparse._SubParsersAction) -> None:
@@ -152,7 +165,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     ctx = WakeContext.from_catalog(args.catalog,
                                    executor=args.executor,
                                    parallelism=args.parallelism,
-                                   pushdown=not args.no_pushdown)
+                                   pushdown=not args.no_pushdown,
+                                   optimize=not args.no_optimize,
+                                   optimizer_disable=args.disable_rule)
     query = QUERIES[args.query]
     overrides = _parse_overrides(args.param)
     plan = query.build_plan(ctx, **overrides)
@@ -175,7 +190,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_explain(args: argparse.Namespace) -> int:
     ctx = WakeContext.from_catalog(args.catalog,
-                                   pushdown=not args.no_pushdown)
+                                   pushdown=not args.no_pushdown,
+                                   optimize=not args.no_optimize,
+                                   optimizer_disable=args.disable_rule)
     query = QUERIES[args.query]
     print(ctx.explain(query.build_plan(ctx),
                       parallelism=args.parallelism))

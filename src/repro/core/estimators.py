@@ -72,6 +72,20 @@ def estimate_variance(count: np.ndarray, total: np.ndarray,
     return var
 
 
+def estimate_sem(count: np.ndarray, total: np.ndarray,
+                 sumsq: np.ndarray) -> np.ndarray:
+    """Standard error of the mean from the variance triple.
+
+    ``sqrt(s² / n)`` with the ddof-1 sample variance — pandas ``sem``
+    semantics.  Like variance, a weighted-average-like aggregate: no
+    growth scaling, converges to the exact value at t = 1.
+    """
+    count = np.asarray(count, dtype=np.float64)
+    var = estimate_variance(count, total, sumsq)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.sqrt(var / np.maximum(count, 1.0))
+
+
 # ---------------------------------------------------------------------------
 # Count-distinct: finite-population method-of-moments (Eq. 6-7)
 # ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.core.estimators import (
     estimate_count,
     estimate_count_distinct,
     estimate_order_statistic,
+    estimate_sem,
     estimate_sum,
     estimate_variance,
 )
@@ -169,6 +170,27 @@ class AggregateInference:
             if agg == "stddev":
                 with np.errstate(invalid="ignore"):
                     estimate = np.sqrt(estimate)
+            sigma = np.full_like(estimate, np.nan) if want_ci else None
+            return estimate, sigma
+
+        if agg == "sem":
+            count = mergeable.read(intrinsic, "count")
+            total = mergeable.read(intrinsic, "sum")
+            sumsq = mergeable.read(intrinsic, "sumsq")
+            estimate = estimate_sem(count, total, sumsq)
+            # Interval estimation for a dispersion statistic is out of
+            # scope (same stance as var/stddev).
+            sigma = np.full_like(estimate, np.nan) if want_ci else None
+            return estimate, sigma
+
+        if agg in ("prod", "first", "last"):
+            # Raw merged values, no growth scaling: scaling a running
+            # product by a cardinality ratio has no unbiasedness story
+            # (the estimate would grow exponentially in group size), and
+            # first/last are point observations that only settle/track —
+            # all three converge to the exact answer at t = 1.
+            raw = mergeable.read(intrinsic, agg)
+            estimate = np.asarray(raw, dtype=np.float64)
             sigma = np.full_like(estimate, np.nan) if want_ci else None
             return estimate, sigma
 

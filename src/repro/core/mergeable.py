@@ -3,17 +3,19 @@
 Every aggregate ``op`` admits a state representation and a merge operation
 ⊎ such that ``op(δ1 ∪ δ2) = op(δ1) ⊎ op(δ2)``:
 
-=================  ===========================  ===============
-aggregate          intrinsic representation      merge
-=================  ===========================  ===============
-count              count by key                  sum by key
-sum                sum by key                    sum by key
-avg                (sum, count) by key           sum by key
-min / max          min / max by key              min / max by key
-var / stddev       (count, sum, sumsq) by key    sum by key
-count_distinct     exact value set by key        set union by key
-median / quantile  exact value multiset by key   multiset union
-=================  ===========================  ===============
+==================  ===========================  =================
+aggregate           intrinsic representation      merge
+==================  ===========================  =================
+count               count by key                  sum by key
+sum                 sum by key                    sum by key
+avg                 (sum, count) by key           sum by key
+min / max           min / max by key              min / max by key
+var / stddev / sem  (count, sum, sumsq) by key    sum by key
+prod                product by key                product by key
+first / last        first/last non-NaN by key     keep/replace
+count_distinct      exact value set by key        set union by key
+median / quantile   exact value multiset by key   multiset union
+==================  ===========================  =================
 
 Variance keeps raw sums-of-squares (rather than centered m2) so that *all*
 numeric merges reduce to elementwise sum/min/max after a key-based
@@ -40,8 +42,11 @@ from repro.dataframe.frame import DataFrame
 from repro.dataframe.groupby import (
     AggSpec,
     group_count,
+    group_first_valid,
+    group_last_valid,
     group_max,
     group_min,
+    group_prod,
     group_sum,
 )
 from repro.core.orderstat import DEFAULT_SKETCH_SIZE, OrderStatState
@@ -55,10 +60,11 @@ class StateColumn:
     """One physical intrinsic-state column and its merge function."""
 
     name: str
-    merge: str  # "sum" | "min" | "max"
+    merge: str  # "sum" | "min" | "max" | "prod" | "first" | "last"
 
     def __post_init__(self) -> None:
-        if self.merge not in ("sum", "min", "max"):
+        if self.merge not in ("sum", "min", "max", "prod", "first",
+                              "last"):
             raise QueryError(f"unknown merge function {self.merge!r}")
 
 
@@ -131,12 +137,18 @@ class MergeableAggregate:
             return (StateColumn(self._name("min"), "min"),)
         if agg == "max":
             return (StateColumn(self._name("max"), "max"),)
-        if agg in ("var", "stddev"):
+        if agg in ("var", "stddev", "sem"):
             return (
                 StateColumn(self._name("count"), "sum"),
                 StateColumn(self._name("sum"), "sum"),
                 StateColumn(self._name("sumsq"), "sum"),
             )
+        if agg == "prod":
+            return (StateColumn(self._name("prod"), "prod"),)
+        if agg == "first":
+            return (StateColumn(self._name("first"), "first"),)
+        if agg == "last":
+            return (StateColumn(self._name("last"), "last"),)
         if agg == "count_distinct":
             return ()  # state lives in the distinct-pairs frame
         if agg in ("median", "quantile"):
@@ -188,13 +200,23 @@ class MergeableAggregate:
             out[self._name("min")] = group_min(codes, n_groups, as_float)
         elif agg == "max":
             out[self._name("max")] = group_max(codes, n_groups, as_float)
-        elif agg in ("var", "stddev"):
+        elif agg in ("var", "stddev", "sem"):
             out[self._name("count")] = group_count(
                 codes, n_groups, valid=~np.isnan(as_float)
             ).astype(np.float64)
             out[self._name("sum")] = group_sum(codes, n_groups, as_float)
             out[self._name("sumsq")] = group_sum(
                 codes, n_groups, as_float * as_float
+            )
+        elif agg == "prod":
+            out[self._name("prod")] = group_prod(codes, n_groups, as_float)
+        elif agg == "first":
+            out[self._name("first")] = group_first_valid(
+                codes, n_groups, as_float
+            )
+        elif agg == "last":
+            out[self._name("last")] = group_last_valid(
+                codes, n_groups, as_float
             )
         else:
             raise QueryError(f"unsupported aggregate {agg!r}")

@@ -99,7 +99,11 @@ class IntrinsicStore:
 
 def _identity_fill(merge: str, n: int) -> np.ndarray:
     """Merge-identity values for freshly-allocated state slots."""
-    return np.zeros(n) if merge == "sum" else np.full(n, np.nan)
+    if merge == "sum":
+        return np.zeros(n)
+    if merge == "prod":
+        return np.ones(n)
+    return np.full(n, np.nan)  # min/max/first/last: no value seen yet
 
 
 class GroupedAggregateState:
@@ -253,17 +257,32 @@ class GroupedAggregateState:
     ) -> None:
         """Fold one per-slot partial array into the accumulator in place.
 
-        ``sum`` columns add elementwise (absent slots contribute 0);
-        ``min``/``max`` columns reduce only over slots present in this
-        partial (NaN from genuine NaN input values still propagates, as
-        the concat-and-regroup strategy did)."""
+        ``sum``/``prod`` columns combine elementwise (absent slots carry
+        the identity 0 / 1); ``min``/``max`` columns reduce only over
+        slots present in this partial (NaN from genuine NaN input values
+        still propagates, as the concat-and-regroup strategy did);
+        ``first`` keeps the accumulator once it holds a non-NaN value,
+        ``last`` overwrites with the partial's value wherever the partial
+        saw one — both in message-arrival order, matching pandas
+        first/last over rows in encounter order."""
         acc = self._state[column.name]
         if column.merge == "sum":
             acc += part
             return
-        reducer = np.minimum if column.merge == "min" else np.maximum
+        if column.merge == "prod":
+            acc *= part
+            return
         acc[old_n:] = part[old_n:]  # new slots: first observation wins
         head = acc[:old_n]
+        if column.merge == "first":
+            take = np.isnan(head) & ~np.isnan(part[:old_n])
+            head[take] = part[:old_n][take]
+            return
+        if column.merge == "last":
+            take = ~np.isnan(part[:old_n])
+            head[take] = part[:old_n][take]
+            return
+        reducer = np.minimum if column.merge == "min" else np.maximum
         head[present] = reducer(head[present], part[:old_n][present])
 
     def consume_snapshot(self, frame: DataFrame) -> None:

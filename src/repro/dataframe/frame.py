@@ -219,6 +219,42 @@ class DataFrame:
         }
         return DataFrame(data, schema=first.schema)
 
+    # -- aggregation ------------------------------------------------------------
+    def aggregate(
+        self,
+        spec: Mapping[str, "str | Sequence[str]"],
+        by: Sequence[str] = (),
+    ) -> "DataFrame":
+        """Eager pandas-style aggregation over this frame.
+
+        ``spec`` maps column → aggregate name or list of names (synonyms
+        ``std``/``mean``/``nunique`` accepted); output aliases follow the
+        ``<agg>_<column>`` convention.  With ``by`` this is an exact
+        one-shot group-by; without, a single global row.  This is the
+        materialized counterpart of the streaming ``EdfFrame.agg`` — the
+        two agree on the final snapshot for every mergeable aggregate.
+        """
+        # Local import: groupby imports DataFrame at module load.
+        from repro.dataframe.groupby import (
+            AggSpec,
+            global_aggregate,
+            group_aggregate,
+        )
+
+        specs = []
+        for column, fns in spec.items():
+            names = [fns] if isinstance(fns, str) else list(fns)
+            if not names:
+                raise SchemaError(
+                    f"aggregate entry {column!r} names no aggregates"
+                )
+            specs.extend(
+                AggSpec(fn, column, f"{fn}_{column}") for fn in names
+            )
+        if by:
+            return group_aggregate(self, list(by), specs)
+        return global_aggregate(self, specs)
+
     # -- conversion / inspection --------------------------------------------------
     def to_pydict(self) -> dict[str, list]:
         return {n: arr.tolist() for n, arr in self._columns.items()}

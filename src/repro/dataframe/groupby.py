@@ -25,7 +25,8 @@ from repro.dataframe.frame import DataFrame
 from repro.dataframe.schema import AttributeKind, Field, Schema, dtype_of
 
 #: Aggregate function names accepted across the library (paper §3.1
-#: grammar plus the §5.3 order statistics median/quantile).
+#: grammar plus the §5.3 order statistics median/quantile and the
+#: mergeable extensions sem/prod/first/last).
 AGG_FUNCTIONS = (
     "sum",
     "count",
@@ -35,9 +36,22 @@ AGG_FUNCTIONS = (
     "max",
     "var",
     "stddev",
+    "sem",
+    "prod",
+    "first",
+    "last",
     "median",
     "quantile",
 )
+
+#: pandas-style synonyms, normalized at AggSpec construction so every
+#: downstream layer (state, inference, plan hashing) sees one canonical
+#: name — ``F.std(x)`` and ``F.stddev(x)`` build α-equivalent plans.
+AGG_SYNONYMS = {
+    "std": "stddev",
+    "mean": "avg",
+    "nunique": "count_distinct",
+}
 
 
 @dataclass(frozen=True)
@@ -46,7 +60,8 @@ class AggSpec:
 
     ``column`` may be ``None`` only for ``count`` (row count).
     ``param`` carries the quantile fraction for ``quantile`` (median is
-    ``quantile`` with param 0.5).
+    ``quantile`` with param 0.5).  Synonym names (``std``, ``mean``,
+    ``nunique``) normalize to their canonical form on construction.
     """
 
     agg: str
@@ -55,6 +70,8 @@ class AggSpec:
     param: float | None = None
 
     def __post_init__(self) -> None:
+        if self.agg in AGG_SYNONYMS:
+            object.__setattr__(self, "agg", AGG_SYNONYMS[self.agg])
         if self.agg not in AGG_FUNCTIONS:
             raise QueryError(
                 f"unknown aggregate {self.agg!r}; expected one of "
@@ -322,6 +339,61 @@ def group_max(codes: np.ndarray, n_groups: int,
     return _segment_reduce(codes, n_groups, values, np.maximum, np.nan)
 
 
+def group_prod(codes: np.ndarray, n_groups: int,
+               values: np.ndarray) -> np.ndarray:
+    """Per-group products as float64 (NaN skipped; empty/all-NaN groups
+    yield the multiplicative identity 1.0, pandas semantics)."""
+    vals = values.astype(np.float64, copy=False)
+    out = np.ones(n_groups, dtype=np.float64)
+    valid = ~np.isnan(vals)
+    if not valid.any():
+        return out
+    codes, vals = codes[valid], vals[valid]
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    sorted_vals = vals[order]
+    starts = np.concatenate(
+        ([0], np.flatnonzero(np.diff(sorted_codes)) + 1)
+    )
+    out[sorted_codes[starts]] = np.multiply.reduceat(sorted_vals, starts)
+    return out
+
+
+def _group_edge_valid(
+    codes: np.ndarray, n_groups: int, values: np.ndarray, last: bool
+) -> np.ndarray:
+    """First (or last) non-NaN value per group in row order; NaN for
+    groups with no valid value (pandas ``first``/``last`` semantics)."""
+    vals = values.astype(np.float64, copy=False)
+    out = np.full(n_groups, np.nan, dtype=np.float64)
+    valid = ~np.isnan(vals)
+    if not valid.any():
+        return out
+    codes, vals = codes[valid], vals[valid]
+    order = np.argsort(codes, kind="stable")  # stable: row order in group
+    sorted_codes = codes[order]
+    sorted_vals = vals[order]
+    starts = np.concatenate(
+        ([0], np.flatnonzero(np.diff(sorted_codes)) + 1)
+    )
+    if last:
+        ends = np.concatenate((starts[1:], [len(sorted_codes)])) - 1
+        out[sorted_codes[starts]] = sorted_vals[ends]
+    else:
+        out[sorted_codes[starts]] = sorted_vals[starts]
+    return out
+
+
+def group_first_valid(codes: np.ndarray, n_groups: int,
+                      values: np.ndarray) -> np.ndarray:
+    return _group_edge_valid(codes, n_groups, values, last=False)
+
+
+def group_last_valid(codes: np.ndarray, n_groups: int,
+                     values: np.ndarray) -> np.ndarray:
+    return _group_edge_valid(codes, n_groups, values, last=True)
+
+
 def group_var_components(
     codes: np.ndarray, n_groups: int, values: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -331,7 +403,13 @@ def group_var_components(
     (count, sum, m2) triples combine with the Chan et al. parallel update.
     """
     vals = values.astype(np.float64, copy=False)
-    count = group_count(codes, n_groups).astype(np.float64)
+    # Count only non-NaN values: sum/sumsq skip NaN (SQL-style), so a raw
+    # row count would understate the variance of NaN-bearing groups and
+    # disagree with the streaming mergeable state (which always counts
+    # valid values only).
+    count = group_count(codes, n_groups, valid=~np.isnan(vals)).astype(
+        np.float64
+    )
     total = group_sum(codes, n_groups, vals)
     sumsq = group_sum(codes, n_groups, vals * vals)
     with np.errstate(invalid="ignore", divide="ignore"):
@@ -461,11 +539,19 @@ def _evaluate_spec(
         return group_max(codes, n_groups, values)
     if spec.agg == "count_distinct":
         return group_nunique(codes, n_groups, values)
-    if spec.agg in ("var", "stddev"):
+    if spec.agg in ("var", "stddev", "sem"):
         count, _total, m2 = group_var_components(codes, n_groups, values)
         with np.errstate(invalid="ignore", divide="ignore"):
             var = np.where(count > 1, m2 / np.maximum(count - 1, 1), np.nan)
+            if spec.agg == "sem":
+                return np.sqrt(var / np.maximum(count, 1))
         return np.sqrt(var) if spec.agg == "stddev" else var
+    if spec.agg == "prod":
+        return group_prod(codes, n_groups, values)
+    if spec.agg == "first":
+        return group_first_valid(codes, n_groups, values)
+    if spec.agg == "last":
+        return group_last_valid(codes, n_groups, values)
     if spec.agg in ("median", "quantile"):
         return group_quantile(codes, n_groups, values,
                               spec.quantile_fraction)

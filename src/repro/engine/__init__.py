@@ -1,5 +1,5 @@
-"""Execution engine: query graph, message protocol, executors, and the
-shard-plan rewrite (paper §7)."""
+"""Execution engine: query graph, message protocol, executors, the
+plan-rewrite optimizer, and canonical plan hashing (paper §7)."""
 
 from repro.engine.executor import (
     StepExecutor,
@@ -9,16 +9,29 @@ from repro.engine.executor import (
 )
 from repro.engine.graph import Node, QueryGraph
 from repro.engine.message import Eof, Message
-from repro.engine.planner import shard_plan
+from repro.engine.optimizer import (
+    Optimizer,
+    OptimizerTrace,
+    RULE_NAMES,
+    build_optimizer,
+)
+from repro.engine.plan_node import plan_hash
+from repro.engine.planner import pushdown_plan, shard_plan
 
 __all__ = [
     "Eof",
     "Message",
     "Node",
+    "Optimizer",
+    "OptimizerTrace",
     "QueryGraph",
+    "RULE_NAMES",
     "StepExecutor",
     "SyncExecutor",
     "ThreadedExecutor",
     "TimelineEvent",
+    "build_optimizer",
+    "plan_hash",
+    "pushdown_plan",
     "shard_plan",
 ]

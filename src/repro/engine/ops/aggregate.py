@@ -46,6 +46,10 @@ _AGG_DTYPE = {
     "max": DType.FLOAT64,
     "var": DType.FLOAT64,
     "stddev": DType.FLOAT64,
+    "sem": DType.FLOAT64,
+    "prod": DType.FLOAT64,
+    "first": DType.FLOAT64,
+    "last": DType.FLOAT64,
     "count_distinct": DType.FLOAT64,
     "median": DType.FLOAT64,
     "quantile": DType.FLOAT64,

@@ -1,0 +1,315 @@
+"""Canonical structural plan forms and stable plan hashing.
+
+The optimizer (``repro.engine.optimizer``) needs two related notions of
+"the same plan":
+
+* **strict structural equality** — two nodes compute byte-identical
+  message streams when fed the same inputs.  This is what common-subplan
+  elimination may merge.  Operator *names* are excluded (they carry a
+  per-plan counter), but anything that affects output bytes — select
+  output order, aggregate spec order — is kept verbatim.
+* **α-equivalence** — a coarser, order-insensitive form used for
+  :func:`plan_hash`: commuted conjuncts (``a & b`` vs ``b & a``),
+  literal-on-the-left comparisons (``5 < x`` vs ``x > 5``), select
+  rename order, and scan source labels are all normalized away.  Two
+  α-equivalent plans answer the same query, so the hash is a sound cache
+  key for shared-scan / snapshot caching (ROADMAP item 1).
+
+Both are built from one registry of per-operator signature functions
+(:func:`register_signature`), mirroring the planner's required-columns
+registry: an operator type the registry does not know gets a globally
+*unique* opaque signature, so unknown operators can never be merged by
+CSE and two plans containing them can never collide to one hash —
+conservative by construction.
+
+Canonicalization of expressions is bit-exactness-preserving: only
+transforms that cannot change a single output byte are applied (operand
+swaps of commutative ufuncs, flattening of associative boolean chains,
+comparison flips).  Floating-point *re-association* is never performed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Sequence
+
+from repro.dataframe.expr import (
+    BinaryExpr,
+    CaseExpr,
+    Column,
+    Expr,
+    IsInExpr,
+    Literal,
+    StringExpr,
+    SubstrExpr,
+    UnaryExpr,
+    YearExpr,
+)
+from repro.engine.graph import QueryGraph
+from repro.engine.ops import (
+    AggregateOperator,
+    CrossJoinOperator,
+    DistinctOperator,
+    ExchangeOperator,
+    FilterOperator,
+    HashJoinOperator,
+    MapPartitionsOperator,
+    MergeJoinOperator,
+    ReadOperator,
+    SelectOperator,
+    SortLimitOperator,
+    UnionOperator,
+)
+from repro.engine.ops.base import Operator
+
+#: Binary symbols whose numpy kernels are elementwise-commutative, so
+#: swapping operands is bitwise invisible (IEEE-754 + and * commute
+#: exactly; only re-association is lossy, and we never re-associate).
+_COMMUTATIVE = {"+", "*", "==", "!=", "&", "|"}
+
+#: Comparison flips for moving literals to the right-hand side.
+_FLIPPED = {">": "<", ">=": "<=", "<": ">", "<=": ">="}
+
+
+# ---------------------------------------------------------------------------
+# Expression canonicalization
+# ---------------------------------------------------------------------------
+
+def flatten_conjuncts(expr: Expr) -> list[Expr]:
+    """The top-level ``&`` conjuncts of ``expr`` in syntactic order."""
+    if isinstance(expr, BinaryExpr) and expr.symbol == "&":
+        return flatten_conjuncts(expr.left) + flatten_conjuncts(expr.right)
+    return [expr]
+
+
+def canon_expr(expr: Expr) -> tuple:
+    """A hashable canonical form of ``expr``.
+
+    Two expressions with equal canonical forms evaluate to bitwise the
+    same array on every frame: commuted operands of commutative ops,
+    flattened/sorted ``&``/``|`` chains, flipped literal-on-left
+    comparisons, and sorted ``isin`` sets all collapse to one form.
+    Unknown :class:`Expr` subclasses get a unique opaque form (never
+    equal to anything else).
+    """
+    if isinstance(expr, Column):
+        return ("col", expr.name)
+    if isinstance(expr, Literal):
+        value = expr.value
+        return ("lit", type(value).__name__, repr(value))
+    if isinstance(expr, BinaryExpr):
+        symbol = expr.symbol
+        left, right = expr.left, expr.right
+        if symbol in _FLIPPED and isinstance(left, Literal) \
+                and not isinstance(right, Literal):
+            left, right = right, left
+            symbol = _FLIPPED[symbol]
+        if symbol in ("&", "|"):
+            terms = _flatten(expr, symbol)
+            return (symbol, tuple(sorted(canon_expr(t) for t in terms)))
+        lhs, rhs = canon_expr(left), canon_expr(right)
+        if symbol in _COMMUTATIVE and rhs < lhs:
+            lhs, rhs = rhs, lhs
+        return ("bin", symbol, lhs, rhs)
+    if isinstance(expr, UnaryExpr):
+        return ("un", expr.symbol, canon_expr(expr.inner))
+    if isinstance(expr, StringExpr):
+        return ("str", expr.kind, expr.needle, canon_expr(expr.inner))
+    if isinstance(expr, IsInExpr):
+        values = tuple(sorted(repr(v) for v in expr.values))
+        return ("isin", canon_expr(expr.inner), values)
+    if isinstance(expr, YearExpr):
+        return ("year", canon_expr(expr.inner))
+    if isinstance(expr, SubstrExpr):
+        return ("substr", expr.start, expr.length, canon_expr(expr.inner))
+    if isinstance(expr, CaseExpr):
+        return ("case", canon_expr(expr.cond), canon_expr(expr.then),
+                canon_expr(expr.otherwise))
+    return ("opaque-expr", type(expr).__name__, id(expr))
+
+
+def _flatten(expr: Expr, symbol: str) -> list[Expr]:
+    if isinstance(expr, BinaryExpr) and expr.symbol == symbol:
+        return _flatten(expr.left, symbol) + _flatten(expr.right, symbol)
+    return [expr]
+
+
+# ---------------------------------------------------------------------------
+# Operator signatures (registry)
+# ---------------------------------------------------------------------------
+
+_SIGNATURES: dict[type, Callable[[Operator, bool], tuple]] = {}
+
+
+def register_signature(*op_types: type):
+    """Register a signature function for one or more operator types.
+
+    The function receives ``(op, alpha)`` and returns a tuple of plain
+    hashable values.  ``alpha=True`` asks for the order-insensitive
+    α-form; ``alpha=False`` must keep every byte-relevant detail.
+    """
+
+    def decorate(fn: Callable[[Operator, bool], tuple]):
+        for op_type in op_types:
+            _SIGNATURES[op_type] = fn
+        return fn
+
+    return decorate
+
+
+def operator_signature(op: Operator, alpha: bool = False) -> tuple:
+    """Canonical signature of one operator (excluding its inputs).
+
+    Unknown operator types yield a unique opaque signature — never equal
+    to any other operator's, so CSE cannot merge them and plan hashes
+    cannot collide through them.
+    """
+    fn = _SIGNATURES.get(type(op))
+    if fn is None:
+        return ("opaque", type(op).__name__, op.name, id(op))
+    return (type(op).__name__,) + tuple(fn(op, alpha))
+
+
+@register_signature(ReadOperator)
+def _sig_read(op: ReadOperator, alpha: bool) -> tuple:
+    preds = tuple(sorted(repr(p) for p in op.predicates))
+    order = tuple(op.order) if op.order is not None else None
+    # The source label carries a per-context scan counter; α-equivalent
+    # plans reading the same table must hash together, but strict
+    # equality keeps it (progress counters are keyed by it).
+    label = op.meta.name if alpha else op.source_name
+    return (op.meta.name, label, order, op.columns, preds)
+
+
+@register_signature(FilterOperator)
+def _sig_filter(op: FilterOperator, alpha: bool) -> tuple:
+    return (canon_expr(op.predicate),)
+
+
+@register_signature(SelectOperator)
+def _sig_select(op: SelectOperator, alpha: bool) -> tuple:
+    exprs = [(name, canon_expr(expr)) for name, expr in op.exprs]
+    if alpha:
+        exprs = sorted(exprs)
+    return (tuple(exprs), op.propagate_ci)
+
+
+@register_signature(AggregateOperator)
+def _sig_aggregate(op: AggregateOperator, alpha: bool) -> tuple:
+    specs = tuple(
+        (s.agg, s.column, s.alias, s.param) for s in op.specs
+    )
+    ci = repr(op.ci) if op.ci is not None else None
+    return (specs, op.by, ci, op.growth_mode, op.quantile_mode,
+            op.sketch_size, op.always_emit)
+
+
+@register_signature(SortLimitOperator)
+def _sig_sort(op: SortLimitOperator, alpha: bool) -> tuple:
+    ascending = op.ascending
+    if not isinstance(ascending, bool):
+        ascending = tuple(bool(a) for a in ascending)
+    return (op.by, ascending, op.limit)
+
+
+@register_signature(DistinctOperator)
+def _sig_distinct(op: DistinctOperator, alpha: bool) -> tuple:
+    return (op.subset,)
+
+
+@register_signature(HashJoinOperator)
+def _sig_hash_join(op: HashJoinOperator, alpha: bool) -> tuple:
+    pairs = tuple(zip(op.left_on, op.right_on))
+    if alpha:
+        pairs = tuple(sorted(pairs))
+    return (pairs, op.how, op.suffix)
+
+
+@register_signature(MergeJoinOperator)
+def _sig_merge_join(op: MergeJoinOperator, alpha: bool) -> tuple:
+    return (op.left_on, op.right_on, op.suffix)
+
+
+@register_signature(CrossJoinOperator)
+def _sig_cross_join(op: CrossJoinOperator, alpha: bool) -> tuple:
+    return (op.suffix,)
+
+
+@register_signature(ExchangeOperator)
+def _sig_exchange(op: ExchangeOperator, alpha: bool) -> tuple:
+    return (op.keys, op.shard, op.n_shards)
+
+
+@register_signature(UnionOperator)
+def _sig_union(op: UnionOperator, alpha: bool) -> tuple:
+    return (op.n_inputs, op.sort_keys)
+
+
+@register_signature(MapPartitionsOperator)
+def _sig_map(op: MapPartitionsOperator, alpha: bool) -> tuple:
+    # An arbitrary callable's behaviour is opaque: identity is the only
+    # sound equality, so two *different* function objects never compare
+    # equal (and never hash together).
+    fn = op.fn
+    return (getattr(fn, "__qualname__", repr(fn)), id(fn))
+
+
+# ---------------------------------------------------------------------------
+# Whole-plan digests
+# ---------------------------------------------------------------------------
+
+def node_digests(graph: QueryGraph, alpha: bool = False) -> dict[int, str]:
+    """Per-node digest of the subtree rooted at each node.
+
+    Two nodes share a digest iff their operator signatures and their
+    whole input subtrees match (port order preserved — joins are not
+    symmetric).  Insertion order is topological, so one forward sweep
+    suffices.
+    """
+    digests: dict[int, str] = {}
+    for nid in sorted(graph.nodes):
+        node = graph.node(nid)
+        signature = operator_signature(node.operator, alpha=alpha)
+        payload = repr(
+            (signature, tuple(digests[i] for i in node.inputs))
+        )
+        digests[nid] = hashlib.sha256(payload.encode()).hexdigest()
+    return digests
+
+
+def plan_hash(graph: QueryGraph, output: int) -> str:
+    """Stable α-equivalence hash of the plan rooted at ``output``.
+
+    Equal for plans that differ only in select rename order, commuted
+    conjuncts/commutative operands, flipped comparisons, scan source
+    labels, or operator-name counters; different whenever any literal,
+    column, aggregate spec, join shape, or table differs.  16 hex chars
+    (64 bits) — the shared-scan/snapshot-cache key of ROADMAP item 1.
+    """
+    graph.validate_output(output)
+    return node_digests(graph, alpha=True)[output][:16]
+
+
+def plans_alpha_equal(
+    a: QueryGraph, a_output: int, b: QueryGraph, b_output: int
+) -> bool:
+    """True when the two plans are α-equivalent (same :func:`plan_hash`
+    preimage, compared at full digest width)."""
+    return (
+        node_digests(a, alpha=True)[a_output]
+        == node_digests(b, alpha=True)[b_output]
+    )
+
+
+def duplicate_groups(
+    graph: QueryGraph, mergeable: Sequence[type]
+) -> dict[str, list[int]]:
+    """Strict-digest groups with more than one node, restricted to
+    ``mergeable`` operator types (the CSE candidates), keyed by digest,
+    node ids ascending."""
+    digests = node_digests(graph, alpha=False)
+    groups: dict[str, list[int]] = {}
+    for nid in sorted(graph.nodes):
+        if isinstance(graph.node(nid).operator, tuple(mergeable)):
+            groups.setdefault(digests[nid], []).append(nid)
+    return {d: ids for d, ids in groups.items() if len(ids) > 1}

@@ -296,72 +296,127 @@ def _two_sided_required(
     return [left_req, right_req]
 
 
+#: Per-operator-type column-demand functions.  Each takes
+#: ``(op, input_schemas, required)`` and returns the columns each input
+#: port must supply (``None`` = everything).  A registry — rather than an
+#: isinstance chain — so a *missing* entry is an explicit, visible state
+#: that falls back to the conservative default instead of silently
+#: hitting the bottom of a chain: new operator types cannot break
+#: projection pushdown, they can only fail to benefit from it.
+_REQUIRED_INPUTS: dict[type, object] = {}
+
+
+def register_required_inputs(*op_types: type):
+    """Register the column-demand function for one or more operator
+    types (see :data:`_REQUIRED_INPUTS`)."""
+
+    def decorate(fn):
+        for op_type in op_types:
+            _REQUIRED_INPUTS[op_type] = fn
+        return fn
+
+    return decorate
+
+
 def _required_inputs(
     op: Operator,
     input_schemas: tuple,
     required: set[str] | None,
 ) -> list[set[str] | None]:
     """Columns each input port must supply so that ``op`` can produce the
-    ``required`` output columns (``None`` = everything; the conservative
-    answer for operators the walk does not understand)."""
-    if isinstance(op, FilterOperator):
-        if required is None:
-            return [None]
-        return [required | set(op.predicate.columns())]
-    if isinstance(op, SelectOperator):
-        # A select *evaluates* every expression regardless of what is
-        # consumed downstream, so its demand is exactly what the
-        # expressions reference — it never passes columns through.
-        needed: set[str] = set()
-        for _out, expr in op.exprs:
-            needed |= set(expr.columns())
-        return [needed]
-    if isinstance(op, AggregateOperator):
-        needed = set(op.by)
-        for spec in op.specs:
-            if spec.column is not None:
-                needed.add(spec.column)
-        return [needed]
-    if isinstance(op, SortLimitOperator):
-        if required is None:
-            return [None]
-        return [required | set(op.by)]
-    if isinstance(op, DistinctOperator):
-        if required is None:
-            return [None]
-        # An empty subset means "distinct over all columns".
-        return [required | set(op.subset) if op.subset else None]
-    if isinstance(op, HashJoinOperator):
-        left, right = input_schemas
-        if op.how in ("semi", "anti"):
-            left_req = (
-                None if required is None
-                else (required & set(left.names)) | set(op.left_on)
-            )
-            return [left_req, set(op.right_on)]
-        return _two_sided_required(
-            required, left.names, right.names,
-            op.left_on, op.right_on, op.right_on, op.suffix,
+    ``required`` output columns — a single registry lookup.  Unregistered
+    types (MapPartitionsOperator, anything new) get the conservative
+    default: every input port may be read in full."""
+    fn = _REQUIRED_INPUTS.get(type(op))
+    if fn is None:
+        return [None] * op.n_inputs
+    return fn(op, input_schemas, required)
+
+
+@register_required_inputs(FilterOperator)
+def _req_filter(op, input_schemas, required):
+    if required is None:
+        return [None]
+    return [required | set(op.predicate.columns())]
+
+
+@register_required_inputs(SelectOperator)
+def _req_select(op, input_schemas, required):
+    # A select *evaluates* every expression regardless of what is
+    # consumed downstream, so its demand is exactly what the
+    # expressions reference — it never passes columns through.
+    needed: set[str] = set()
+    for _out, expr in op.exprs:
+        needed |= set(expr.columns())
+    return [needed]
+
+
+@register_required_inputs(AggregateOperator)
+def _req_aggregate(op, input_schemas, required):
+    needed = set(op.by)
+    for spec in op.specs:
+        if spec.column is not None:
+            needed.add(spec.column)
+    return [needed]
+
+
+@register_required_inputs(SortLimitOperator)
+def _req_sort(op, input_schemas, required):
+    if required is None:
+        return [None]
+    return [required | set(op.by)]
+
+
+@register_required_inputs(DistinctOperator)
+def _req_distinct(op, input_schemas, required):
+    if required is None:
+        return [None]
+    # An empty subset means "distinct over all columns".
+    return [required | set(op.subset) if op.subset else None]
+
+
+@register_required_inputs(HashJoinOperator)
+def _req_hash_join(op, input_schemas, required):
+    left, right = input_schemas
+    if op.how in ("semi", "anti"):
+        left_req = (
+            None if required is None
+            else (required & set(left.names)) | set(op.left_on)
         )
-    if isinstance(op, MergeJoinOperator):
-        left, right = input_schemas
-        return _two_sided_required(
-            required, left.names, right.names,
-            (op.left_on,), (op.right_on,), (op.right_on,), op.suffix,
-        )
-    if isinstance(op, CrossJoinOperator):
-        left, right = input_schemas
-        return _two_sided_required(
-            required, left.names, right.names, (), (), (), op.suffix,
-        )
-    if isinstance(op, ExchangeOperator):
-        if required is None:
-            return [None]
-        return [required | set(op.keys)]
-    if isinstance(op, UnionOperator):
-        return [required] * op.n_inputs
-    # MapPartitionsOperator and anything unknown: arbitrary column access.
-    return [None] * op.n_inputs
+        return [left_req, set(op.right_on)]
+    return _two_sided_required(
+        required, left.names, right.names,
+        op.left_on, op.right_on, op.right_on, op.suffix,
+    )
+
+
+@register_required_inputs(MergeJoinOperator)
+def _req_merge_join(op, input_schemas, required):
+    left, right = input_schemas
+    return _two_sided_required(
+        required, left.names, right.names,
+        (op.left_on,), (op.right_on,), (op.right_on,), op.suffix,
+    )
+
+
+@register_required_inputs(CrossJoinOperator)
+def _req_cross_join(op, input_schemas, required):
+    left, right = input_schemas
+    return _two_sided_required(
+        required, left.names, right.names, (), (), (), op.suffix,
+    )
+
+
+@register_required_inputs(ExchangeOperator)
+def _req_exchange(op, input_schemas, required):
+    if required is None:
+        return [None]
+    return [required | set(op.keys)]
+
+
+@register_required_inputs(UnionOperator)
+def _req_union(op, input_schemas, required):
+    return [required] * op.n_inputs
 
 
 def _collect_scan_predicates(
@@ -409,19 +464,13 @@ def _collect_scan_predicates(
     return predicates
 
 
-def pushdown_plan(
-    graph: QueryGraph,
-    output: int,
-    projection: bool = True,
-    pruning: bool = True,
-) -> tuple[QueryGraph, int]:
-    """Push projections and sargable predicates into the base scans.
+def projection_pass(graph: QueryGraph, output: int) -> int:
+    """Narrow each scan to the columns anything downstream can read.
 
-    Mutates the graph's :class:`ReadOperator` instances in place (each
-    execution materializes fresh operators, so no plan state leaks
-    across runs) and invalidates the graph's cached resolution.  Must
-    run *before* :func:`shard_plan` so the shard rewrite replicates the
-    already-narrowed scans.
+    Mutates :class:`ReadOperator` instances in place (each execution
+    materializes fresh operators, so no plan state leaks across runs)
+    and invalidates the graph's cached resolution.  Returns the number
+    of scans narrowed.
     """
     graph.validate_output(output)
     infos = graph.resolve()
@@ -447,34 +496,69 @@ def pushdown_plan(
             elif required[input_id] is not None:
                 required[input_id] |= req
 
-    changed = False
+    narrowed = 0
     for nid in graph.source_ids():
         op = graph.node(nid).operator
         if not isinstance(op, ReadOperator):
             continue
-        if pruning:
-            predicates = _collect_scan_predicates(graph, subs, nid)
-            if predicates:
-                op.set_predicates(predicates)
-                changed = True
-        if projection:
-            req = required[nid]
-            names = set(op.meta.schema.names)
-            if req is not None and (req & names) != names:
-                wanted = req & names
-                if not wanted:
-                    # Count-style queries reference no columns, but a
-                    # frame with zero columns has zero rows — keep the
-                    # cheapest single column to preserve row counts.
-                    wanted = {
-                        op.meta.primary_key[0]
-                        if op.meta.primary_key
-                        else op.meta.schema.names[0]
-                    }
-                op.set_columns(wanted)
-                changed = True
-    if changed:
+        req = required[nid]
+        names = set(op.meta.schema.names)
+        if req is not None and (req & names) != names:
+            wanted = req & names
+            if not wanted:
+                # Count-style queries reference no columns, but a
+                # frame with zero columns has zero rows — keep the
+                # cheapest single column to preserve row counts.
+                wanted = {
+                    op.meta.primary_key[0]
+                    if op.meta.primary_key
+                    else op.meta.schema.names[0]
+                }
+            op.set_columns(wanted)
+            narrowed += 1
+    if narrowed:
         graph.invalidate()
+    return narrowed
+
+
+def pruning_pass(graph: QueryGraph, output: int) -> int:
+    """Thread sargable filter conjuncts into each scan for zone-map
+    partition pruning.  Returns the number of scans that received
+    predicates."""
+    graph.validate_output(output)
+    graph.resolve()
+    subs = graph.subscribers()
+    pushed = 0
+    for nid in graph.source_ids():
+        op = graph.node(nid).operator
+        if not isinstance(op, ReadOperator):
+            continue
+        predicates = _collect_scan_predicates(graph, subs, nid)
+        if predicates:
+            op.set_predicates(predicates)
+            pushed += 1
+    if pushed:
+        graph.invalidate()
+    return pushed
+
+
+def pushdown_plan(
+    graph: QueryGraph,
+    output: int,
+    projection: bool = True,
+    pruning: bool = True,
+) -> tuple[QueryGraph, int]:
+    """Push projections and sargable predicates into the base scans.
+
+    Back-compat façade over :func:`pruning_pass` + :func:`projection_pass`
+    (the optimizer invokes the passes as individual rules).  Must run
+    *before* :func:`shard_plan` so the shard rewrite replicates the
+    already-narrowed scans.
+    """
+    if pruning:
+        pruning_pass(graph, output)
+    if projection:
+        projection_pass(graph, output)
     return graph, output
 
 

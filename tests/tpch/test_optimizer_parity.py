@@ -1,0 +1,76 @@
+"""Optimizer-on vs pre-refactor planner parity over the TPC-H suite.
+
+The rule engine re-expresses the old monolithic planner passes
+(``pushdown_plan`` + ``shard_plan``) as rules and adds new logical
+rewrites (combine-filters, aggregate-projection, common-subplan).  None
+of that may perturb a single byte of any snapshot: for every query the
+optimized context run must match a hand-assembled legacy pipeline —
+materialize, pushdown_plan, shard_plan, SyncExecutor — snapshot for
+snapshot, solo and at ``parallelism=4``.
+"""
+
+import pytest
+
+from repro import WakeContext
+from repro.engine.executor import SyncExecutor
+from repro.engine.graph import QueryGraph
+from repro.engine.planner import pushdown_plan, shard_plan
+from repro.tpch.queries import QUERIES
+
+from tests.tpch.utils import assert_sequences_byte_identical
+
+#: Same laptop-scale parameter overrides as test_queries.py.
+OVERRIDES = {11: {"fraction": 0.005}, 18: {"threshold": 150}}
+
+
+def _build(catalog, number, **ctx_kwargs):
+    ctx = WakeContext(catalog, **ctx_kwargs)
+    query = QUERIES[number]
+    return ctx, query.build_plan(ctx, **OVERRIDES.get(number, {}))
+
+
+def _legacy_run(catalog, number, parallelism=1):
+    """The pre-refactor pipeline, bypassing the rule engine entirely."""
+    _ctx, frame = _build(catalog, number)
+    graph = QueryGraph()
+    output = frame.plan.materialize(graph, {})
+    graph, output = pushdown_plan(graph, output)
+    if parallelism > 1:
+        graph, output = shard_plan(graph, output, parallelism)
+    return SyncExecutor(graph, output, capture_all=True).run()
+
+
+@pytest.mark.parametrize("number", sorted(QUERIES))
+def test_optimizer_sequences_match_legacy_planner(number, tpch):
+    catalog, _tables = tpch
+    ctx, frame = _build(catalog, number)
+    got = ctx.run(frame)
+    assert_sequences_byte_identical(
+        got, _legacy_run(catalog, number), f"q{number}"
+    )
+
+
+@pytest.mark.parametrize("number", sorted(QUERIES))
+def test_optimizer_sequences_match_legacy_planner_sharded(number, tpch):
+    catalog, _tables = tpch
+    ctx, frame = _build(catalog, number)
+    got = ctx.run(frame, parallelism=4)
+    assert_sequences_byte_identical(
+        got, _legacy_run(catalog, number, parallelism=4),
+        f"q{number} parallelism=4",
+    )
+
+
+@pytest.mark.parametrize("number", sorted(QUERIES))
+def test_no_optimize_matches_legacy_unpushed(number, tpch):
+    """The escape hatch really is the identity: ``optimize=False,
+    pushdown=False`` equals materialize-and-execute with no passes."""
+    catalog, _tables = tpch
+    ctx, frame = _build(catalog, number, optimize=False, pushdown=False)
+    got = ctx.run(frame)
+    assert ctx.last_trace.total_rewrites == 0
+    _ctx2, frame2 = _build(catalog, number)
+    graph = QueryGraph()
+    output = frame2.plan.materialize(graph, {})
+    expected = SyncExecutor(graph, output, capture_all=True).run()
+    assert_sequences_byte_identical(got, expected, f"q{number} raw")
