@@ -79,7 +79,7 @@ def _mid_mean(series):
     return float(np.mean(mid)) if mid else float("nan")
 
 
-def test_ablation_growth_model(bench_data, benchmark, emit):
+def test_ablation_growth_model(bench_data, benchmark, guard, emit):
     results = benchmark.pedantic(lambda: run_ablation(bench_data),
                                  rounds=1, iterations=1)
     for label, title in (
@@ -105,13 +105,11 @@ def test_ablation_growth_model(bench_data, benchmark, emit):
     b = {m: _mid_mean(results[("B", m)]) for m in MODES}
 
     # Regime A: scaling is necessary — 'none' badly under-projects.
-    assert a["fitted"] < a["none"] * 0.8, (
-        "fitted must beat unscaled values on growing streams"
-    )
+    guard("regime_a_fitted_vs_none_mape_ratio",
+          a["fitted"] / a["none"], 0.8, op="<")
     # Regime B: blind 1/t scaling over-projects aggregate-over-aggregate.
-    assert b["fitted"] < b["uniform"] * 0.8, (
-        "fitted must beat uniform scaling on stabilized inputs"
-    )
+    guard("regime_b_fitted_vs_uniform_mape_ratio",
+          b["fitted"] / b["uniform"], 0.8, op="<")
     # Only the fitted model is good in both regimes.
     fitted_worst = max(a["fitted"], b["fitted"])
     uniform_worst = max(a["uniform"], b["uniform"])
@@ -119,5 +117,5 @@ def test_ablation_growth_model(bench_data, benchmark, emit):
     assert fitted_worst < uniform_worst
     assert fitted_worst < none_worst
     # And everything still converges exactly (2C).
-    for key, series in results.items():
-        assert series[-1][1] < 1e-9, f"{key} did not converge"
+    final_mape_worst = max(series[-1][1] for series in results.values())
+    guard("final_mape_worst", final_mape_worst, 1e-9, op="<")

@@ -48,7 +48,7 @@ def run_ci_experiment(bench_data):
 
 
 def test_fig10_ci_convergence_and_correctness(bench_data, benchmark,
-                                              emit):
+                                              guard, emit):
     truth, k, runs = benchmark.pedantic(
         lambda: run_ci_experiment(bench_data), rounds=1, iterations=1
     )
@@ -84,10 +84,8 @@ def test_fig10_ci_convergence_and_correctness(bench_data, benchmark,
     assert width_series[-1] < width_series[0], (
         "CI half-width must shrink toward completion"
     )
-    # Fig 10b: P95 of the relative CI range never crosses 1.
-    assert max(p95_series) <= 1.0, (
-        f"95% CI must contain the truth for >=95% of runs "
-        f"(worst P95 = {max(p95_series):.3f})"
-    )
+    # Fig 10b: P95 of the relative CI range never crosses 1 — the 95%
+    # CI contains the truth for >=95% of runs.
+    guard("rel_ci_p95_worst", max(p95_series), 1.0, op="<=")
     # Conservative early on (Chebyshev), like the paper's ~0.4.
-    assert p95_series[0] < 1.0
+    guard("rel_ci_p95_first", p95_series[0], 1.0, op="<")

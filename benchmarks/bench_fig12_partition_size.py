@@ -51,7 +51,8 @@ def run_sweep(sweep_catalogs):
     return results
 
 
-def test_fig12_partition_size_sweep(sweep_catalogs, benchmark, emit):
+def test_fig12_partition_size_sweep(sweep_catalogs, benchmark, guard,
+                                    emit):
     results = benchmark.pedantic(lambda: run_sweep(sweep_catalogs),
                                  rounds=1, iterations=1)
     emit(banner("Fig 12 — partition-count sweep (final-latency slowdown "
@@ -77,9 +78,9 @@ def test_fig12_partition_size_sweep(sweep_catalogs, benchmark, emit):
         results[n][few][0] / max(results[n][many][0], 1e-9)
         for n in results
     ]
-    assert median_or_nan(first_ratios) > 1.0, (
-        "bigger partitions should delay the first estimate"
-    )
+    # Bigger partitions should delay the first estimate.
+    guard("first_latency_median_ratio_big_vs_small",
+          median_or_nan(first_ratios), 1.0, op=">")
     # Merge-heavy queries benefit from fewer merges (bigger partitions).
     heavy_gain = [
         results[n][many][1] / max(results[n][few][1], 1e-9)
@@ -89,11 +90,10 @@ def test_fig12_partition_size_sweep(sweep_catalogs, benchmark, emit):
         results[n][many][1] / max(results[n][few][1], 1e-9)
         for n in MERGE_LIGHT
     ]
-    assert median_or_nan(heavy_gain) > median_or_nan(light_gain) * 0.9, (
-        "merge-heavy queries should be at least as partition-sensitive "
-        "as merge-light ones"
-    )
-    assert median_or_nan(heavy_gain) > 1.2, (
-        "merge-heavy finals should clearly speed up with bigger "
-        "partitions"
-    )
+    # Merge-heavy queries should be at least as partition-sensitive as
+    # merge-light ones.
+    guard("heavy_vs_light_gain_ratio",
+          median_or_nan(heavy_gain) / median_or_nan(light_gain),
+          0.9, op=">")
+    # Merge-heavy finals should clearly speed up with bigger partitions.
+    guard("heavy_gain_median", median_or_nan(heavy_gain), 1.2, op=">")

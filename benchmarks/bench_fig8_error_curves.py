@@ -44,7 +44,7 @@ def run_curves(bench_data, bench_ctx):
 
 
 def test_fig8_error_and_recall_curves(bench_data, bench_ctx, benchmark,
-                                      emit):
+                                      guard, emit):
     curves = benchmark.pedantic(
         lambda: run_curves(bench_data, bench_ctx), rounds=1,
         iterations=1,
@@ -61,37 +61,48 @@ def test_fig8_error_and_recall_curves(bench_data, bench_ctx, benchmark,
         ))
 
     # Category shape assertions (§8.3) -----------------------------------
+    # Category-1 queries end exact.
+    cat1_final_mapes = []
     for number in CURVE_QUERIES["mape"]:
         run = curves[("mape", QUERIES[number].name)]
-        final = run.quality[-1]
-        assert final.mape < 1e-6, "category-1 queries end exact"
+        cat1_final_mapes.append(run.quality[-1].mape)
         early_recall = [q.recall for q in run.quality
                         if q.t <= 0.6]
         assert early_recall and max(early_recall) == 100.0, (
             "category-1 recall reaches 100% early"
         )
+    guard("cat1_final_mape_worst", max(cat1_final_mapes), 1e-6, op="<")
 
+    # Clustered-key aggregates are exact at every snapshot, with recall
+    # growing monotonically (~linearly) with progress.
+    cat2_mapes = [0.0]
+    cat2_corrs = []
     for number in CURVE_QUERIES["recall"]:
         run = curves[("recall", QUERIES[number].name)]
-        mapes = [q.mape for q in run.quality
-                 if not np.isnan(q.mape)]
-        assert all(m < 1e-6 for m in mapes), (
-            "clustered-key aggregates are exact at every snapshot"
-        )
+        cat2_mapes.extend(q.mape for q in run.quality
+                          if not np.isnan(q.mape))
         recalls = [q.recall for q in run.quality]
         assert recalls == sorted(recalls), "recall grows monotonically"
         ts = np.array([q.t for q in run.quality])
         rs = np.array(recalls, dtype=float)
         if len(ts) >= 4 and rs.std() > 0:
-            corr = np.corrcoef(ts, rs)[0, 1]
-            assert corr > 0.8, "recall grows ~linearly with progress"
+            cat2_corrs.append(float(np.corrcoef(ts, rs)[0, 1]))
+    guard("cat2_snapshot_mape_worst", max(cat2_mapes), 1e-6, op="<")
+    if cat2_corrs:
+        guard("cat2_recall_progress_corr_min", min(cat2_corrs), 0.8,
+              op=">")
 
+    # Mixed-category queries end exact with recall rising well before
+    # completion.
+    mixed_final_mapes = []
+    mixed_mid_recalls = []
     for number in CURVE_QUERIES["mixed"]:
         run = curves[("mixed", QUERIES[number].name)]
         final = run.quality[-1]
         assert final.recall == 100.0
-        assert final.mape < 1e-6
-        mid = [q for q in run.quality if 0.3 <= q.t <= 0.8]
-        assert any(q.recall > 50.0 for q in mid), (
-            "mixed-category recall rises well before completion"
-        )
+        mixed_final_mapes.append(final.mape)
+        mid = [q.recall for q in run.quality if 0.3 <= q.t <= 0.8]
+        mixed_mid_recalls.append(max(mid) if mid else 0.0)
+    guard("mixed_final_mape_worst", max(mixed_final_mapes), 1e-6,
+          op="<")
+    guard("mixed_mid_recall_min", min(mixed_mid_recalls), 50.0, op=">")

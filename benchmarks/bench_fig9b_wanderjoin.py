@@ -47,7 +47,8 @@ def run_comparison(bench_data, bench_ctx):
     return results
 
 
-def test_fig9b_vs_wanderjoin(bench_data, bench_ctx, benchmark, emit):
+def test_fig9b_vs_wanderjoin(bench_data, bench_ctx, benchmark, guard,
+                             emit):
     results = benchmark.pedantic(
         lambda: run_comparison(bench_data, bench_ctx), rounds=1,
         iterations=1,
@@ -70,16 +71,13 @@ def test_fig9b_vs_wanderjoin(bench_data, bench_ctx, benchmark, emit):
              f"(paper: Wake 1.51x faster; WJ plateaus ~1%)")
 
         assert wake_t1 is not None, f"{name}: Wake must reach <1%"
-        assert wake_series[-1][1] < 1e-6, (
-            f"{name}: Wake converges to the exact answer"
-        )
-        final_wj_err = wj_series[-1][1]
-        assert final_wj_err > 1e-6, (
-            f"{name}: WanderJoin must not converge exactly "
-            f"(got {final_wj_err})"
-        )
+        # Wake converges to the exact answer; the sampling baseline
+        # plateaus and must not.
+        guard(f"{name}_wake_final_err", wake_series[-1][1], 1e-6,
+              op="<")
+        guard(f"{name}_wanderjoin_final_err", wj_series[-1][1], 1e-6,
+              op=">")
         if wj_t1 is not None and not math.isnan(wj_t1):
-            assert wake_t1 <= wj_t1 * 2.0, (
-                f"{name}: Wake should be competitive with WanderJoin "
-                f"to <1%"
-            )
+            # Wake should be competitive with WanderJoin to <1%.
+            guard(f"{name}_wake_vs_wanderjoin_t1_ratio",
+                  wake_t1 / wj_t1, 2.0, op="<=")

@@ -83,7 +83,8 @@ def compute_headlines(bench_data, bench_ctx):
     }
 
 
-def test_headline_summary(bench_data, bench_ctx, benchmark, emit):
+def test_headline_summary(bench_data, bench_ctx, benchmark, guard,
+                          emit):
     headlines = benchmark.pedantic(
         lambda: compute_headlines(bench_data, bench_ctx), rounds=1,
         iterations=1,
@@ -110,5 +111,7 @@ def test_headline_summary(bench_data, bench_ctx, benchmark, emit):
          "bounded final overhead, faster-than-OLA convergence — are the "
          "reproduced claims.  See EXPERIMENTS.md.")
 
-    assert headlines["first_speedup"] > 1.5
-    assert headlines["ola_speedup"] > 1.0
+    guard("headline_first_speedup", headlines["first_speedup"], 1.5,
+          op=">")
+    guard("headline_ola_speedup", headlines["ola_speedup"], 1.0,
+          op=">")

@@ -37,7 +37,8 @@ def run_memory(bench_data, bench_ctx):
     return rows
 
 
-def test_memory_footprint(bench_data, bench_ctx, benchmark, emit):
+def test_memory_footprint(bench_data, bench_ctx, benchmark, guard,
+                          emit):
     rows = benchmark.pedantic(
         lambda: run_memory(bench_data, bench_ctx), rounds=1,
         iterations=1,
@@ -46,8 +47,8 @@ def test_memory_footprint(bench_data, bench_ctx, benchmark, emit):
     emit(format_table(
         ["query", "wake-MB", "exact-MB", "exact/wake"], rows
     ))
+    # Wake should use less peak memory than the all-at-once engine on
+    # most join-heavy queries.
     ratios = [r[3] for r in rows]
-    assert sum(1 for r in ratios if r > 1.0) >= len(ratios) / 2, (
-        "Wake should use less peak memory than the all-at-once engine "
-        "on most join-heavy queries"
-    )
+    wake_wins = sum(1 for r in ratios if r > 1.0)
+    guard("wake_memory_win_fraction", wake_wins / len(ratios), 0.5)

@@ -108,8 +108,8 @@ def test_cse_and_reorder_speedup(bench_data, guard, emit):
     on_time, on_final, on_trace = _run_wall_clock(catalog, logical=True)
     assert not set(off_trace.by_rule()) & set(LOGICAL_RULE_NAMES)
     fired = on_trace.by_rule()
-    assert fired.get("common-subplan", 0) >= 2
-    assert fired.get("combine-filters", 0) >= 1
+    guard("common_subplan_rewrites", fired.get("common-subplan", 0), 2)
+    guard("combine_filters_rewrites", fired.get("combine-filters", 0), 1)
 
     # Same answer both ways (each chain's column, same bytes).
     assert tuple(on_final.column_names) == tuple(off_final.column_names)

@@ -142,7 +142,7 @@ def test_quantile_latency_flat(quantile_parts, benchmark, emit, guard):
     guard("quantile_late_speedup_vs_seed", seed_late / inc_late, 3.0)
 
 
-def test_sketch_mode_bounds_memory(quantile_parts, emit):
+def test_sketch_mode_bounds_memory(quantile_parts, guard, emit):
     """Opt-in sketch mode: bounded state, small quantile error."""
     exact = GroupedAggregateState(by=("k",), specs=(SPEC,))
     sketch = GroupedAggregateState(
@@ -164,8 +164,10 @@ def test_sketch_mode_bounds_memory(quantile_parts, emit):
          ["reservoir sketch (256)", sketch_bytes, err]],
     ))
     # reservoir matrix + its sorted read cache, vs the full multiset
-    assert sketch_bytes < exact_bytes / 3
-    assert err < 10.0  # ~se of a 256-sample median at sigma=25
+    guard("sketch_vs_exact_bytes_ratio", sketch_bytes / exact_bytes,
+          1.0 / 3.0, op="<")
+    # ~se of a 256-sample median at sigma=25
+    guard("sketch_quantile_abs_err", err, 10.0, op="<")
 
 
 def test_tpch_quantile_finals_byte_identical(bench_ctx, bench_data, emit):

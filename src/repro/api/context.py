@@ -11,7 +11,10 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import QueryError
+from repro.analysis.schema_check import infer_plan, validate_plan
 from repro.core.ci import CIConfig
 from repro.core.edf import EvolvingDataFrame
 from repro.core.orderstat import DEFAULT_SKETCH_SIZE, QUANTILE_MODES
@@ -49,6 +52,7 @@ class WakeContext:
         pushdown: bool = True,
         optimize: bool = True,
         optimizer_disable: Sequence[str] = (),
+        validate: bool = True,
     ) -> None:
         if executor not in _EXECUTORS:
             raise QueryError(
@@ -100,6 +104,12 @@ class WakeContext:
         #: ``repro.engine.optimizer.RULE_NAMES``) — the per-rule escape
         #: hatch; validated eagerly so typos fail at session setup.
         self.optimizer_disable = validate_rule_names(optimizer_disable)
+        #: Static plan validation at submit (default on): every
+        #: materialized plan is schema/type checked before the optimizer
+        #: or any partition read, so malformed plans raise a structured
+        #: :class:`~repro.errors.PlanValidationError` instead of failing
+        #: mid-stream (see :mod:`repro.analysis.schema_check`).
+        self.validate = validate
         #: When set, every table is read in a seed-derived shuffled
         #: partition order (the §8.5 out-of-order-input experiment).
         self.partition_shuffle_seed = partition_shuffle_seed
@@ -129,8 +139,6 @@ class WakeContext:
         """
         meta: TableMeta = self.catalog.table(name)
         if order is None and self.partition_shuffle_seed is not None:
-            import numpy as np
-
             rng = np.random.default_rng(
                 self.partition_shuffle_seed
                 + sum(ord(c) for c in name)
@@ -165,11 +173,17 @@ class WakeContext:
         pushdown: bool | None = None,
         optimize: bool | None = None,
     ) -> tuple[QueryGraph, int]:
-        """Instantiate the plan and run the rule optimizer over it
-        (logical rules to fixed point, then pushdowns and the shard
-        rewrite).  The per-submit trace lands in :attr:`last_trace`."""
+        """Instantiate the plan, statically validate it, and run the
+        rule optimizer over it (logical rules to fixed point, then
+        pushdowns and the shard rewrite).  The per-submit trace lands in
+        :attr:`last_trace`."""
         graph = QueryGraph()
         output = frame.plan.materialize(graph, {})
+        if self.validate:
+            # Submit-time chokepoint: run/stream/executor_for/explain
+            # (and the service on top of them) all reject malformed
+            # plans here, before any partition is read.
+            validate_plan(graph, output)
         shards = self.parallelism if parallelism is None else parallelism
         if shards < 1:
             raise QueryError(
@@ -284,17 +298,30 @@ class WakeContext:
     def explain(self, frame: EdfFrame,
                 parallelism: int | None = None,
                 pushdown: bool | None = None,
-                optimize: bool | None = None) -> str:
+                optimize: bool | None = None,
+                mode: str = "plan") -> str:
         """Human-readable plan: node names, deliveries, schemas (after
         the optimizer has run), followed by the optimizer trace —
         rule name → nodes rewritten — and the canonical plan hash.
 
         Scan nodes additionally render their pushed-down projection
         (``columns=[...]``), pushed predicates, and how many partitions
-        the zone maps prune (``prune=k/n``)."""
+        the zone maps prune (``prune=k/n``).
+
+        ``mode="types"`` renders each node's *statically inferred*
+        schema (column → dtype, ``*`` marking mutable attributes)
+        without binding or executing anything — the plan-debugging view
+        of :mod:`repro.analysis.schema_check`."""
+        if mode not in ("plan", "types"):
+            raise QueryError(
+                f"unknown explain mode {mode!r}; expected 'plan' or "
+                f"'types'"
+            )
         graph, output = self._materialize(
             frame, parallelism, pushdown, optimize
         )
+        if mode == "types":
+            return self._explain_types(graph, output)
         infos = graph.resolve()
         lines = []
         for nid in sorted(graph.nodes):
@@ -332,4 +359,39 @@ class WakeContext:
                     lines.append("      scan " + " ".join(details))
         if self.last_trace is not None:
             lines.extend(self.last_trace.render())
+        return "\n".join(lines)
+
+    def _explain_types(self, graph: QueryGraph, output: int) -> str:
+        """Render each node's inferred output schema (``explain``'s
+        ``types`` mode) without resolving/binding the graph."""
+        streams = infer_plan(graph, output)
+        lines = []
+        for nid in sorted(streams):
+            node = graph.node(nid)
+            stream = streams[nid]
+            marker = " <- output" if nid == output else ""
+            inputs = (
+                f" inputs={list(node.inputs)}" if node.inputs else ""
+            )
+            if stream is None:
+                lines.append(
+                    f"[{nid}] {node.operator.name}{inputs}{marker}\n"
+                    f"      (schema not statically inferable)"
+                )
+                continue
+            cols = ", ".join(
+                f"{f.name}: {f.dtype.value}"
+                + ("*" if f.kind.value == "mutable" else "")
+                for f in stream.schema.fields
+            )
+            cluster = (
+                f" cluster={list(stream.clustering_key)}"
+                if stream.clustering_key else ""
+            )
+            lines.append(
+                f"[{nid}] {node.operator.name} "
+                f"delivery={stream.delivery.value}{cluster}"
+                f"{inputs}{marker}\n"
+                f"      {cols}"
+            )
         return "\n".join(lines)

@@ -10,7 +10,9 @@ Commands:
 * ``stats``    — backfill per-partition zone-map statistics into an
   existing catalog so predicate pushdown can prune partitions;
 * ``serve``    — run the multi-query snapshot-streaming server (NDJSON
-  over TCP: submit/subscribe/status/pause/resume/cancel).
+  over TCP: submit/subscribe/status/pause/resume/cancel);
+* ``lint``     — run the AST-based invariant linter over source trees
+  (exit 1 on findings; ``--format json`` for machine-readable output).
 """
 
 from __future__ import annotations
@@ -70,6 +72,9 @@ def _add_explain(sub: argparse._SubParsersAction) -> None:
                    metavar="QUERY")
     p.add_argument("--parallelism", type=int, default=1,
                    help="show the plan after the shard rewrite")
+    p.add_argument("--types", action="store_true",
+                   help="show each node's statically inferred output "
+                        "schema instead of the physical plan")
     p.add_argument("--no-pushdown", action="store_true",
                    help="show the plan without scan pushdown")
     p.add_argument("--no-optimize", action="store_true",
@@ -126,6 +131,23 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                    help="after retries are exhausted: fail the session "
                         "(default) or skip the partition and keep "
                         "refining a degraded answer")
+
+
+def _add_lint(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "lint",
+        help="run the AST-based invariant linter "
+             "(history-concat, lock-sleep, bare-bench-assert, "
+             "unseeded-random, local-import)",
+    )
+    p.add_argument("paths", type=Path, nargs="*",
+                   help="files or directories to lint (default: "
+                        "src/ and benchmarks/ under the cwd when "
+                        "they exist, else the cwd)")
+    p.add_argument("--format", choices=("text", "json"),
+                   default="text",
+                   help="output format (json includes every finding "
+                        "plus a count, for CI artifacts)")
 
 
 def _parse_overrides(pairs: list[str]) -> dict:
@@ -195,8 +217,26 @@ def cmd_explain(args: argparse.Namespace) -> int:
                                    optimizer_disable=args.disable_rule)
     query = QUERIES[args.query]
     print(ctx.explain(query.build_plan(ctx),
-                      parallelism=args.parallelism))
+                      parallelism=args.parallelism,
+                      mode="types" if args.types else "plan"))
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import render_json, render_text, run_lint
+
+    paths = list(args.paths)
+    if not paths:
+        paths = [p for p in (Path("src"), Path("benchmarks"))
+                 if p.exists()]
+        if not paths:
+            paths = [Path(".")]
+    findings = run_lint(paths)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -263,6 +303,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_explain(sub)
     _add_stats(sub)
     _add_serve(sub)
+    _add_lint(sub)
     args = parser.parse_args(argv)
     handlers = {
         "generate": cmd_generate,
@@ -270,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": cmd_explain,
         "stats": cmd_stats,
         "serve": cmd_serve,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -150,9 +150,11 @@ def var_count_distinct(
     same h(z) kernel as the estimator and the digamma identity
     h'(z) = h(z)·(ψ(X−x−z+1) − ψ(X−z+1)).
     """
-    from scipy.special import digamma
+    # Deferred so the CI module imports without scipy (estimators pulls
+    # scipy at module scope); count_distinct CI is the only caller.
+    from scipy.special import digamma  # lint: allow(local-import)
 
-    from repro.core.estimators import _log_h  # shared kernel
+    from repro.core.estimators import _log_h  # lint: allow(local-import)
 
     y = np.asarray(y, dtype=np.float64)
     x = np.asarray(x, dtype=np.float64)

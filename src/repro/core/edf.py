@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from repro.errors import ExecutionError
 from repro.dataframe.frame import DataFrame
 from repro.core.properties import Progress
@@ -106,8 +108,6 @@ class EvolvingDataFrame:
     def describe(self) -> DataFrame:
         """One row per snapshot: sequence, t, wall time, rows read,
         result rows — the refinement trace as a frame."""
-        import numpy as np
-
         snaps = self._snapshots
         return DataFrame(
             {

@@ -235,7 +235,7 @@ class DataFrame:
         two agree on the final snapshot for every mergeable aggregate.
         """
         # Local import: groupby imports DataFrame at module load.
-        from repro.dataframe.groupby import (
+        from repro.dataframe.groupby import (  # lint: allow(local-import)
             AggSpec,
             global_aggregate,
             group_aggregate,

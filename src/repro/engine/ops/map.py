@@ -20,7 +20,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import QueryError
-from repro.dataframe.expr import Expr
+from repro.dataframe.expr import Column, Expr
 from repro.dataframe.frame import DataFrame
 from repro.dataframe.schema import (
     AttributeKind,
@@ -62,8 +62,6 @@ class SelectOperator(Operator):
     @staticmethod
     def _is_passthrough(expr: Expr, name: str) -> bool:
         """True for a bare ``col(name)`` projection of the same name."""
-        from repro.dataframe.expr import Column
-
         return isinstance(expr, Column) and expr.name == name
 
     def _derive_info(self, inputs: tuple[StreamInfo, ...]) -> StreamInfo:

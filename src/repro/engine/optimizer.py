@@ -62,11 +62,12 @@ Byte-parity arguments, per logical rule:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import QueryError
+from repro.errors import PlanValidationError, QueryError, ReproError
 from repro.dataframe.expr import (
     BinaryExpr,
     CaseExpr,
@@ -127,17 +128,38 @@ class RuleFiring:
     rewrites: int
 
 
+@dataclass(frozen=True)
+class RewriteCheck:
+    """Soundness verdict for one rule firing: did the rewritten plan keep
+    the inferred output schema, delivery, and strict-digest-visible
+    source set of the plan it replaced?"""
+
+    rule: str
+    ok: bool
+    detail: str = ""
+
+
 class OptimizerTrace:
     """What the optimizer did to one submitted plan."""
 
     def __init__(self) -> None:
         self.firings: list[RuleFiring] = []
+        self.checks: list[RewriteCheck] = []
         self.passes = 0
         self.plan_hash: str | None = None
 
     def record(self, rule: str, rewrites: int) -> None:
         if rewrites:
             self.firings.append(RuleFiring(rule, rewrites))
+
+    def record_check(self, check: RewriteCheck) -> None:
+        self.checks.append(check)
+
+    @property
+    def rewrites_sound(self) -> bool:
+        """True when every checked firing preserved the plan invariants
+        (vacuously true when nothing fired or checking was off)."""
+        return all(c.ok for c in self.checks)
 
     @property
     def total_rewrites(self) -> int:
@@ -162,6 +184,16 @@ class OptimizerTrace:
             lines.append("  (no rewrites)")
         for rule, rewrites in totals.items():
             lines.append(f"  {rule}: {rewrites} node(s) rewritten")
+        if self.checks:
+            sound = sum(1 for c in self.checks if c.ok)
+            lines.append(
+                f"  rewrite checks: {sound}/{len(self.checks)} sound"
+            )
+            for check in self.checks:
+                if not check.ok:
+                    lines.append(
+                        f"    UNSOUND {check.rule}: {check.detail}"
+                    )
         return lines
 
 
@@ -507,23 +539,43 @@ class ExchangeRewrite(Rule):
 # Driver
 # ---------------------------------------------------------------------------
 
+def _strict_rewrite_env() -> bool:
+    """True when ``REPRO_CHECK_REWRITES`` asks for hard failure on
+    rewrite drift (the CI mode)."""
+    return os.environ.get("REPRO_CHECK_REWRITES", "") not in ("", "0")
+
+
 class Optimizer:
-    """Run logical rules to a fixed point, then physical rules once."""
+    """Run logical rules to a fixed point, then physical rules once.
+
+    Every firing is followed by a rewrite-soundness check: the rewritten
+    plan's statically inferred output schema (names + dtypes), delivery,
+    and strict-digest-visible source set must equal the pre-rewrite
+    plan's (see :mod:`repro.analysis.schema_check`).  Verdicts land in
+    :attr:`OptimizerTrace.checks`; with ``strict`` (or the
+    ``REPRO_CHECK_REWRITES`` environment variable) set, drift raises
+    :class:`PlanValidationError` instead of merely being recorded.
+    Plans whose output schema cannot be inferred (unknown operator
+    types) skip checking rather than guessing.
+    """
 
     def __init__(
         self,
         logical: list[Rule],
         physical: list[Rule],
         max_passes: int = _MAX_PASSES,
+        strict: bool | None = None,
     ) -> None:
         self.logical = logical
         self.physical = physical
         self.max_passes = max_passes
+        self.strict = _strict_rewrite_env() if strict is None else strict
 
     def optimize(
         self, graph: QueryGraph, output: int
     ) -> tuple[QueryGraph, int, OptimizerTrace]:
         trace = OptimizerTrace()
+        expected = self._fingerprint(graph, output)
         if self.logical:
             for _ in range(self.max_passes):
                 trace.passes += 1
@@ -531,14 +583,63 @@ class Optimizer:
                 for rule in self.logical:
                     graph, output, rewrites = rule.apply(graph, output)
                     trace.record(rule.name, rewrites)
+                    if rewrites:
+                        self._check(
+                            trace, rule.name, expected, graph, output
+                        )
                     changed += rewrites
                 if not changed:
                     break
         for rule in self.physical:
             graph, output, rewrites = rule.apply(graph, output)
             trace.record(rule.name, rewrites)
+            if rewrites:
+                self._check(trace, rule.name, expected, graph, output)
         trace.plan_hash = plan_hash(graph, output)
         return graph, output, trace
+
+    @staticmethod
+    def _fingerprint(graph: QueryGraph, output: int):
+        # Imported here: repro.analysis imports repro.engine.ops, so a
+        # module-level import would tie this module's load order to the
+        # whole analysis package; deferring keeps the engine importable
+        # on its own.
+        from repro.analysis.schema_check import plan_fingerprint
+
+        try:
+            return plan_fingerprint(graph, output)
+        except ReproError:
+            # A plan the checker itself rejects (or cannot infer) is not
+            # checkable; submit-time validation owns that failure.
+            return None
+
+    def _check(
+        self,
+        trace: OptimizerTrace,
+        rule: str,
+        expected,
+        graph: QueryGraph,
+        output: int,
+    ) -> None:
+        if expected is None:
+            return
+        try:
+            got = self._fingerprint(graph, output)
+            detail = "" if got == expected else (
+                f"plan invariant drifted: expected {expected!r}, "
+                f"got {got!r}"
+            )
+        except ReproError as exc:  # pragma: no cover - defensive
+            got, detail = None, f"rewritten plan fails inference: {exc}"
+        ok = not detail
+        trace.record_check(RewriteCheck(rule, ok, detail))
+        if not ok and self.strict:
+            raise PlanValidationError(
+                "unsound-rewrite",
+                f"optimizer rule {rule!r} produced an unsound rewrite: "
+                f"{detail}",
+                operator=rule,
+            )
 
 
 def validate_rule_names(names) -> frozenset[str]:

@@ -70,6 +70,45 @@ class QueryError(ReproError):
     """A query graph is malformed (bad op arguments, cycles, arity errors)."""
 
 
+class PlanValidationError(QueryError):
+    """Static plan validation rejected a plan before execution.
+
+    Raised by :mod:`repro.analysis.schema_check` at submit time (and by
+    the optimizer's rewrite-soundness checker in strict mode).  Carries
+    enough structure for the snapshot server to return a machine-readable
+    error reply: the validation ``code``, the offending graph ``node`` id
+    and ``operator`` name, and the ``column`` involved (when one is).
+
+    Codes: ``undefined-column``, ``type-mismatch``, ``non-numeric-agg``,
+    ``duplicate-output``, ``delivery-misuse``, ``unsound-rewrite``.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        node: int | None = None,
+        operator: str | None = None,
+        column: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.node = node
+        self.operator = operator
+        self.column = column
+
+    def to_dict(self) -> dict:
+        """JSON-safe detail payload for wire replies."""
+        return {
+            "code": self.code,
+            "node": self.node,
+            "operator": self.operator,
+            "column": self.column,
+            "message": str(self),
+        }
+
+
 class ExecutionError(ReproError):
     """A runtime failure inside the execution engine."""
 

@@ -38,7 +38,7 @@ from typing import Callable, Mapping
 from repro.api.context import WakeContext
 from repro.api.frame_api import EdfFrame
 from repro.core.edf import EdfSnapshot
-from repro.errors import QueryError
+from repro.errors import PlanValidationError, QueryError
 from repro.service.retry import RetryPolicy
 from repro.service.scheduler import FairShareScheduler
 from repro.service.session import QuerySession, Subscription
@@ -193,6 +193,16 @@ class SnapshotServer:
                     continue
                 try:
                     await self._dispatch(request, reader, writer)
+                except PlanValidationError as exc:
+                    # Static validation rejected the plan at submit:
+                    # the reply carries the structured detail (code,
+                    # offending node + column) instead of the session
+                    # failing mid-stream with a terminal ``end``.
+                    writer.write(_encode({
+                        "ok": False,
+                        "error": str(exc),
+                        "detail": exc.to_dict(),
+                    }))
                 except (QueryError, KeyError, TypeError,
                         ValueError) as exc:
                     # Wire fields are untrusted: a bad priority/params/

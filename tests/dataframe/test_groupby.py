@@ -141,7 +141,6 @@ class TestKernels:
         rng = np.random.default_rng(0)
         a_vals = rng.normal(size=50)
         b_vals = rng.normal(size=70)
-        zero = np.zeros(1, dtype=np.int64)
         a = group_var_components(np.zeros(50, dtype=np.int64), 1, a_vals)
         b = group_var_components(np.zeros(70, dtype=np.int64), 1, b_vals)
         n, s, m2 = merge_var_components(a, b)
@@ -151,7 +150,6 @@ class TestKernels:
         np.testing.assert_allclose(n, direct[0])
         np.testing.assert_allclose(s, direct[1])
         np.testing.assert_allclose(m2, direct[2], rtol=1e-9)
-        del zero
 
 
 class TestGroupAggregate:

@@ -371,7 +371,7 @@ class TestShardPlan:
                               by=["cust"]),
             (join,),
         )
-        other = graph.add(
+        graph.add(
             FilterOperator("f", col("qty") > 0), (join,)
         )
         new, output = shard_plan(graph, agg, 2)
@@ -380,7 +380,6 @@ class TestShardPlan:
         assert sum(isinstance(o, HashJoinOperator) for o in ops) == 1
         assert sum(isinstance(o, ExchangeOperator) for o in ops) == 2
         assert any(isinstance(o, FilterOperator) for o in ops)
-        del other
 
 
 class TestContextParallelism:
