@@ -23,7 +23,11 @@ Both record into ``benchmarks/results/BENCH_summary.json`` via the
 import time
 
 from repro import WakeContext
-from repro.service import FairShareScheduler, SessionState
+from repro.service import (
+    FairShareScheduler,
+    ScanShareManager,
+    SessionState,
+)
 from repro.tpch.queries import QUERIES
 
 from benchmarks.conftest import BENCH_OVERRIDES
@@ -53,13 +57,23 @@ THROUGHPUT_FLOOR = 0.7
 #: Wall-clock floor for ratio denominators (timer-noise guard).
 MIN_SOLO_LATENCY = 1e-3
 
+#: A *mixed* batch scans overlapping but not identical column sets, so
+#: shared scans give a modest win at best — the guard is that routing
+#: every read through one pool costs nothing (>= this x the unshared
+#: batch's throughput; bench_scan_share.py guards the big win on
+#: identical queries).
+SHARED_SCAN_FLOOR = 0.9
 
-def _executor(catalog, number):
+
+def _executor(catalog, number, scan_share=None):
     ctx = WakeContext(catalog)
     plan = QUERIES[number].build_plan(
         ctx, **BENCH_OVERRIDES.get(number, {})
     )
-    return ctx.executor_for(plan)
+    executor = ctx.executor_for(plan)
+    if scan_share is not None:
+        executor.scan_share = scan_share
+    return executor
 
 
 def _drive(scheduler, sessions):
@@ -158,3 +172,44 @@ def test_service_concurrency(bench_data, emit, guard):
           STEP_SHARE_BOUND, op="<=")
     guard("aggregate_throughput_ratio", throughput_ratio,
           THROUGHPUT_FLOOR)
+
+
+def test_service_concurrency_shared_scans(bench_data, emit, guard):
+    """The same mixed batch with every read routed through one
+    ScanShareManager: the pool's bookkeeping (and its wider
+    column-union reads) must not cost throughput, and every query's
+    result must still arrive."""
+    catalog, _tables = bench_data
+
+    def _batch(manager):
+        scheduler = FairShareScheduler()
+        sessions = {
+            number: scheduler.submit(
+                _executor(catalog, number, scan_share=manager),
+                name=f"q{number:02d}",
+            )
+            for number in QUERY_SET
+        }
+        started = time.perf_counter()
+        scheduler.run_until_idle()
+        elapsed = time.perf_counter() - started
+        for number, session in sessions.items():
+            assert session.state is SessionState.DONE, f"q{number:02d}"
+        return elapsed
+
+    _batch(None)  # warm the page cache
+    unshared = _batch(None)
+    manager = ScanShareManager()
+    shared = _batch(manager)
+    stats = manager.stats()
+    ratio = unshared / max(shared, 1e-9)
+
+    emit(banner("E14b — mixed 8-query batch through one scan pool"))
+    emit(f"unshared batch : {unshared * 1e3:.1f} ms")
+    emit(f"shared batch   : {shared * 1e3:.1f} ms "
+         f"({ratio:.2f}x; floor {SHARED_SCAN_FLOOR}x)")
+    emit(f"pool           : {stats['physical_reads']} physical reads, "
+         f"{stats['shared_hits']} hits, "
+         f"{stats['lru_evictions']} LRU evictions")
+    guard("shared_scan_pool_hits", stats["shared_hits"], 1)
+    guard("shared_scan_mixed_batch_ratio", ratio, SHARED_SCAN_FLOOR)

@@ -40,7 +40,7 @@ from repro.errors import (
     ServiceError,
     StorageError,
 )
-from repro.api import EdfFrame, F, WakeContext
+from repro.api import EdfFrame, ExecutionOptions, F, WakeContext
 from repro.core import CIConfig, EdfSnapshot, EvolvingDataFrame
 from repro.storage import Catalog, TableMeta, write_table
 
@@ -58,6 +58,7 @@ __all__ = [
     "EdfSnapshot",
     "EvolvingDataFrame",
     "ExecutionError",
+    "ExecutionOptions",
     "F",
     "Field",
     "InferenceError",

@@ -3,5 +3,14 @@
 from repro.api.context import WakeContext
 from repro.api.frame_api import EdfFrame, PlanNode
 from repro.api.functions import AggExpr, F
+from repro.api.options import ExecutionOptions, resolve_options
 
-__all__ = ["AggExpr", "EdfFrame", "F", "PlanNode", "WakeContext"]
+__all__ = [
+    "AggExpr",
+    "EdfFrame",
+    "ExecutionOptions",
+    "F",
+    "PlanNode",
+    "WakeContext",
+    "resolve_options",
+]

@@ -17,7 +17,6 @@ from repro.errors import QueryError
 from repro.analysis.schema_check import infer_plan, validate_plan
 from repro.core.ci import CIConfig
 from repro.core.edf import EvolvingDataFrame
-from repro.core.orderstat import DEFAULT_SKETCH_SIZE, QUANTILE_MODES
 from repro.engine.executor import (
     StepExecutor,
     SyncExecutor,
@@ -25,19 +24,24 @@ from repro.engine.executor import (
 )
 from repro.engine.graph import QueryGraph
 from repro.engine.ops import ReadOperator
-from repro.engine.optimizer import (
-    OptimizerTrace,
-    build_optimizer,
-    validate_rule_names,
-)
+from repro.engine.optimizer import OptimizerTrace, build_optimizer
 from repro.storage.catalog import Catalog, TableMeta
 from repro.api.frame_api import EdfFrame, PlanNode
+from repro.api.options import ExecutionOptions, resolve_options
 
 _EXECUTORS = ("sync", "threads")
 
 
 class WakeContext:
-    """A Deep OLA session (paper §7)."""
+    """A Deep OLA session (paper §7).
+
+    Tuning knobs live in one validated
+    :class:`~repro.api.options.ExecutionOptions` bundle (``options=``);
+    every historical keyword argument (``parallelism``, ``pushdown``,
+    ``optimize``, ``optimizer_disable``, ``validate``,
+    ``quantile_mode``, ``sketch_size``) keeps working and overrides the
+    bundle — one validation path, zero deprecated call sites.
+    """
 
     def __init__(
         self,
@@ -46,70 +50,42 @@ class WakeContext:
         capture_all: bool = True,
         ci: CIConfig | None = None,
         partition_shuffle_seed: int | None = None,
-        quantile_mode: str = "exact",
-        sketch_size: int = DEFAULT_SKETCH_SIZE,
-        parallelism: int = 1,
-        pushdown: bool = True,
-        optimize: bool = True,
-        optimizer_disable: Sequence[str] = (),
-        validate: bool = True,
+        quantile_mode: str | None = None,
+        sketch_size: int | None = None,
+        parallelism: int | None = None,
+        pushdown: bool | None = None,
+        optimize: bool | None = None,
+        optimizer_disable: Sequence[str] | None = None,
+        validate: bool | None = None,
+        options: ExecutionOptions | None = None,
+        scan_share: bool | None = None,
+        result_cache: bool | None = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise QueryError(
                 f"unknown executor {executor!r}; expected one of "
                 f"{_EXECUTORS}"
             )
-        if parallelism < 1:
-            raise QueryError(
-                f"parallelism must be >= 1, got {parallelism}"
-            )
-        if quantile_mode not in QUANTILE_MODES:
-            raise QueryError(
-                f"unknown quantile_mode {quantile_mode!r}; expected one "
-                f"of {QUANTILE_MODES}"
-            )
-        if sketch_size < 2:
-            raise QueryError(
-                f"sketch_size must be >= 2, got {sketch_size}"
-            )
+        #: Session execution options (see
+        #: :class:`~repro.api.options.ExecutionOptions` for per-knob
+        #: semantics).  Legacy kwargs are merged over ``options`` so
+        #: both call styles resolve to this one bundle.
+        self.options = resolve_options(
+            options,
+            quantile_mode=quantile_mode,
+            sketch_size=sketch_size,
+            parallelism=parallelism,
+            pushdown=pushdown,
+            optimize=optimize,
+            optimizer_disable=optimizer_disable,
+            validate=validate,
+            scan_share=scan_share,
+            result_cache=result_cache,
+        )
         self.catalog = catalog or Catalog()
         self.executor = executor
         self.capture_all = capture_all
         self.ci = ci
-        #: Session defaults for median/quantile state maintenance:
-        #: ``"exact"`` keeps the full per-group multiset (footnote-3
-        #: semantics, exact finals); ``"sketch"`` bounds memory with a
-        #: per-group reservoir sample of ``sketch_size`` values
-        #: (approximate, including finals).
-        self.quantile_mode = quantile_mode
-        self.sketch_size = sketch_size
-        #: Session default shard count for stateful shuffle subplans.
-        #: 1 (default) keeps plans and snapshot sequences byte-identical
-        #: to the unsharded engine; K > 1 rewrites shuffle aggregates
-        #: (and aligned hash-join subplans) into K hash-partitioned
-        #: replicas combined by a union (see repro.engine.planner).
-        self.parallelism = parallelism
-        #: Scan-layer pushdown (default on): projection (scans load only
-        #: downstream-referenced columns) and zone-map partition pruning
-        #: (sargable filter conjuncts skip partitions they cannot match).
-        #: Both are semantically invisible — finals and snapshot ``t``
-        #: sequences are byte-identical with pushdown off.
-        self.pushdown = pushdown
-        #: Master switch for the plan-rewrite optimizer (default on).
-        #: ``False`` submits plans exactly as written — every rewrite
-        #: rule is off; the exchange rewrite still honors an explicit
-        #: ``parallelism`` (a resource request, not an optimization).
-        self.optimize = optimize
-        #: Individual rule names to disable (see
-        #: ``repro.engine.optimizer.RULE_NAMES``) — the per-rule escape
-        #: hatch; validated eagerly so typos fail at session setup.
-        self.optimizer_disable = validate_rule_names(optimizer_disable)
-        #: Static plan validation at submit (default on): every
-        #: materialized plan is schema/type checked before the optimizer
-        #: or any partition read, so malformed plans raise a structured
-        #: :class:`~repro.errors.PlanValidationError` instead of failing
-        #: mid-stream (see :mod:`repro.analysis.schema_check`).
-        self.validate = validate
         #: When set, every table is read in a seed-derived shuffled
         #: partition order (the §8.5 out-of-order-input experiment).
         self.partition_shuffle_seed = partition_shuffle_seed
@@ -118,6 +94,44 @@ class WakeContext:
         #: rewritten, pass count, plan hash).
         self.last_trace: OptimizerTrace | None = None
         self._scan_counts: dict[str, int] = {}
+
+    # -- legacy attribute views over the options bundle ----------------------------
+    @property
+    def quantile_mode(self) -> str:
+        """Session default for median/quantile state maintenance
+        (``"exact"`` keeps the full per-group multiset; ``"sketch"``
+        bounds memory with a per-group reservoir)."""
+        return self.options.quantile_mode
+
+    @property
+    def sketch_size(self) -> int:
+        return self.options.sketch_size
+
+    @property
+    def parallelism(self) -> int:
+        """Session default shard count for stateful shuffle subplans
+        (1 = unsharded, byte-identical plans)."""
+        return self.options.parallelism
+
+    @property
+    def pushdown(self) -> bool:
+        """Scan-layer pushdown (projection + zone-map pruning)."""
+        return self.options.pushdown
+
+    @property
+    def optimize(self) -> bool:
+        """Master switch for the plan-rewrite optimizer."""
+        return self.options.optimize
+
+    @property
+    def optimizer_disable(self) -> frozenset[str]:
+        """Individual rule names disabled for this session."""
+        return self.options.optimizer_disable
+
+    @property
+    def validate(self) -> bool:
+        """Static plan validation at submit."""
+        return self.options.validate
 
     @classmethod
     def from_catalog(cls, path: str | Path, **kwargs) -> "WakeContext":
@@ -166,12 +180,25 @@ class WakeContext:
         return EdfFrame(self, PlanNode(factory))
 
     # -- execution -----------------------------------------------------------------
+    def _effective(
+        self,
+        options: ExecutionOptions | None,
+        parallelism: int | None,
+        pushdown: bool | None,
+        optimize: bool | None,
+    ) -> ExecutionOptions:
+        """Per-run option resolution: an explicit ``options=`` replaces
+        the session bundle wholesale, then the legacy per-run kwargs
+        override field-wise (all re-validated in one place)."""
+        base = options if options is not None else self.options
+        return base.merged(
+            parallelism=parallelism, pushdown=pushdown, optimize=optimize
+        )
+
     def _materialize(
         self,
         frame: EdfFrame,
-        parallelism: int | None,
-        pushdown: bool | None = None,
-        optimize: bool | None = None,
+        opts: ExecutionOptions,
     ) -> tuple[QueryGraph, int]:
         """Instantiate the plan, statically validate it, and run the
         rule optimizer over it (logical rules to fixed point, then
@@ -179,21 +206,16 @@ class WakeContext:
         :attr:`last_trace`."""
         graph = QueryGraph()
         output = frame.plan.materialize(graph, {})
-        if self.validate:
+        if opts.validate:
             # Submit-time chokepoint: run/stream/executor_for/explain
             # (and the service on top of them) all reject malformed
             # plans here, before any partition is read.
             validate_plan(graph, output)
-        shards = self.parallelism if parallelism is None else parallelism
-        if shards < 1:
-            raise QueryError(
-                f"parallelism must be >= 1, got {shards}"
-            )
         optimizer = build_optimizer(
-            parallelism=shards,
-            pushdown=self.pushdown if pushdown is None else pushdown,
-            optimize=self.optimize if optimize is None else optimize,
-            disable=self.optimizer_disable,
+            parallelism=opts.parallelism,
+            pushdown=opts.pushdown,
+            optimize=opts.optimize,
+            disable=opts.optimizer_disable,
         )
         graph, output, self.last_trace = optimizer.optimize(graph, output)
         return graph, output
@@ -208,19 +230,22 @@ class WakeContext:
         parallelism: int | None = None,
         pushdown: bool | None = None,
         optimize: bool | None = None,
+        options: ExecutionOptions | None = None,
     ) -> EvolvingDataFrame:
         """Execute a plan, returning its evolving output.
 
         The returned :class:`EvolvingDataFrame` holds every intermediate
         snapshot (``capture_all=True``) or just the first estimate and the
-        exact final answer (``capture_all=False``).  ``parallelism``
-        overrides the session shard count for this run (K > 1 shards
+        exact final answer (``capture_all=False``).  ``options``
+        replaces the session's :class:`ExecutionOptions` for this run;
+        ``parallelism`` overrides the shard count (K > 1 shards
         stateful shuffle subplans into K hash-partitioned replicas);
-        ``pushdown`` overrides the session's scan-pushdown setting and
-        ``optimize`` the session's optimizer switch.
+        ``pushdown`` overrides the scan-pushdown setting and
+        ``optimize`` the optimizer switch.
         """
         graph, output = self._materialize(
-            frame, parallelism, pushdown, optimize
+            frame,
+            self._effective(options, parallelism, pushdown, optimize),
         )
         which = executor or self.executor
         capture = self.capture_all if capture_all is None else capture_all
@@ -252,6 +277,7 @@ class WakeContext:
         parallelism: int | None = None,
         pushdown: bool | None = None,
         optimize: bool | None = None,
+        options: ExecutionOptions | None = None,
     ):
         """Execute on the threaded engine, *yielding* snapshots live.
 
@@ -261,7 +287,8 @@ class WakeContext:
         final snapshot.
         """
         graph, output = self._materialize(
-            frame, parallelism, pushdown, optimize
+            frame,
+            self._effective(options, parallelism, pushdown, optimize),
         )
         engine = ThreadedExecutor(
             graph, output, capture_all=True,
@@ -279,6 +306,7 @@ class WakeContext:
         parallelism: int | None = None,
         pushdown: bool | None = None,
         optimize: bool | None = None,
+        options: ExecutionOptions | None = None,
     ) -> StepExecutor:
         """A resumable :class:`StepExecutor` over the materialized plan
         (after pushdown and the shard rewrite) — the unit the
@@ -287,7 +315,8 @@ class WakeContext:
         completion yields snapshot sequences byte-identical to
         :meth:`run` on the sync executor."""
         graph, output = self._materialize(
-            frame, parallelism, pushdown, optimize
+            frame,
+            self._effective(options, parallelism, pushdown, optimize),
         )
         capture = self.capture_all if capture_all is None else capture_all
         return StepExecutor(
@@ -299,6 +328,7 @@ class WakeContext:
                 parallelism: int | None = None,
                 pushdown: bool | None = None,
                 optimize: bool | None = None,
+                options: ExecutionOptions | None = None,
                 mode: str = "plan") -> str:
         """Human-readable plan: node names, deliveries, schemas (after
         the optimizer has run), followed by the optimizer trace —
@@ -318,7 +348,8 @@ class WakeContext:
                 f"'types'"
             )
         graph, output = self._materialize(
-            frame, parallelism, pushdown, optimize
+            frame,
+            self._effective(options, parallelism, pushdown, optimize),
         )
         if mode == "types":
             return self._explain_types(graph, output)

@@ -1,0 +1,124 @@
+"""ExecutionOptions: one validated bundle for every tuning knob.
+
+Before this module the tuning surface lived as nine loose keyword
+arguments on :class:`~repro.api.context.WakeContext` (plus copy-pasted
+per-run overrides on ``run``/``stream``/``explain``/``executor_for``),
+each with its own validation snippet.  :class:`ExecutionOptions`
+consolidates them into one frozen dataclass with a single validation
+path; the legacy kwargs keep working everywhere (they are merged *over*
+an ``options=`` bundle), so no call site has to change.
+
+Layering note: everything here is plan/execution configuration — the
+service layer (:mod:`repro.service`) threads the same object through
+``QueryService.submit`` and ``repro serve``, where the two knobs new in
+this bundle come alive: ``scan_share`` (one physical partition read
+fans out to every concurrent query scanning the same table) and
+``result_cache`` (a submit whose canonical plan hash matches an
+in-flight or retained session attaches to it instead of re-executing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+from repro.errors import QueryError
+from repro.core.orderstat import DEFAULT_SKETCH_SIZE, QUANTILE_MODES
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Every execution-tuning knob, validated once.
+
+    The fields mirror the historical ``WakeContext`` kwargs (same names,
+    same defaults, same error messages) plus the multi-query sharing
+    knobs ``scan_share`` and ``result_cache``:
+
+    * ``parallelism`` — shard count for stateful shuffle subplans
+      (1 = unsharded, byte-identical plans).
+    * ``pushdown`` — scan projection + zone-map partition pruning.
+    * ``optimize`` / ``optimizer_disable`` — plan-rewrite master switch
+      and per-rule escape hatch (rule names validated eagerly).
+    * ``validate`` — static schema/type checking at submit.
+    * ``quantile_mode`` / ``sketch_size`` — exact vs reservoir-sketch
+      order statistics.
+    * ``scan_share`` — service-level shared scans: one partition read
+      per (table, partition, column-superset) fans out to every
+      subscribed query (semantically invisible; snapshot sequences stay
+      byte-identical).
+    * ``result_cache`` — service-level plan-hash result cache: an
+      identical submit attaches to the in-flight (or retained) session,
+      replaying its snapshot prefix, instead of re-executing.
+    """
+
+    parallelism: int = 1
+    pushdown: bool = True
+    optimize: bool = True
+    optimizer_disable: frozenset[str] = field(default_factory=frozenset)
+    validate: bool = True
+    quantile_mode: str = "exact"
+    sketch_size: int = DEFAULT_SKETCH_SIZE
+    scan_share: bool = False
+    result_cache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise QueryError(
+                f"parallelism must be >= 1, got {self.parallelism}"
+            )
+        if self.quantile_mode not in QUANTILE_MODES:
+            raise QueryError(
+                f"unknown quantile_mode {self.quantile_mode!r}; expected "
+                f"one of {QUANTILE_MODES}"
+            )
+        if self.sketch_size < 2:
+            raise QueryError(
+                f"sketch_size must be >= 2, got {self.sketch_size}"
+            )
+        # Rule names fail eagerly (typos surface at construction, not
+        # at the first submit); import deferred to dodge the
+        # api -> engine -> api cycle at module-import time.
+        from repro.engine.optimizer import validate_rule_names
+
+        object.__setattr__(
+            self, "optimizer_disable",
+            validate_rule_names(self.optimizer_disable),
+        )
+
+    def merged(self, **overrides) -> "ExecutionOptions":
+        """A copy with the non-``None`` overrides applied (and the whole
+        bundle re-validated).  This is the one merge path all legacy
+        kwargs flow through — ``WakeContext(parallelism=4)``,
+        ``run(pushdown=False)``, and ``QueryService.submit``'s per-call
+        fields all land here."""
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise QueryError(
+                f"unknown execution option(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        effective = {k: v for k, v in overrides.items() if v is not None}
+        if not effective:
+            return self
+        if "optimizer_disable" in effective:
+            effective["optimizer_disable"] = frozenset(
+                effective["optimizer_disable"]
+            )
+        return replace(self, **effective)
+
+    def cache_fingerprint(self) -> tuple:
+        """The option values that can change *result bytes* (everything
+        the plan hash does not already capture).  Used as part of the
+        result-cache key: two submits may only share a session when
+        their fingerprints match."""
+        return (self.quantile_mode, self.sketch_size)
+
+
+def resolve_options(
+    options: "ExecutionOptions | None", **overrides
+) -> ExecutionOptions:
+    """The canonical ``options=`` + legacy-kwargs resolution: start from
+    ``options`` (or the defaults), then apply the explicitly-passed
+    (non-``None``) keyword overrides."""
+    base = options if options is not None else ExecutionOptions()
+    return base.merged(**overrides)

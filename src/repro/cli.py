@@ -116,6 +116,15 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                         "default: unbounded)")
     p.add_argument("--no-pushdown", action="store_true",
                    help="disable scan pushdown for submitted queries")
+    p.add_argument("--no-scan-share", action="store_true",
+                   help="disable shared scans (by default concurrent "
+                        "queries over the same table share one "
+                        "physical read per partition)")
+    p.add_argument("--no-result-cache", action="store_true",
+                   help="disable the plan-hash result cache (by "
+                        "default a submit identical to an in-flight "
+                        "or retained session attaches to it instead "
+                        "of re-executing)")
     p.add_argument("--retry-max-attempts", type=int, default=3,
                    help="tries per partition before giving up "
                         "(1 = fail fast on the first transient error)")
@@ -256,11 +265,19 @@ def cmd_stats(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.api.options import ExecutionOptions
     from repro.service import QueryService, RetryPolicy, SnapshotServer
 
-    ctx = WakeContext.from_catalog(args.catalog,
-                                   parallelism=args.parallelism,
-                                   pushdown=not args.no_pushdown)
+    # The server defaults both multi-query optimizations ON (the
+    # library-level default is off): a serve deployment is exactly the
+    # concurrent-duplicate workload they exist for.
+    options = ExecutionOptions(
+        parallelism=args.parallelism,
+        pushdown=not args.no_pushdown,
+        scan_share=not args.no_scan_share,
+        result_cache=not args.no_result_cache,
+    )
+    ctx = WakeContext.from_catalog(args.catalog, options=options)
     retry = RetryPolicy(
         max_attempts=args.retry_max_attempts,
         backoff_base=args.retry_backoff,

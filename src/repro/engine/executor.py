@@ -204,6 +204,13 @@ class StepExecutor:
         #: executor at the top of every step, before any state advances
         #: — an exception raised here is always retry-safe.
         self.before_step = None
+        #: Optional shared-scan pool (a
+        #: :class:`repro.service.scanshare.ScanShareManager`) injected
+        #: by the service before the first step: every scan source
+        #: opened by this executor subscribes to it, so concurrent
+        #: queries share one physical read per (table, partition,
+        #: column-superset).  ``None`` keeps scans private.
+        self.scan_share = None
 
     # -- lazy setup ---------------------------------------------------------------
     def _ensure_sink(self) -> None:
@@ -232,6 +239,10 @@ class StepExecutor:
         for source_id in graph.source_ids():
             op = graph.node(source_id).operator
             assert isinstance(op, SourceOperator)
+            if self.scan_share is not None and hasattr(op, "scan_share"):
+                # Inject the service's shared-scan pool right before the
+                # stream opens (streams subscribe at construction).
+                op.scan_share = self.scan_share
             self._streams[source_id] = op.stream()
         self._build = deque(
             s for s in self._streams if priorities[s] == 0

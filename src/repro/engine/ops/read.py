@@ -75,6 +75,20 @@ class PartitionStream:
         self._schema = op.scan_schema()
         self._pos = 0
         self._quarantine_next = False
+        # Multi-query scan sharing (service layer): when the operator
+        # carries a ScanShareManager, register the partitions this
+        # stream will physically read (pruned ones excluded) so
+        # concurrent scans of the same table share one read/decompress
+        # per partition.  All failure/retry semantics are unchanged —
+        # the pool never publishes a failed read.
+        if op.scan_share is not None:
+            self._share = op.scan_share.subscribe(
+                op.meta,
+                (i for i in self._indices if i not in self._pruned),
+                op.columns,
+            )
+        else:
+            self._share = None
         # Per-stream state is rebuilt from scratch: constructing (or
         # restarting) the iterator twice must not double-merge progress
         # into the operator, so ``_progress`` is *reset*, not merged.
@@ -89,6 +103,8 @@ class PartitionStream:
     def __next__(self) -> Message:
         op = self._op
         if self._pos >= len(self._indices):
+            if self._share is not None:
+                self._share.close()
             raise StopIteration
         index = self._indices[self._pos]
         if index in self._pruned or self._quarantine_next:
@@ -96,9 +112,17 @@ class PartitionStream:
             # tuple count without touching the file.  The empty partial
             # still flows so downstream refresh cadence and growth
             # inference match the full scan exactly.
+            if self._quarantine_next and self._share is not None:
+                # Tell the pool we will never consume this partition so
+                # other subscribers stop waiting on (and stop widening
+                # column unions for) this stream.
+                self._share.release(index)
             self._quarantine_next = False
             frame = DataFrame.empty(self._schema)
             advance = op.meta.tuple_counts[index]
+        elif self._share is not None:
+            frame = self._share.fetch(index)
+            advance = frame.n_rows
         else:
             frame = op.meta.read_partition(index, columns=op.columns)
             advance = frame.n_rows
@@ -129,6 +153,8 @@ class PartitionStream:
     def close(self) -> None:
         """Exhaust the stream (the executor's stream-shutdown hook)."""
         self._pos = len(self._indices)
+        if self._share is not None:
+            self._share.close()
 
 
 class ReadOperator(SourceOperator):
@@ -139,6 +165,11 @@ class ReadOperator(SourceOperator):
     name and keys the progress counters.  ``columns``/``predicates``
     carry planner pushdowns (see the module docstring).
     """
+
+    #: Optional :class:`~repro.service.scanshare.ScanShareManager` —
+    #: injected by the step executor when the service enables shared
+    #: scans; ``None`` (the default) keeps every scan private.
+    scan_share = None
 
     def __init__(
         self,

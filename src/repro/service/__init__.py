@@ -20,23 +20,29 @@ Layering (bottom-up):
 """
 
 from repro.service.retry import PARTITION_ERROR_MODES, RetryPolicy
+from repro.service.scanshare import ScanShareManager, ScanSubscription
 from repro.service.scheduler import FairShareScheduler
 from repro.service.session import (
+    AttachedSession,
     QuerySession,
     SessionState,
     SnapshotBuffer,
     Subscription,
 )
 from repro.service.server import QueryService, SnapshotServer
-from repro.service.client import ServiceClient
+from repro.service.client import ServiceClient, SessionHandle
 
 __all__ = [
+    "AttachedSession",
     "FairShareScheduler",
     "PARTITION_ERROR_MODES",
     "QueryService",
     "QuerySession",
     "RetryPolicy",
+    "ScanShareManager",
+    "ScanSubscription",
     "ServiceClient",
+    "SessionHandle",
     "SessionState",
     "SnapshotBuffer",
     "SnapshotServer",

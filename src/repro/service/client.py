@@ -4,6 +4,18 @@ One :class:`ServiceClient` owns one TCP connection; requests on it are
 serialized (a ``subscribe`` stream occupies the connection until its
 ``end`` event).  Open one client per concurrent subscription — they are
 cheap — and control the same sessions from any of them.
+
+``submit`` returns a :class:`SessionHandle` — a ``str`` subclass that
+*is* the session id (every old call site that treated the return value
+as a bare id string keeps working: comparisons, dict keys, JSON
+payloads) but additionally carries the submit reply
+(:attr:`~SessionHandle.cache_hit`, :attr:`~SessionHandle.attached_to`)
+and offers the control surface as methods::
+
+    handle = client.submit("q06")
+    handle.pause(); handle.resume()
+    for event in handle.subscribe():   # a fresh connection per stream
+        ...
 """
 
 from __future__ import annotations
@@ -13,6 +25,62 @@ import socket
 from typing import Iterator, Mapping
 
 from repro.errors import ServiceError
+
+
+class SessionHandle(str):
+    """A session id with its controls attached.
+
+    Subclasses ``str`` so the handle *is* the session id on the wire
+    and in existing code (``handle == "s1"``, set membership,
+    ``json.dumps``); the extra surface delegates to the client that
+    created it.  Control methods (:meth:`status`, :meth:`pause`,
+    :meth:`resume`, :meth:`cancel`) reuse the creating client's
+    connection; :meth:`subscribe` opens a **fresh** connection so the
+    snapshot stream never blocks control traffic.
+    """
+
+    #: Whether this submit attached to a cached identical session
+    #: instead of executing (the service's plan-hash result cache).
+    cache_hit: bool
+    #: The primary session id replayed on a cache hit (``None`` when
+    #: this submit executes for itself).
+    attached_to: str | None
+
+    def __new__(
+        cls,
+        session_id: str,
+        client: "ServiceClient",
+        reply: dict | None = None,
+    ) -> "SessionHandle":
+        handle = super().__new__(cls, session_id)
+        handle._client = client
+        reply = reply or {}
+        handle.cache_hit = bool(reply.get("cache_hit", False))
+        handle.attached_to = reply.get("attached_to")
+        return handle
+
+    def status(self) -> dict:
+        return self._client.status(str(self))
+
+    def pause(self) -> str:
+        return self._client.pause(str(self))
+
+    def resume(self) -> str:
+        return self._client.resume(str(self))
+
+    def cancel(self) -> str:
+        return self._client.cancel(str(self))
+
+    def subscribe(
+        self, start: int = 0, include_frame: bool = True
+    ) -> Iterator[dict]:
+        """Stream this session's snapshot events over a dedicated
+        connection (closed when the stream ends), so the creating
+        client stays free for control requests."""
+        with self._client.clone() as stream_client:
+            yield from stream_client.subscribe(
+                str(self), start=start, include_frame=include_frame
+            )
 
 
 class ServiceClient:
@@ -31,12 +99,24 @@ class ServiceClient:
         raises :class:`~repro.errors.ServiceError` instead of blocking
         ``subscribe()`` indefinitely).  Defaults to ``timeout`` when
         only that is given."""
+        self._host = host
+        self._port = port
+        self._timeout = timeout
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout)
         self._read_timeout = (read_timeout if read_timeout is not None
                               else timeout)
         self._sock.settimeout(self._read_timeout)
         self._file = self._sock.makefile("rwb")
+
+    def clone(self) -> "ServiceClient":
+        """A fresh connection to the same server (same timeouts) — used
+        by :meth:`SessionHandle.subscribe` so a long-lived snapshot
+        stream does not occupy this connection."""
+        return ServiceClient(
+            self._host, self._port,
+            timeout=self._timeout, read_timeout=self._read_timeout,
+        )
 
     # -- plumbing -----------------------------------------------------------------
     def _send(self, payload: dict) -> None:
@@ -72,10 +152,15 @@ class ServiceClient:
         pushdown: bool | None = None,
         name: str | None = None,
         paused: bool = False,
-    ) -> str:
-        """Submit a registered query; returns the new session id.
+        scan_share: bool | None = None,
+        result_cache: bool | None = None,
+    ) -> SessionHandle:
+        """Submit a registered query; returns a :class:`SessionHandle`
+        (a ``str`` holding the session id, plus controls and the
+        ``cache_hit``/``attached_to`` submit metadata).
         ``paused=True`` admits it without running — attach subscribers,
-        then ``resume``."""
+        then ``resume``.  ``scan_share``/``result_cache`` override the
+        server's defaults for this submit."""
         request: dict = {"op": "submit", "query": query,
                          "priority": priority}
         if paused:
@@ -88,7 +173,12 @@ class ServiceClient:
             request["pushdown"] = pushdown
         if name is not None:
             request["name"] = name
-        return self._request(request)["session"]
+        if scan_share is not None:
+            request["scan_share"] = scan_share
+        if result_cache is not None:
+            request["result_cache"] = result_cache
+        reply = self._request(request)
+        return SessionHandle(reply["session"], self, reply)
 
     def status(self, session: str | None = None) -> dict:
         """One session's status, or ``{"sessions": [...]}`` for all."""

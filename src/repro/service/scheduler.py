@@ -45,7 +45,11 @@ import time
 from repro.engine.executor import StepExecutor
 from repro.errors import QueryError, is_transient
 from repro.service.retry import RetryPolicy
-from repro.service.session import QuerySession, SessionState
+from repro.service.session import (
+    AttachedSession,
+    QuerySession,
+    SessionState,
+)
 
 #: How long the background loop dozes when nothing is runnable.
 _IDLE_WAIT = 0.05
@@ -106,6 +110,42 @@ class FairShareScheduler:
                 self._work.notify_all()
             return session
 
+    def attach(
+        self,
+        primary: QuerySession,
+        name: str | None = None,
+    ) -> AttachedSession | None:
+        """Register a new session that *replays* ``primary`` instead of
+        executing (the result-cache hit path).
+
+        The primary's retained snapshot prefix seeds the new session's
+        buffer and the primary's pump fans every later snapshot out to
+        it — all by reference, under the same lock the step loop uses,
+        so no snapshot can be missed or duplicated.  Returns ``None``
+        when the attach is impossible: bounded-buffer eviction already
+        dropped the primary's prefix (a replay could not be
+        byte-identical), which callers treat as a cache miss."""
+        with self._work:
+            if primary.buffer.evicted:
+                return None
+            session_id = f"s{self._next_id}"
+            self._next_id += 1
+            attached = AttachedSession(
+                session_id,
+                name or primary.name,
+                primary,
+                buffer_size=self._buffer_size,
+            )
+            for snapshot in primary.buffer.retained():
+                attached.buffer.append(snapshot)
+            self._sessions[session_id] = attached
+            if primary.terminal:
+                attached.finish_from_primary(primary.state,
+                                             primary.error)
+            else:
+                primary.fanout.append(attached)
+            return attached
+
     def _push(self, session: QuerySession) -> None:
         session.epoch += 1
         self._counter += 1
@@ -132,9 +172,12 @@ class FairShareScheduler:
 
     # -- control plane ------------------------------------------------------------
     def pause(self, session_id: str) -> SessionState:
-        """Stop scheduling a session (its state so far is retained)."""
+        """Stop scheduling a session (its state so far is retained).
+        Attached sessions never execute, so pausing one is a no-op."""
         with self._lock:
             session = self.get(session_id)
+            if isinstance(session, AttachedSession):
+                return session.state
             if session.state in (SessionState.SUBMITTED,
                                  SessionState.RUNNING):
                 session.state = SessionState.PAUSED
@@ -145,6 +188,8 @@ class FairShareScheduler:
         """Re-enter a paused session at the current virtual clock."""
         with self._work:
             session = self.get(session_id)
+            if isinstance(session, AttachedSession):
+                return session.state
             if session.state is SessionState.PAUSED:
                 session.state = (SessionState.RUNNING if session.steps
                                  else SessionState.SUBMITTED)
@@ -157,17 +202,20 @@ class FairShareScheduler:
         """Terminally stop a session: release its operator state, close
         its read streams, and seal its snapshot buffer.  Safe while the
         scheduler thread runs — the shared lock serializes the cancel
-        against any in-flight step."""
+        against any in-flight step.  Cancelling an *attached* session
+        merely detaches it: the primary (and its other subscribers)
+        keep running."""
         with self._lock:
             session = self.get(session_id)
             if session.terminal:
                 return session.state
-            session.state = SessionState.CANCELLED
+            if isinstance(session, AttachedSession):
+                session.detach()
+                return session.state
             session.epoch += 1
             session.pump_snapshots()
             session.executor.close()
-            session.buffer.close()
-            session.finished_at = time.monotonic()
+            session.finish(SessionState.CANCELLED)
             return session.state
 
     def prune(self, keep_latest: int = 0) -> list[str]:
@@ -216,9 +264,7 @@ class FairShareScheduler:
             session.vtime += 1.0 / session.priority
             session.pump_snapshots()
             if session.executor.done:
-                session.state = SessionState.DONE
-                session.buffer.close()
-                session.finished_at = time.monotonic()
+                session.finish(SessionState.DONE)
             else:
                 self._push(session)
             return session
@@ -254,16 +300,14 @@ class FairShareScheduler:
                 self._push(session)
                 self._work.notify_all()
                 return session
-        session.error = exc
-        session.state = SessionState.FAILED
         session.pump_snapshots()
         try:
             session.executor.close()
         finally:
-            # Seal with the error: subscribers receive a terminal
-            # error event instead of inferring failure from silence.
-            session.buffer.close(error=exc)
-        session.finished_at = time.monotonic()
+            # Seal with the error (propagated to attached sessions
+            # too): subscribers receive a terminal error event instead
+            # of inferring failure from silence.
+            session.finish(SessionState.FAILED, error=exc)
         return session
 
     def _cool(self, session: QuerySession, delay: float) -> None:

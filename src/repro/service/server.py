@@ -37,11 +37,19 @@ from typing import Callable, Mapping
 
 from repro.api.context import WakeContext
 from repro.api.frame_api import EdfFrame
+from repro.api.options import ExecutionOptions
 from repro.core.edf import EdfSnapshot
+from repro.engine.plan_node import plan_hash
 from repro.errors import PlanValidationError, QueryError
 from repro.service.retry import RetryPolicy
+from repro.service.scanshare import ScanShareManager
 from repro.service.scheduler import FairShareScheduler
-from repro.service.session import QuerySession, Subscription
+from repro.service.session import (
+    AttachedSession,
+    QuerySession,
+    SessionState,
+    Subscription,
+)
 
 #: Poll interval for subscription reads — short enough that server
 #: shutdown and client disconnects are noticed promptly.
@@ -66,7 +74,29 @@ def tpch_plan_registry() -> dict[str, Callable[..., EdfFrame]]:
 class QueryService:
     """A WakeContext + plan registry + fair-share scheduler: the
     process-wide multi-query engine the server (or an embedding
-    application) drives."""
+    application) drives.
+
+    Two multi-query optimizations live at this layer, both off by
+    default and switched through :class:`ExecutionOptions` (``options=``
+    here sets the service default; per-submit ``options``/kwargs
+    override it):
+
+    * ``scan_share`` — every submitted executor joins the service-wide
+      :class:`~repro.service.scanshare.ScanShareManager`, so concurrent
+      queries over the same table pay one physical read per (table,
+      partition, column-superset).
+    * ``result_cache`` — submits are keyed by the canonical
+      :func:`~repro.engine.plan_node.plan_hash` of their *optimized*
+      plan (plus the option fingerprint that can change result bytes);
+      a key match *attaches* to the in-flight or retained session —
+      replaying its snapshot prefix, O(prefix), zero execution —
+      instead of re-executing.  The cache is advisory: entries whose
+      session failed, was cancelled, was pruned, or whose buffer
+      evicted its prefix fall back to a fresh execution (and re-prime
+      the cache).  After mutating the catalog's underlying files,
+      call :meth:`invalidate_cache` — the plan hash keys table *names*,
+      not file contents.
+    """
 
     def __init__(
         self,
@@ -74,6 +104,7 @@ class QueryService:
         plans: Mapping[str, Callable[..., EdfFrame]] | None = None,
         buffer_size: int | None = None,
         retry: RetryPolicy | None = None,
+        options: ExecutionOptions | None = None,
     ) -> None:
         self.ctx = ctx
         self.plans = (dict(plans) if plans is not None
@@ -81,6 +112,17 @@ class QueryService:
         self.scheduler = FairShareScheduler(
             buffer_size=buffer_size, retry=retry
         )
+        #: Service-default execution options (the context's unless
+        #: overridden) — per-submit options/kwargs merge over these.
+        self.options = options if options is not None else ctx.options
+        #: Service-wide shared-scan pool (active only for sessions
+        #: submitted with ``scan_share=True``).
+        self.scan_share = ScanShareManager()
+        self._cache_lock = threading.Lock()
+        #: (plan hash, *option fingerprint) -> primary session id.
+        self._result_cache: dict[tuple, str] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     def submit(
         self,
@@ -91,8 +133,13 @@ class QueryService:
         pushdown: bool | None = None,
         name: str | None = None,
         paused: bool = False,
-    ) -> QuerySession:
-        """Build the named plan and register it with the scheduler."""
+        options: ExecutionOptions | None = None,
+        scan_share: bool | None = None,
+        result_cache: bool | None = None,
+    ) -> QuerySession | AttachedSession:
+        """Build the named plan and register it with the scheduler —
+        or, with the result cache on and a plan-hash match against a
+        live/retained identical session, attach to it instead."""
         try:
             factory = self.plans[query]
         except KeyError:
@@ -100,14 +147,87 @@ class QueryService:
             raise QueryError(
                 f"unknown query {query!r}; known: {known}"
             ) from None
-        frame = factory(self.ctx, **dict(params or {}))
-        executor = self.ctx.executor_for(
-            frame, parallelism=parallelism, pushdown=pushdown
+        opts = (options if options is not None else self.options).merged(
+            parallelism=parallelism,
+            pushdown=pushdown,
+            scan_share=scan_share,
+            result_cache=result_cache,
         )
-        return self.scheduler.submit(
+        frame = factory(self.ctx, **dict(params or {}))
+        executor = self.ctx.executor_for(frame, options=opts)
+        # Hash the *optimized* graph: parallelism/pushdown structure is
+        # part of the key, so differently-tuned submits never collide.
+        digest = plan_hash(executor.graph, executor.output)
+        cache_key = (digest, *opts.cache_fingerprint())
+        # ``paused`` submits bypass the cache entirely: an attach
+        # replays instead of executing, which cannot be paused, and a
+        # paused primary would stall its attachers.
+        if opts.result_cache and not paused:
+            attached = self._try_attach(cache_key, name or query)
+            if attached is not None:
+                executor.close()  # the planned run never starts
+                return attached
+        if opts.scan_share:
+            executor.scan_share = self.scan_share
+        session = self.scheduler.submit(
             executor, name=name or query, priority=priority,
             paused=paused,
         )
+        session.plan_hash = digest
+        if opts.result_cache and not paused:
+            with self._cache_lock:
+                self._result_cache[cache_key] = session.session_id
+        return session
+
+    def _try_attach(
+        self, cache_key: tuple, name: str
+    ) -> AttachedSession | None:
+        """Attach to the cached session for ``cache_key`` if it is
+        still usable; any dead entry (pruned, failed, cancelled,
+        prefix evicted) counts as a miss and is dropped."""
+        with self._cache_lock:
+            primary_id = self._result_cache.get(cache_key)
+        attached = None
+        if primary_id is not None:
+            try:
+                primary = self.scheduler.get(primary_id)
+            except QueryError:
+                primary = None  # pruned
+            if (
+                isinstance(primary, QuerySession)
+                and primary.state not in (SessionState.FAILED,
+                                          SessionState.CANCELLED)
+            ):
+                attached = self.scheduler.attach(primary, name=name)
+        with self._cache_lock:
+            if attached is None:
+                self._cache_misses += 1
+                if (primary_id is not None
+                        and self._result_cache.get(cache_key)
+                        == primary_id):
+                    del self._result_cache[cache_key]
+            else:
+                self._cache_hits += 1
+        return attached
+
+    def cache_stats(self) -> dict:
+        """Result-cache counters for the ``status`` report."""
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "entries": len(self._result_cache),
+            }
+
+    def invalidate_cache(self) -> int:
+        """Drop every result-cache entry (call after catalog files
+        change under an unchanged table name); returns how many entries
+        were dropped.  In-flight sessions are unaffected — only future
+        submits stop attaching."""
+        with self._cache_lock:
+            dropped = len(self._result_cache)
+            self._result_cache.clear()
+            return dropped
 
     def start(self) -> None:
         self.scheduler.start()
@@ -243,6 +363,8 @@ class SnapshotServer:
                 pushdown=request.get("pushdown"),
                 name=request.get("name"),
                 paused=bool(request.get("paused", False)),
+                scan_share=request.get("scan_share"),
+                result_cache=request.get("result_cache"),
             )
             writer.write(_encode({"ok": True, **session.status()}))
         elif op == "status":
@@ -254,6 +376,10 @@ class SnapshotServer:
                     "ok": True,
                     "sessions": [s.status()
                                  for s in scheduler.sessions()],
+                    "cache": self.service.cache_stats(),
+                    "scan_share": dict(
+                        self.service.scan_share.stats()
+                    ),
                 }))
         elif op in ("pause", "resume", "cancel"):
             if "session" not in request:

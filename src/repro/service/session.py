@@ -92,6 +92,24 @@ class SnapshotBuffer:
             return self._closed
 
     @property
+    def evicted(self) -> bool:
+        """True once bounded-buffer eviction has dropped the prefix —
+        a replay from snapshot 0 is no longer possible."""
+        with self._cond:
+            return self._base > 0
+
+    def retained(self) -> list[EdfSnapshot]:
+        """The snapshots currently retained (the full history unless
+        eviction dropped the prefix — check :attr:`evicted`)."""
+        with self._cond:
+            return list(self._snapshots)
+
+    def latest(self) -> EdfSnapshot | None:
+        """The newest retained snapshot (None while empty)."""
+        with self._cond:
+            return self._snapshots[-1] if self._snapshots else None
+
+    @property
     def error(self) -> BaseException | None:
         """The terminal error the buffer was sealed with (None unless
         the producing session FAILED)."""
@@ -224,20 +242,50 @@ class QuerySession:
         self.submitted_at = time.monotonic()
         self.finished_at: float | None = None
         self._pumped = 0
+        #: Canonical plan hash (set by the service when the result
+        #: cache is on; ``None`` for directly scheduled sessions).
+        self.plan_hash: str | None = None
+        #: Attached sessions (result-cache hits) fed by this session's
+        #: pump — each receives a *reference* to every snapshot this
+        #: session produces (O(1) per snapshot, no copies).
+        self.fanout: list["AttachedSession"] = []
 
     # -- scheduler side -----------------------------------------------------------
     def pump_snapshots(self) -> int:
-        """Move newly produced executor snapshots into the buffer.
-        Returns how many were transferred.  Never blocks.  Indexed
-        access keeps the per-step cost O(new snapshots), not O(all
-        snapshots ever produced)."""
+        """Move newly produced executor snapshots into the buffer (and
+        every attached session's buffer — shared references, no
+        copies).  Returns how many were transferred.  Never blocks.
+        Indexed access keeps the per-step cost O(new snapshots), not
+        O(all snapshots ever produced)."""
         edf = self.executor.edf
         moved = 0
         while self._pumped < len(edf):
-            self.buffer.append(edf.snapshot(self._pumped))
+            snapshot = edf.snapshot(self._pumped)
+            self.buffer.append(snapshot)
+            for attached in self.fanout:
+                attached.buffer.append(snapshot)
             self._pumped += 1
             moved += 1
         return moved
+
+    def finish(
+        self,
+        state: SessionState,
+        error: BaseException | None = None,
+    ) -> None:
+        """Enter a terminal state: seal this session's buffer and
+        propagate the terminal state to every attached session (a
+        result-cache subscriber shares its primary's fate — DONE,
+        FAILED with the same error, or CANCELLED).  Called under the
+        scheduler lock."""
+        self.state = state
+        if error is not None:
+            self.error = error
+        self.buffer.close(error=error)
+        self.finished_at = time.monotonic()
+        for attached in self.fanout:
+            attached.finish_from_primary(state, error)
+        self.fanout = []
 
     # -- shared views -------------------------------------------------------------
     @property
@@ -291,8 +339,122 @@ class QuerySession:
             "error": repr(self.error) if self.error is not None else None,
             "retries": self.retries_used,
             "degraded": self.degraded(),
+            "cache_hit": False,
         }
 
     def __repr__(self) -> str:
         return (f"QuerySession({self.session_id!r}, {self.name!r}, "
+                f"state={self.state.value})")
+
+
+class AttachedSession:
+    """A result-cache hit: a session that *replays* another session's
+    snapshots instead of executing.
+
+    Created by :meth:`FairShareScheduler.attach` when a submit's
+    canonical plan hash matches an in-flight (or retained) primary
+    session: the primary's retained snapshot prefix is seeded into this
+    session's buffer at attach time and every later snapshot is fanned
+    out by the primary's pump — all by reference, so an attach costs
+    O(prefix snapshots) pointer appends and zero execution.  The
+    subscriber-facing surface (``subscribe``/``status``/``degraded``)
+    matches :class:`QuerySession`, so clients cannot tell (except via
+    ``cache_hit``/``attached_to`` in ``status``) that nothing ran.
+
+    Lifecycle: the attached session mirrors its primary — it reaches
+    DONE/FAILED (same error) when the primary does.  ``cancel`` on an
+    attached session merely *detaches* it (the primary and any other
+    subscribers keep going); pause/resume are no-ops (there is no
+    execution to deschedule).
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        name: str,
+        primary: QuerySession,
+        buffer_size: int | None = None,
+    ) -> None:
+        self.session_id = session_id
+        self.name = name
+        self.primary = primary
+        self.priority = primary.priority
+        self.state = primary.state
+        self.error: BaseException | None = None
+        self.buffer = SnapshotBuffer(maxlen=buffer_size)
+        self.plan_hash = primary.plan_hash
+        self.submitted_at = time.monotonic()
+        self.finished_at: float | None = None
+
+    # -- mirrored views ------------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def steps(self) -> int:
+        """Partition-steps executed *by the primary* — this session
+        itself never executes."""
+        return self.primary.steps
+
+    @property
+    def quarantined(self) -> list:
+        return self.primary.quarantined
+
+    def subscribe(self, start: int = 0) -> Subscription:
+        return Subscription(self.buffer, start=start)
+
+    def degraded(self) -> dict | None:
+        """Degradation is shared state: a partition quarantined in the
+        primary is missing from every attached subscriber's answer."""
+        return self.primary.degraded()
+
+    def finish_from_primary(
+        self,
+        state: SessionState,
+        error: BaseException | None = None,
+    ) -> None:
+        """The primary reached a terminal state; mirror it (called
+        under the scheduler lock, via :meth:`QuerySession.finish`)."""
+        self.state = state
+        self.error = error
+        self.buffer.close(error=error)
+        self.finished_at = time.monotonic()
+
+    def detach(self) -> None:
+        """Stop mirroring (the attached session's ``cancel``): seal the
+        buffer with what was replayed so far and leave the primary —
+        and its other subscribers — untouched."""
+        if self.terminal:
+            return
+        self.state = SessionState.CANCELLED
+        if self in self.primary.fanout:
+            self.primary.fanout.remove(self)
+        self.buffer.close()
+        self.finished_at = time.monotonic()
+
+    def status(self) -> dict:
+        """The wire ``status`` payload — same shape as
+        :class:`QuerySession.status` plus the attach provenance."""
+        count = len(self.buffer)
+        latest = self.buffer.latest()
+        return {
+            "session": self.session_id,
+            "name": self.name,
+            "state": self.state.value,
+            "priority": self.priority,
+            "steps": self.steps,
+            "snapshots": count,
+            "t": latest.t if latest is not None else 0.0,
+            "final": latest.is_final if latest is not None else False,
+            "error": repr(self.error) if self.error is not None else None,
+            "retries": self.primary.retries_used,
+            "degraded": self.degraded(),
+            "cache_hit": True,
+            "attached_to": self.primary.session_id,
+        }
+
+    def __repr__(self) -> str:
+        return (f"AttachedSession({self.session_id!r}, {self.name!r}, "
+                f"primary={self.primary.session_id!r}, "
                 f"state={self.state.value})")

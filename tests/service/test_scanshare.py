@@ -1,0 +1,219 @@
+"""ScanShareManager unit tests: one physical read per (table,
+partition, column-superset), refcounted fan-out, LRU bounding, and the
+failure contract (a failed read is never published).
+
+All tests drive the manager directly through ``subscribe``/``fetch``/
+``release``/``close`` — the same seam :class:`PartitionStream` uses —
+against the small ``sales`` table (6 partitions of 10 rows).
+"""
+
+import pytest
+
+from repro.errors import TransientStorageError
+from repro.service import ScanShareManager
+from repro.testing.faults import FaultInjector
+
+
+def frames_equal(a, b):
+    """Byte-level equality including column order."""
+    if a.column_names != b.column_names or a.n_rows != b.n_rows:
+        return False
+    return all(
+        a.column(name).tobytes() == b.column(name).tobytes()
+        for name in a.column_names
+    )
+
+
+@pytest.fixture
+def sales(catalog):
+    return catalog.table("sales")
+
+
+class TestSharing:
+    def test_second_fetch_is_a_hit(self, sales):
+        manager = ScanShareManager()
+        a = manager.subscribe(sales, range(6), None)
+        b = manager.subscribe(sales, range(6), None)
+        direct = sales.read_partition(0)
+        got_a = a.fetch(0)
+        got_b = b.fetch(0)
+        assert frames_equal(got_a, direct)
+        assert got_b is got_a  # fan-out shares the reference
+        stats = manager.stats()
+        assert stats["physical_reads"] == 1
+        assert stats["shared_hits"] == 1
+
+    def test_last_consumer_evicts(self, sales):
+        manager = ScanShareManager()
+        a = manager.subscribe(sales, range(6), None)
+        b = manager.subscribe(sales, range(6), None)
+        a.fetch(0)
+        assert manager.stats()["entries"] == 1
+        b.fetch(0)
+        assert manager.stats()["entries"] == 0
+
+    def test_no_publish_without_other_waiters(self, sales):
+        manager = ScanShareManager()
+        solo = manager.subscribe(sales, range(6), None)
+        solo.fetch(0)
+        # Nobody else pends partition 0, so nothing is retained.
+        assert manager.stats()["entries"] == 0
+
+    def test_all_partitions_shared(self, sales):
+        manager = ScanShareManager()
+        subs = [manager.subscribe(sales, range(6), None)
+                for _ in range(4)]
+        for index in range(6):
+            frames = [sub.fetch(index) for sub in subs]
+            assert all(f is frames[0] for f in frames)
+        for sub in subs:
+            sub.close()
+        stats = manager.stats()
+        assert stats["physical_reads"] == 6
+        assert stats["shared_hits"] == 18
+        assert stats["entries"] == 0
+        assert stats["subscribers"] == 0
+
+    def test_distinct_tables_do_not_share(self, catalog):
+        manager = ScanShareManager()
+        a = manager.subscribe(catalog.table("sales"), range(6), None)
+        b = manager.subscribe(
+            catalog.table("customers"), range(1), None
+        )
+        a.fetch(0)
+        b.fetch(0)
+        assert manager.stats()["physical_reads"] == 2
+        assert manager.stats()["shared_hits"] == 0
+
+
+class TestColumnUnion:
+    def test_union_read_serves_both_projections(self, sales):
+        manager = ScanShareManager()
+        a = manager.subscribe(sales, range(6), ("qty",))
+        b = manager.subscribe(sales, range(6), ("okey",))
+        got_a = a.fetch(0)
+        got_b = b.fetch(0)
+        # Each sees exactly its own projection, byte-identical to a
+        # direct projected read.
+        assert frames_equal(got_a, sales.read_partition(
+            0, columns=("qty",)))
+        assert frames_equal(got_b, sales.read_partition(
+            0, columns=("okey",)))
+        assert manager.stats()["physical_reads"] == 1
+        assert manager.stats()["shared_hits"] == 1
+
+    def test_projection_preserves_requested_order(self, sales):
+        manager = ScanShareManager()
+        a = manager.subscribe(sales, range(6), ("qty", "okey"))
+        b = manager.subscribe(sales, range(6), ("qty", "okey"))
+        a.fetch(0)
+        got = b.fetch(0)  # the hit path projects the superset frame
+        assert got.column_names == ("qty", "okey")
+        # A direct projected read normalizes to schema order; the
+        # shared fetch honours the subscriber's requested order with
+        # the same bytes per column.
+        direct = sales.read_partition(0, columns=("qty", "okey"))
+        assert frames_equal(got, direct.select(["qty", "okey"]))
+
+    def test_full_schema_subscriber_widens_to_none(self, sales):
+        manager = ScanShareManager()
+        a = manager.subscribe(sales, range(6), ("qty",))
+        manager.subscribe(sales, range(6), None)
+        got = a.fetch(0)  # union must be the full schema
+        assert got.column_names == ("qty",)
+        entry = next(iter(manager._entries.values()))
+        assert entry.columns is None
+
+    def test_narrow_entry_does_not_cover_wider_need(self, sales):
+        manager = ScanShareManager()
+        a = manager.subscribe(sales, range(6), ("qty",))
+        a.fetch(0)  # publishes nothing (no other subscriber yet)
+        b = manager.subscribe(sales, range(6), None)
+        got = b.fetch(0)  # no usable entry -> its own physical read
+        assert got.column_names == sales.schema.names
+        assert manager.stats()["physical_reads"] == 2
+
+
+class TestReleaseAndClose:
+    def test_release_stops_waiting_and_widening(self, sales):
+        manager = ScanShareManager()
+        a = manager.subscribe(sales, range(6), ("qty",))
+        b = manager.subscribe(sales, range(6), ("region",))
+        b.release(0)  # e.g. quarantined by b's session
+        got = a.fetch(0)
+        # b no longer pends partition 0: nothing is retained for it and
+        # the union excluded its column.
+        assert manager.stats()["entries"] == 0
+        assert frames_equal(got, sales.read_partition(
+            0, columns=("qty",)))
+
+    def test_close_releases_all_pending(self, sales):
+        manager = ScanShareManager()
+        a = manager.subscribe(sales, range(6), None)
+        b = manager.subscribe(sales, range(6), None)
+        a.fetch(0)  # published, waiting on b
+        assert manager.stats()["entries"] == 1
+        b.close()
+        stats = manager.stats()
+        assert stats["entries"] == 0
+        assert stats["subscribers"] == 1
+        b.close()  # idempotent
+        a.close()
+        assert manager.stats()["subscribers"] == 0
+
+
+class TestLru:
+    def test_eviction_falls_back_to_own_read(self, sales):
+        manager = ScanShareManager(max_cached=1)
+        a = manager.subscribe(sales, range(6), None)
+        b = manager.subscribe(sales, range(6), None)
+        a.fetch(0)
+        a.fetch(1)  # pool cap 1: partition 0's entry is evicted
+        stats = manager.stats()
+        assert stats["lru_evictions"] == 1
+        assert stats["entries"] == 1
+        direct = sales.read_partition(0)
+        assert frames_equal(b.fetch(0), direct)  # a miss, not an error
+        assert frames_equal(b.fetch(1), sales.read_partition(1))
+        stats = manager.stats()
+        assert stats["physical_reads"] == 3
+        assert stats["shared_hits"] == 1
+
+    def test_max_cached_validated(self):
+        with pytest.raises(ValueError, match="max_cached must be >= 1"):
+            ScanShareManager(max_cached=0)
+
+
+class TestFailureContract:
+    def test_failed_read_is_not_published_and_is_retryable(
+        self, catalog
+    ):
+        injector = FaultInjector(seed=3)
+        injector.plan_fault("sales", 0, "transient", times=1)
+        faulty = injector.wrap_catalog(catalog).table("sales")
+        manager = ScanShareManager()
+        a = manager.subscribe(faulty, range(6), None)
+        b = manager.subscribe(faulty, range(6), None)
+        with pytest.raises(TransientStorageError):
+            a.fetch(0)
+        stats = manager.stats()
+        assert stats["physical_reads"] == 0
+        assert stats["entries"] == 0
+        # The retry succeeds and b then shares the published frame.
+        got = a.fetch(0)
+        assert b.fetch(0) is got
+        assert manager.stats()["shared_hits"] == 1
+
+    def test_peer_fetch_unaffected_by_anothers_fault(self, catalog):
+        injector = FaultInjector(seed=3)
+        injector.plan_fault("sales", 2, "transient", times=1)
+        faulty = injector.wrap_catalog(catalog).table("sales")
+        manager = ScanShareManager()
+        a = manager.subscribe(faulty, range(6), None)
+        b = manager.subscribe(faulty, range(6), None)
+        with pytest.raises(TransientStorageError):
+            a.fetch(2)
+        # b pulls a different partition meanwhile: unaffected.
+        got = b.fetch(1)
+        assert frames_equal(got, catalog.table("sales")
+                            .read_partition(1))
