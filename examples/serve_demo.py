@@ -5,7 +5,9 @@ Launches the NDJSON snapshot server on an ephemeral port, submits three
 TPC-H queries at different priorities (plus a duplicate submit that
 *attaches* to an in-flight identical session instead of re-executing),
 prints their snapshot refinements as they interleave, then cancels one
-query mid-flight.
+query mid-flight.  A background thread polls the server's ``metrics``
+op once a second and prints a compact steps/s + snapshot-lag dashboard
+line while the queries refine.
 
 Run:  python examples/serve_demo.py
 """
@@ -32,6 +34,33 @@ DUPLICATE_QUERY = "q06"
 CANCEL_AFTER_SNAPSHOTS = 2
 
 print_lock = threading.Lock()
+
+
+def dashboard(port: int, stop: threading.Event) -> None:
+    """Poll the ``metrics`` op once a second over a dedicated
+    connection (``ServiceClient`` is not thread-safe) and print one
+    compact health line per tick."""
+    with ServiceClient(port=port, timeout=60) as client:
+        previous_steps = 0.0
+        while True:
+            report = client.metrics()
+            steps = report["steps_total"]
+            rate = steps - previous_steps
+            previous_steps = steps
+            lags = [
+                s["snapshot_lag_seconds"]
+                for s in report["sessions"].values()
+                if s["snapshot_lag_seconds"] is not None
+            ]
+            worst = max(lags) * 1000.0 if lags else 0.0
+            with print_lock:
+                print(f"  [metrics] {rate:4.0f} steps/s  "
+                      f"queue={report['run_queue_depth']}  "
+                      f"snapshots={report['snapshots_published_total']:.0f}  "
+                      f"worst-lag={worst:5.1f} ms  "
+                      f"drops={report['buffer_drops_total']:.0f}")
+            if stop.wait(1.0):
+                return
 
 
 def watch(name: str, handle: SessionHandle) -> None:
@@ -64,15 +93,21 @@ def main() -> None:
         workdir, scale_factor=0.01, fact_partitions=24
     )
 
-    # Shared scans + the plan-hash result cache on for every submit
-    # (what `repro serve` defaults to).
+    # Shared scans + the plan-hash result cache + telemetry on for
+    # every submit (what `repro serve` defaults to).
     ctx = WakeContext(
         catalog,
-        options=ExecutionOptions(scan_share=True, result_cache=True),
+        options=ExecutionOptions(scan_share=True, result_cache=True,
+                                 telemetry=True),
     )
     server = SnapshotServer(QueryService(ctx), port=0).start()
     print(f"snapshot server listening on 127.0.0.1:{server.port}\n")
 
+    stop_dashboard = threading.Event()
+    ticker = threading.Thread(
+        target=dashboard, args=(server.port, stop_dashboard),
+        daemon=True,
+    )
     try:
         with ServiceClient(port=server.port, timeout=60) as control:
             watchers = []
@@ -95,10 +130,13 @@ def main() -> None:
                 args=(f"{DUPLICATE_QUERY}', attached", duplicate),
             ))
             print("\ninterleaved snapshot refinements:")
+            ticker.start()
             for thread in watchers:
                 thread.start()
             for thread in watchers:
                 thread.join()
+            stop_dashboard.set()
+            ticker.join()
 
             status = control.status()
             print("\nfinal session states:")
@@ -116,6 +154,7 @@ def main() -> None:
                   f"{scans['shared_hits'] + scans['physical_reads']} "
                   f"partition reads")
     finally:
+        stop_dashboard.set()
         server.stop()
     print("\nserver stopped.")
 

@@ -24,7 +24,14 @@ quietly return:
 * ``local-import`` — function-local imports in operator hot paths
   (``engine/ops/``, ``dataframe/``, ``core/``): a per-message import
   lookup on the data path is avoidable overhead and hides the module's
-  real dependency surface.
+  real dependency surface;
+* ``metric-hot-lookup`` — registry instrument lookups
+  (``.counter()``/``.gauge()``/``.histogram()``/``.register_view()``)
+  or per-call ``labels={...}`` dict allocation inside ``consume*``,
+  ``step()``, or ``__next__`` bodies: hot-path telemetry must use
+  instruments pre-bound at construction (see :mod:`repro.obs`), so the
+  per-message cost is one attribute call, not a dict build plus a
+  registry dictionary lookup.
 
 A finding on a line containing ``lint: allow(<rule>)`` is suppressed —
 the escape hatch for deliberate exceptions (optional-dependency gating,
@@ -349,12 +356,64 @@ class LocalImportRule(LintRule):
                     )
 
 
+class MetricHotLookupRule(LintRule):
+    """Flag registry lookups / label-dict allocation in hot bodies.
+
+    The telemetry design pre-binds instruments once (a
+    ``ScanInstruments``/``SchedulerInstruments`` bundle held as an
+    attribute) so the metered hot path pays one attribute call per
+    event.  Calling ``registry.counter(...)`` — a lock + dict lookup +
+    possible allocation — or building a ``labels={...}`` dict inside a
+    per-message body silently reintroduces the overhead the
+    ``obs_overhead_ratio`` perf guard bounds.
+    """
+
+    name = "metric-hot-lookup"
+
+    _HOT_FNS = (
+        "consume", "consume_delta", "consume_snapshot", "step",
+        "__next__",
+    )
+    _REGISTRY_ATTRS = ("counter", "gauge", "histogram", "register_view")
+
+    def check(self, ctx: _FileContext) -> Iterator[LintFinding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, ast.FunctionDef):
+                continue
+            if fn.name not in self._HOT_FNS:
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                called = _is_call_to(node, self._REGISTRY_ATTRS)
+                if called is not None:
+                    yield self._finding(
+                        ctx, node,
+                        f".{called}() inside {fn.name}() re-resolves "
+                        f"the instrument per message; pre-bind it at "
+                        f"construction and call the bound instrument",
+                    )
+                    continue
+                for kw in node.keywords:
+                    if kw.arg == "labels" and isinstance(
+                        kw.value, ast.Dict
+                    ):
+                        yield self._finding(
+                            ctx, node,
+                            f"labels={{...}} literal inside "
+                            f"{fn.name}() allocates a dict per "
+                            f"message; pre-bind a labeled instrument "
+                            f"at construction instead",
+                        )
+
+
 ALL_RULES: tuple[LintRule, ...] = (
     HistoryConcatRule(),
     LockSleepRule(),
     BareBenchAssertRule(),
     UnseededRandomRule(),
     LocalImportRule(),
+    MetricHotLookupRule(),
 )
 
 

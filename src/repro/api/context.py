@@ -25,6 +25,7 @@ from repro.engine.executor import (
 from repro.engine.graph import QueryGraph
 from repro.engine.ops import ReadOperator
 from repro.engine.optimizer import OptimizerTrace, build_optimizer
+from repro.obs import OperatorProfiler, maybe_span
 from repro.storage.catalog import Catalog, TableMeta
 from repro.api.frame_api import EdfFrame, PlanNode
 from repro.api.options import ExecutionOptions, resolve_options
@@ -60,6 +61,7 @@ class WakeContext:
         options: ExecutionOptions | None = None,
         scan_share: bool | None = None,
         result_cache: bool | None = None,
+        telemetry: bool | None = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise QueryError(
@@ -81,6 +83,7 @@ class WakeContext:
             validate=validate,
             scan_share=scan_share,
             result_cache=result_cache,
+            telemetry=telemetry,
         )
         self.catalog = catalog or Catalog()
         self.executor = executor
@@ -93,6 +96,9 @@ class WakeContext:
         #: Trace of the most recent submit's optimization (rule → nodes
         #: rewritten, pass count, plan hash).
         self.last_trace: OptimizerTrace | None = None
+        #: Per-operator profile of the most recent
+        #: ``explain(mode="profile")`` run.
+        self.last_profile: OperatorProfiler | None = None
         self._scan_counts: dict[str, int] = {}
 
     # -- legacy attribute views over the options bundle ----------------------------
@@ -199,25 +205,32 @@ class WakeContext:
         self,
         frame: EdfFrame,
         opts: ExecutionOptions,
+        trace=None,
     ) -> tuple[QueryGraph, int]:
         """Instantiate the plan, statically validate it, and run the
         rule optimizer over it (logical rules to fixed point, then
         pushdowns and the shard rewrite).  The per-submit trace lands in
-        :attr:`last_trace`."""
+        :attr:`last_trace`; ``trace`` (a
+        :class:`~repro.obs.SessionTrace`, or ``None``) records the
+        validate/optimize phases as lifecycle spans."""
         graph = QueryGraph()
         output = frame.plan.materialize(graph, {})
         if opts.validate:
             # Submit-time chokepoint: run/stream/executor_for/explain
             # (and the service on top of them) all reject malformed
             # plans here, before any partition is read.
-            validate_plan(graph, output)
+            with maybe_span(trace, "validate"):
+                validate_plan(graph, output)
         optimizer = build_optimizer(
             parallelism=opts.parallelism,
             pushdown=opts.pushdown,
             optimize=opts.optimize,
             disable=opts.optimizer_disable,
         )
-        graph, output, self.last_trace = optimizer.optimize(graph, output)
+        with maybe_span(trace, "optimize"):
+            graph, output, self.last_trace = optimizer.optimize(
+                graph, output
+            )
         return graph, output
 
     def run(
@@ -307,16 +320,20 @@ class WakeContext:
         pushdown: bool | None = None,
         optimize: bool | None = None,
         options: ExecutionOptions | None = None,
+        trace=None,
     ) -> StepExecutor:
         """A resumable :class:`StepExecutor` over the materialized plan
         (after pushdown and the shard rewrite) — the unit the
         multi-query service schedules (see :mod:`repro.service`).  Each
         ``step()`` consumes one source partition; stepping to
         completion yields snapshot sequences byte-identical to
-        :meth:`run` on the sync executor."""
+        :meth:`run` on the sync executor.  ``trace`` (a
+        :class:`~repro.obs.SessionTrace`) records the validate/optimize
+        lifecycle spans when the service has telemetry enabled."""
         graph, output = self._materialize(
             frame,
             self._effective(options, parallelism, pushdown, optimize),
+            trace=trace,
         )
         capture = self.capture_all if capture_all is None else capture_all
         return StepExecutor(
@@ -341,16 +358,23 @@ class WakeContext:
         ``mode="types"`` renders each node's *statically inferred*
         schema (column → dtype, ``*`` marking mutable attributes)
         without binding or executing anything — the plan-debugging view
-        of :mod:`repro.analysis.schema_check`."""
-        if mode not in ("plan", "types"):
+        of :mod:`repro.analysis.schema_check`.
+
+        ``mode="profile"`` *executes* the plan to completion on a
+        step executor with an :class:`~repro.obs.OperatorProfiler`
+        attached and renders the per-operator time/rows breakdown
+        (also retained on :attr:`last_profile`)."""
+        if mode not in ("plan", "types", "profile"):
             raise QueryError(
-                f"unknown explain mode {mode!r}; expected 'plan' or "
-                f"'types'"
+                f"unknown explain mode {mode!r}; expected 'plan', "
+                f"'types', or 'profile'"
             )
         graph, output = self._materialize(
             frame,
             self._effective(options, parallelism, pushdown, optimize),
         )
+        if mode == "profile":
+            return self._explain_profile(graph, output)
         if mode == "types":
             return self._explain_types(graph, output)
         infos = graph.resolve()
@@ -391,6 +415,17 @@ class WakeContext:
         if self.last_trace is not None:
             lines.extend(self.last_trace.render())
         return "\n".join(lines)
+
+    def _explain_profile(self, graph: QueryGraph, output: int) -> str:
+        """Execute the materialized plan on a step executor with an
+        :class:`~repro.obs.OperatorProfiler` attached and render the
+        per-operator breakdown (``explain``'s ``profile`` mode)."""
+        executor = StepExecutor(graph, output, capture_all=False)
+        profiler = OperatorProfiler()
+        executor.profiler = profiler
+        executor.run()
+        self.last_profile = profiler
+        return profiler.render()
 
     def _explain_types(self, graph: QueryGraph, output: int) -> str:
         """Render each node's inferred output schema (``explain``'s

@@ -48,6 +48,11 @@ class ExecutionOptions:
     * ``result_cache`` — service-level plan-hash result cache: an
       identical submit attaches to the in-flight (or retained) session,
       replaying its snapshot prefix, instead of re-executing.
+    * ``telemetry`` — service-level observability (metrics registry +
+      query-lifecycle tracing, exposed via the ``metrics``/``trace``
+      wire ops and ``GET /metrics``).  Observational only: snapshot
+      sequences are byte-identical either way, so it is deliberately
+      *not* part of :meth:`cache_fingerprint`.
     """
 
     parallelism: int = 1
@@ -59,6 +64,7 @@ class ExecutionOptions:
     sketch_size: int = DEFAULT_SKETCH_SIZE
     scan_share: bool = False
     result_cache: bool = False
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:

@@ -7,10 +7,13 @@ Commands:
   printing each OLA snapshot's progress/accuracy and the final frame;
 * ``explain``  — print a query's physical plan (node types, deliveries,
   clustering, schemas, scan pushdowns);
+* ``profile``  — execute a query with the per-operator profiler
+  attached and print the time/rows breakdown per operator;
 * ``stats``    — backfill per-partition zone-map statistics into an
   existing catalog so predicate pushdown can prune partitions;
 * ``serve``    — run the multi-query snapshot-streaming server (NDJSON
-  over TCP: submit/subscribe/status/pause/resume/cancel);
+  over TCP: submit/subscribe/status/pause/resume/cancel, plus the
+  ``metrics``/``trace`` observability ops and ``GET /metrics``);
 * ``lint``     — run the AST-based invariant linter over source trees
   (exit 1 on findings; ``--format json`` for machine-readable output).
 """
@@ -85,6 +88,25 @@ def _add_explain(sub: argparse._SubParsersAction) -> None:
                         "(repeatable)")
 
 
+def _add_profile(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "profile",
+        help="execute a query with the per-operator profiler and "
+             "print the time/rows breakdown",
+    )
+    p.add_argument("catalog", type=Path,
+                   help="catalog.json written by `generate`")
+    p.add_argument("query", type=int, choices=sorted(QUERIES),
+                   metavar="QUERY", help="TPC-H query number (1-22)")
+    p.add_argument("--parallelism", type=int, default=1,
+                   help="shard count for stateful shuffle subplans")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="query parameter override (repeatable)")
+    p.add_argument("--no-pushdown", action="store_true",
+                   help="profile without scan pushdown")
+
+
 def _add_stats(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "stats",
@@ -120,6 +142,15 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                    help="disable shared scans (by default concurrent "
                         "queries over the same table share one "
                         "physical read per partition)")
+    p.add_argument("--metrics", dest="metrics", action="store_true",
+                   default=True,
+                   help="enable the telemetry surface: the "
+                        "metrics/trace wire ops, Prometheus text via "
+                        "GET /metrics, and per-session tracing "
+                        "(default: on)")
+    p.add_argument("--no-metrics", dest="metrics", action="store_false",
+                   help="disable telemetry (the metrics op then "
+                        "reports only the always-on counters)")
     p.add_argument("--no-result-cache", action="store_true",
                    help="disable the plan-hash result cache (by "
                         "default a submit identical to an in-flight "
@@ -147,7 +178,7 @@ def _add_lint(sub: argparse._SubParsersAction) -> None:
         "lint",
         help="run the AST-based invariant linter "
              "(history-concat, lock-sleep, bare-bench-assert, "
-             "unseeded-random, local-import)",
+             "unseeded-random, local-import, metric-hot-lookup)",
     )
     p.add_argument("paths", type=Path, nargs="*",
                    help="files or directories to lint (default: "
@@ -231,6 +262,18 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    ctx = WakeContext.from_catalog(args.catalog,
+                                   parallelism=args.parallelism,
+                                   pushdown=not args.no_pushdown)
+    query = QUERIES[args.query]
+    overrides = _parse_overrides(args.param)
+    plan = query.build_plan(ctx, **overrides)
+    print(f"profiling {query.name} ({query.category}) ...")
+    print(ctx.explain(plan, mode="profile"))
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import render_json, render_text, run_lint
 
@@ -276,6 +319,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pushdown=not args.no_pushdown,
         scan_share=not args.no_scan_share,
         result_cache=not args.no_result_cache,
+        telemetry=args.metrics,
     )
     ctx = WakeContext.from_catalog(args.catalog, options=options)
     retry = RetryPolicy(
@@ -318,6 +362,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_generate(sub)
     _add_run(sub)
     _add_explain(sub)
+    _add_profile(sub)
     _add_stats(sub)
     _add_serve(sub)
     _add_lint(sub)
@@ -326,6 +371,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": cmd_generate,
         "run": cmd_run,
         "explain": cmd_explain,
+        "profile": cmd_profile,
         "stats": cmd_stats,
         "serve": cmd_serve,
         "lint": cmd_lint,

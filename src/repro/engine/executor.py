@@ -211,6 +211,15 @@ class StepExecutor:
         #: queries share one physical read per (table, partition,
         #: column-superset).  ``None`` keeps scans private.
         self.scan_share = None
+        #: Optional :class:`repro.obs.instruments.ScanInstruments`
+        #: bundle injected by the service (same pattern as
+        #: ``scan_share``): scans opened by this executor count
+        #: partitions read/pruned, rows, and bytes into it.
+        self.scan_metrics = None
+        #: Optional :class:`repro.obs.profile.OperatorProfiler`: when
+        #: set, every dispatch (and every source pull, attributed to
+        #: the scan operator) records its wall time and input rows.
+        self.profiler = None
 
     # -- lazy setup ---------------------------------------------------------------
     def _ensure_sink(self) -> None:
@@ -243,6 +252,9 @@ class StepExecutor:
                 # Inject the service's shared-scan pool right before the
                 # stream opens (streams subscribe at construction).
                 op.scan_share = self.scan_share
+            if (self.scan_metrics is not None
+                    and hasattr(op, "scan_metrics")):
+                op.scan_metrics = self.scan_metrics
             self._streams[source_id] = op.stream()
         self._build = deque(
             s for s in self._streams if priorities[s] == 0
@@ -314,6 +326,8 @@ class StepExecutor:
 
     def _pump(self, source_id: int) -> bool:
         """One partition from ``source_id``; False once it hits EOF."""
+        profiler = self.profiler
+        started = time.perf_counter() if profiler is not None else 0.0
         try:
             message = next(self._streams[source_id])  # type: ignore[arg-type]
         except StopIteration:
@@ -325,6 +339,15 @@ class StepExecutor:
             self._retry_safe = True
             self._failed_source = source_id
             raise
+        if profiler is not None:
+            # Attribute the pull (read + decompress) to the source
+            # operator; downstream dispatch time lands in _dispatch.
+            assert self.graph is not None
+            profiler.record(
+                self.graph.node(source_id).operator.name,
+                time.perf_counter() - started,
+                message.frame.n_rows,
+            )
         self._emit_from_source(source_id, message)
         return True
 
@@ -409,11 +432,16 @@ class StepExecutor:
                 outputs = node.operator.on_eof(prt)
                 rows = 0
                 forward_eof = node.operator.eof_complete
-            if self.record_timeline:
-                self.timeline.append(
-                    TimelineEvent(node.operator.name, start,
-                                  time.perf_counter(), rows)
-                )
+            if self.record_timeline or self.profiler is not None:
+                end = time.perf_counter()
+                if self.record_timeline:
+                    self.timeline.append(
+                        TimelineEvent(node.operator.name, start, end,
+                                      rows)
+                    )
+                if self.profiler is not None:
+                    self.profiler.record(node.operator.name,
+                                         end - start, rows)
             for out in outputs:
                 if nid == self.output:
                     sink.accept(out)

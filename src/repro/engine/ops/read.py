@@ -75,6 +75,10 @@ class PartitionStream:
         self._schema = op.scan_schema()
         self._pos = 0
         self._quarantine_next = False
+        # Pre-bound storage-read instruments (a ScanInstruments bundle
+        # injected by the service, like the scan-share pool below);
+        # ``None`` keeps the scan unmetered.
+        self._obs = op.scan_metrics
         # Multi-query scan sharing (service layer): when the operator
         # carries a ScanShareManager, register the partitions this
         # stream will physically read (pruned ones excluded) so
@@ -107,6 +111,7 @@ class PartitionStream:
                 self._share.close()
             raise StopIteration
         index = self._indices[self._pos]
+        obs = self._obs
         if index in self._pruned or self._quarantine_next:
             # Pruned or quarantined: advance progress by the partition's
             # tuple count without touching the file.  The empty partial
@@ -117,15 +122,25 @@ class PartitionStream:
                 # other subscribers stop waiting on (and stop widening
                 # column unions for) this stream.
                 self._share.release(index)
+            if obs is not None and not self._quarantine_next:
+                obs.partitions_pruned.inc()
             self._quarantine_next = False
             frame = DataFrame.empty(self._schema)
             advance = op.meta.tuple_counts[index]
         elif self._share is not None:
             frame = self._share.fetch(index)
             advance = frame.n_rows
+            if obs is not None:
+                obs.partitions_read.inc()
+                obs.rows_read.inc(advance)
+                obs.bytes_read.inc(frame.nbytes())
         else:
             frame = op.meta.read_partition(index, columns=op.columns)
             advance = frame.n_rows
+            if obs is not None:
+                obs.partitions_read.inc()
+                obs.rows_read.inc(advance)
+                obs.bytes_read.inc(frame.nbytes())
         self._pos += 1
         self._progress = self._progress.advanced(
             op.source_name, advance
@@ -170,6 +185,10 @@ class ReadOperator(SourceOperator):
     #: injected by the step executor when the service enables shared
     #: scans; ``None`` (the default) keeps every scan private.
     scan_share = None
+    #: Optional :class:`~repro.obs.instruments.ScanInstruments` bundle
+    #: — injected by the step executor when the service enables
+    #: telemetry; ``None`` (the default) keeps the scan unmetered.
+    scan_metrics = None
 
     def __init__(
         self,

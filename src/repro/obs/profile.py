@@ -1,0 +1,79 @@
+"""Per-operator profiling for a :class:`StepExecutor` run.
+
+An :class:`OperatorProfiler` attached to an executor (``executor.
+profiler = OperatorProfiler()``) accumulates, per operator name, how
+many dispatches it received, how many input rows it consumed, and how
+much wall time it spent — source pulls included (attributed to the
+scan operator).  ``explain(mode="profile")`` / ``repro profile`` run a
+plan to completion with one attached and render the table.
+
+The profiler is dictionary-per-record cheap (one dict lookup + three
+in-place adds per dispatch) and is only ever consulted when explicitly
+attached; the un-profiled path pays a single ``is None`` check.
+"""
+
+from __future__ import annotations
+
+
+class OperatorProfiler:
+    """Accumulates per-operator call/row/time totals."""
+
+    __slots__ = ("_records",)
+
+    def __init__(self) -> None:
+        # name -> [calls, rows, seconds]; mutated in place so the
+        # per-dispatch cost is one lookup and three adds.
+        self._records: dict[str, list] = {}
+
+    def record(self, name: str, seconds: float, rows: int) -> None:
+        entry = self._records.get(name)
+        if entry is None:
+            entry = [0, 0, 0.0]
+            self._records[name] = entry
+        entry[0] += 1
+        entry[1] += rows
+        entry[2] += seconds
+
+    # -- views --------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        return sum(e[2] for e in self._records.values())
+
+    def to_dict(self) -> dict:
+        """JSON-friendly per-operator totals (insertion = first-seen
+        dispatch order)."""
+        return {
+            name: {"calls": calls, "rows": rows, "seconds": seconds}
+            for name, (calls, rows, seconds) in self._records.items()
+        }
+
+    def rows(self) -> list[list]:
+        """Table rows sorted by time descending, with a totals row."""
+        total = self.total_seconds
+        body = [
+            [name, calls, rows,
+             f"{seconds * 1000.0:.2f}",
+             f"{(seconds / total * 100.0) if total else 0.0:.1f}%"]
+            for name, (calls, rows, seconds) in sorted(
+                self._records.items(), key=lambda kv: -kv[1][2]
+            )
+        ]
+        body.append([
+            "total",
+            sum(e[0] for e in self._records.values()),
+            sum(e[1] for e in self._records.values()),
+            f"{total * 1000.0:.2f}",
+            "100.0%" if self._records else "0.0%",
+        ])
+        return body
+
+    def render(self) -> str:
+        """The per-operator time/rows breakdown table."""
+        # Deferred: repro.bench imports repro.api.context, which imports
+        # this module — a module-scope import would be circular.
+        from repro.bench.report import format_table
+
+        return format_table(
+            ["operator", "calls", "rows-in", "time-ms", "share"],
+            self.rows(),
+        )

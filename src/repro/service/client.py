@@ -203,6 +203,24 @@ class ServiceClient:
         return self._request({"op": "prune",
                               "keep_latest": keep_latest})["removed"]
 
+    def metrics(self, format: str | None = None) -> dict:
+        """The server's observability report (steps/s, snapshot lag,
+        buffer drops, scan-share/cache counters, per-session series).
+        ``format="prometheus"`` returns the reply whose ``prometheus``
+        field carries the text exposition instead."""
+        request: dict = {"op": "metrics"}
+        if format is not None:
+            request["format"] = format
+        return self._request(request)
+
+    def trace(self, session: str | None = None) -> dict:
+        """One session's span tree (``trace`` field), or the retained
+        trace summaries (``traces``) when ``session`` is omitted."""
+        request: dict = {"op": "trace"}
+        if session is not None:
+            request["session"] = session
+        return self._request(request)
+
     def subscribe(
         self,
         session: str,

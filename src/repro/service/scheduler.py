@@ -62,6 +62,7 @@ class FairShareScheduler:
         self,
         buffer_size: int | None = None,
         retry: RetryPolicy | None = None,
+        metrics=None,
     ) -> None:
         self._lock = threading.RLock()
         self._work = threading.Condition(self._lock)
@@ -79,6 +80,15 @@ class FairShareScheduler:
         self._buffer_size = buffer_size
         #: Fault-tolerance policy; ``None`` = fail-fast (no retries).
         self.retry = retry
+        #: Optional :class:`repro.obs.instruments.ServiceInstruments`
+        #: bundle.  Instruments are pre-bound here once; the per-step
+        #: cost with telemetry on is one clock pair + three locked adds
+        #: and exactly one ``is None`` check when off.
+        self.metrics = metrics
+        self._step_metrics = (metrics.scheduler if metrics is not None
+                              else None)
+        self._buffer_metrics = (metrics.buffer if metrics is not None
+                                else None)
 
     # -- registration -------------------------------------------------------------
     def submit(
@@ -87,10 +97,14 @@ class FairShareScheduler:
         name: str | None = None,
         priority: float = 1.0,
         paused: bool = False,
+        trace=None,
     ) -> QuerySession:
         """Register a query for execution; returns its live session.
         ``paused=True`` admits the session without scheduling it (e.g.
-        to attach subscribers first), until ``resume``."""
+        to attach subscribers first), until ``resume``.  ``trace``
+        (a :class:`~repro.obs.trace.SessionTrace`) must be passed here
+        rather than set afterwards: the daemon step loop may run the
+        session the moment the lock drops."""
         with self._work:
             session_id = f"s{self._next_id}"
             self._next_id += 1
@@ -100,7 +114,9 @@ class FairShareScheduler:
                 executor,
                 priority=priority,
                 buffer_size=self._buffer_size,
+                buffer_metrics=self._buffer_metrics,
             )
+            session.trace = trace
             session.vtime = self._clock
             self._sessions[session_id] = session
             if paused:
@@ -135,6 +151,7 @@ class FairShareScheduler:
                 name or primary.name,
                 primary,
                 buffer_size=self._buffer_size,
+                buffer_metrics=self._buffer_metrics,
             )
             for snapshot in primary.buffer.retained():
                 attached.buffer.append(snapshot)
@@ -169,6 +186,33 @@ class FairShareScheduler:
         with self._lock:
             return [self._sessions[k] for k in sorted(
                 self._sessions, key=lambda s: int(s[1:]))]
+
+    # -- observability views ------------------------------------------------------
+    def run_queue_depth(self) -> int:
+        """Sessions currently runnable (SUBMITTED/RUNNING) — the
+        metrics-surface load signal."""
+        with self._lock:
+            return sum(
+                1 for s in self._sessions.values()
+                if s.state in (SessionState.SUBMITTED,
+                               SessionState.RUNNING)
+                and not isinstance(s, AttachedSession)
+            )
+
+    def vclock_skew(self) -> float:
+        """Spread of runnable sessions' virtual times — the stride-
+        scheduling fairness signal (0.0 = perfectly fair or < 2
+        runnable sessions)."""
+        with self._lock:
+            vtimes = [
+                s.vtime for s in self._sessions.values()
+                if s.state in (SessionState.SUBMITTED,
+                               SessionState.RUNNING)
+                and not isinstance(s, AttachedSession)
+            ]
+            if len(vtimes) < 2:
+                return 0.0
+            return max(vtimes) - min(vtimes)
 
     # -- control plane ------------------------------------------------------------
     def pause(self, session_id: str) -> SessionState:
@@ -249,6 +293,10 @@ class FairShareScheduler:
                 return None
             if session.state is SessionState.SUBMITTED:
                 session.state = SessionState.RUNNING
+            instruments = self._step_metrics
+            trace = session.trace
+            timed = instruments is not None or trace is not None
+            started = time.perf_counter() if timed else 0.0
             try:
                 session.executor.step()
             except BaseException as exc:  # noqa: BLE001 - classified below
@@ -259,10 +307,19 @@ class FairShareScheduler:
                     self._push(session)
                     raise
                 return self._handle_step_error(session, exc)
+            if timed:
+                elapsed = time.perf_counter() - started
+                if instruments is not None:
+                    instruments.steps.inc()
+                    instruments.step_seconds.observe(elapsed)
+                if trace is not None:
+                    trace.record_step(session.steps, elapsed)
             session.steps += 1
             session.attempt = 0  # the current step succeeded
             session.vtime += 1.0 / session.priority
-            session.pump_snapshots()
+            moved = session.pump_snapshots()
+            if trace is not None and moved:
+                trace.record_publish(moved)
             if session.executor.done:
                 session.finish(SessionState.DONE)
             else:
@@ -281,17 +338,23 @@ class FairShareScheduler:
         # a mid-dispatch failure would double-process on retry.
         retry_safe = (policy is not None
                       and session.executor.step_retry_safe)
+        instruments = self._step_metrics
         if retry_safe and is_transient(exc):
             session.attempt += 1
             if (session.attempt < policy.max_attempts
                     and session.retries_used < policy.retry_budget):
                 session.retries_used += 1
                 delay = policy.backoff(session.attempt)
+                if instruments is not None:
+                    instruments.retries.inc()
+                    instruments.backoff_seconds.inc(delay)
                 self._cool(session, delay)
                 return session
         if retry_safe and policy.on_partition_error == "skip":
             record = session.executor.quarantine_current()
             if record is not None:
+                if instruments is not None:
+                    instruments.quarantines.inc()
                 # Quarantined: the next step emits the empty
                 # progress-advancing DELTA instead of re-reading the
                 # file, and the loss is recorded as degraded state.

@@ -11,6 +11,16 @@ directions.  Requests carry an ``op``:
 * ``{"op": "prune", "keep_latest": 4}`` — drop finished sessions
   (their retained snapshot history) so long-running servers reclaim
   memory; returns the removed session ids.
+* ``{"op": "metrics"}`` — the observability report: steps/s, retry/
+  backoff counts, partitions read/pruned/quarantined, scan-share and
+  result-cache counters, per-session snapshot lag/drops/evictions,
+  plus the full registry series dump.  ``"format": "prometheus"``
+  returns the text exposition in a ``prometheus`` field instead; a
+  plain HTTP ``GET /metrics`` on the same port gets the text format
+  directly (one-shot, for Prometheus scrapers).
+* ``{"op": "trace"}`` (retained trace summaries) or
+  ``{"op": "trace", "session": "s1"}`` (one session's full span tree:
+  submit → validate → optimize → per-step execute → publish).
 * ``{"op": "subscribe", "session": "s1", "start": 0,
   "include_frame": true}`` → an ack line, then one
   ``{"event": "snapshot", ...}`` line per snapshot *as it is produced*
@@ -41,6 +51,12 @@ from repro.api.options import ExecutionOptions
 from repro.core.edf import EdfSnapshot
 from repro.engine.plan_node import plan_hash
 from repro.errors import PlanValidationError, QueryError
+from repro.obs import (
+    MetricsRegistry,
+    ServiceInstruments,
+    Tracer,
+    maybe_span,
+)
 from repro.service.retry import RetryPolicy
 from repro.service.scanshare import ScanShareManager
 from repro.service.scheduler import FairShareScheduler
@@ -105,16 +121,35 @@ class QueryService:
         buffer_size: int | None = None,
         retry: RetryPolicy | None = None,
         options: ExecutionOptions | None = None,
+        telemetry: bool | None = None,
     ) -> None:
         self.ctx = ctx
         self.plans = (dict(plans) if plans is not None
                       else tpch_plan_registry())
-        self.scheduler = FairShareScheduler(
-            buffer_size=buffer_size, retry=retry
-        )
         #: Service-default execution options (the context's unless
         #: overridden) — per-submit options/kwargs merge over these.
         self.options = options if options is not None else ctx.options
+        # Telemetry (metrics registry + tracer) is a service-level
+        # switch: ``telemetry=`` here overrides the options bundle (the
+        # ``repro serve`` default is ON).  The sequence of snapshots a
+        # query produces is byte-identical either way — telemetry only
+        # ever *observes* (see benchmarks/bench_obs_overhead.py).
+        enabled = (telemetry if telemetry is not None
+                   else self.options.telemetry)
+        if enabled:
+            self.registry: MetricsRegistry | None = MetricsRegistry()
+            self.instruments: ServiceInstruments | None = (
+                ServiceInstruments(self.registry))
+            self.tracer: Tracer | None = Tracer(
+                clock=self.registry.clock)
+        else:
+            self.registry = None
+            self.instruments = None
+            self.tracer = None
+        self.scheduler = FairShareScheduler(
+            buffer_size=buffer_size, retry=retry,
+            metrics=self.instruments,
+        )
         #: Service-wide shared-scan pool (active only for sessions
         #: submitted with ``scan_share=True``).
         self.scan_share = ScanShareManager()
@@ -123,6 +158,153 @@ class QueryService:
         self._result_cache: dict[tuple, str] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        if self.registry is not None:
+            self._register_views()
+
+    def _register_views(self) -> None:
+        """Expose counters whose single source of truth lives elsewhere
+        (scan-share pool, result cache, scheduler, per-session buffers)
+        as collection-time registry views — no shadow counters, so the
+        ``status`` aliases and the metrics surface cannot drift."""
+        registry = self.registry
+        assert registry is not None
+        share = self.scan_share
+
+        def share_stat(key: str):
+            return lambda: share.stats()[key]
+
+        registry.register_view(
+            "repro_scan_share_physical_reads_total",
+            share_stat("physical_reads"), kind="counter",
+            help="partition reads paid by the shared-scan pool",
+        )
+        registry.register_view(
+            "repro_scan_share_hits_total",
+            share_stat("shared_hits"), kind="counter",
+            help="partition fetches served from the shared-scan pool",
+        )
+        registry.register_view(
+            "repro_scan_share_evictions_total",
+            share_stat("lru_evictions"), kind="counter",
+            help="shared-scan pool LRU evictions",
+        )
+        registry.register_view(
+            "repro_result_cache_hits_total",
+            lambda: self.cache_stats()["hits"], kind="counter",
+            help="submits that attached to a cached identical session",
+        )
+        registry.register_view(
+            "repro_result_cache_misses_total",
+            lambda: self.cache_stats()["misses"], kind="counter",
+            help="cache-enabled submits that executed for themselves",
+        )
+        registry.register_view(
+            "repro_result_cache_entries",
+            lambda: self.cache_stats()["entries"],
+            help="live plan-hash result-cache entries",
+        )
+        registry.register_view(
+            "repro_run_queue_depth", self.scheduler.run_queue_depth,
+            help="sessions currently runnable",
+        )
+        registry.register_view(
+            "repro_vclock_skew", self.scheduler.vclock_skew,
+            help="virtual-time spread across runnable sessions "
+                 "(stride-scheduling fairness)",
+        )
+        registry.register_view(
+            "repro_sessions",
+            lambda: [
+                ({"state": state}, count)
+                for state, count in self._sessions_by_state().items()
+            ],
+            help="registered sessions by lifecycle state",
+        )
+        registry.register_view(
+            "repro_session_buffer_drops_total",
+            lambda: [
+                ({"session": s.session_id}, s.buffer.drops)
+                for s in self.scheduler.sessions()
+            ],
+            kind="counter",
+            help="snapshots subscribers of one session missed to "
+                 "eviction",
+        )
+        registry.register_view(
+            "repro_session_snapshot_lag_seconds",
+            lambda: [
+                ({"session": s.session_id}, s.buffer.last_lag)
+                for s in self.scheduler.sessions()
+                if s.buffer.last_lag is not None
+            ],
+            help="latest produce-to-consume delay per session",
+        )
+
+    def _sessions_by_state(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for session in self.scheduler.sessions():
+            key = session.state.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def metrics_report(self) -> dict:
+        """The NDJSON ``metrics`` payload: a curated headline section
+        (the quantities an operator reaches for first) plus the full
+        registry series dump.  Always-on fields (scan share, cache,
+        per-session buffer health) are reported even with telemetry
+        off, under ``"enabled": false``."""
+        sessions: dict[str, dict] = {}
+        for session in self.scheduler.sessions():
+            buffer = session.buffer
+            sessions[session.session_id] = {
+                "name": session.name,
+                "state": session.state.value,
+                "steps": session.steps,
+                "snapshots": len(buffer),
+                "snapshot_lag_seconds": buffer.last_lag,
+                "drops": buffer.drops,
+                "evictions": buffer.evictions,
+                "subscribers": buffer.subscribers,
+            }
+        cache = self.cache_stats()
+        report: dict = {
+            "enabled": self.registry is not None,
+            "scan_share": dict(self.scan_share.stats()),
+            "cache": cache,
+            "result_cache_attaches_total": cache["hits"],
+            "run_queue_depth": self.scheduler.run_queue_depth(),
+            "vclock_skew": self.scheduler.vclock_skew(),
+            "sessions": sessions,
+        }
+        if self.registry is None or self.instruments is None:
+            return report
+        registry, instruments = self.registry, self.instruments
+        uptime = registry.uptime()
+        steps = instruments.scheduler.steps.value
+        report.update({
+            "uptime_seconds": uptime,
+            "steps_total": steps,
+            "steps_per_second": (steps / uptime if uptime > 0
+                                 else 0.0),
+            "retries_total": instruments.scheduler.retries.value,
+            "backoff_seconds_total":
+                instruments.scheduler.backoff_seconds.value,
+            "partitions_quarantined_total":
+                instruments.scheduler.quarantines.value,
+            "partitions_read_total":
+                instruments.scan.partitions_read.value,
+            "partitions_pruned_total":
+                instruments.scan.partitions_pruned.value,
+            "scan_rows_total": instruments.scan.rows_read.value,
+            "scan_bytes_total": instruments.scan.bytes_read.value,
+            "snapshots_published_total":
+                instruments.buffer.snapshots.value,
+            "buffer_drops_total": instruments.buffer.drops.value,
+            "buffer_evictions_total":
+                instruments.buffer.evictions.value,
+            "series": registry.to_dict(),
+        })
+        return report
 
     def submit(
         self,
@@ -153,27 +335,47 @@ class QueryService:
             scan_share=scan_share,
             result_cache=result_cache,
         )
-        frame = factory(self.ctx, **dict(params or {}))
-        executor = self.ctx.executor_for(frame, options=opts)
-        # Hash the *optimized* graph: parallelism/pushdown structure is
-        # part of the key, so differently-tuned submits never collide.
-        digest = plan_hash(executor.graph, executor.output)
-        cache_key = (digest, *opts.cache_fingerprint())
-        # ``paused`` submits bypass the cache entirely: an attach
-        # replays instead of executing, which cannot be paused, and a
-        # paused primary would stall its attachers.
-        if opts.result_cache and not paused:
-            attached = self._try_attach(cache_key, name or query)
-            if attached is not None:
-                executor.close()  # the planned run never starts
-                return attached
-        if opts.scan_share:
-            executor.scan_share = self.scan_share
-        session = self.scheduler.submit(
-            executor, name=name or query, priority=priority,
-            paused=paused,
-        )
-        session.plan_hash = digest
+        trace = (self.tracer.begin(name or query)
+                 if self.tracer is not None else None)
+        with maybe_span(trace, "submit", query=query):
+            with maybe_span(trace, "build"):
+                frame = factory(self.ctx, **dict(params or {}))
+            executor = self.ctx.executor_for(frame, options=opts,
+                                             trace=trace)
+            # Hash the *optimized* graph: parallelism/pushdown
+            # structure is part of the key, so differently-tuned
+            # submits never collide.
+            digest = plan_hash(executor.graph, executor.output)
+            if trace is not None:
+                trace.plan_hash = digest
+            cache_key = (digest, *opts.cache_fingerprint())
+            # ``paused`` submits bypass the cache entirely: an attach
+            # replays instead of executing, which cannot be paused, and
+            # a paused primary would stall its attachers.
+            if opts.result_cache and not paused:
+                with maybe_span(trace, "cache_lookup") as span:
+                    attached = self._try_attach(cache_key,
+                                                name or query)
+                    if span is not None:
+                        span.attrs["hit"] = attached is not None
+                if attached is not None:
+                    executor.close()  # the planned run never starts
+                    if trace is not None and self.tracer is not None:
+                        trace.root.attrs["cache_hit"] = True
+                        trace.finish(state="attached")
+                        self.tracer.bind(attached.session_id, trace)
+                    return attached
+            if opts.scan_share:
+                executor.scan_share = self.scan_share
+            if self.instruments is not None:
+                executor.scan_metrics = self.instruments.scan
+            session = self.scheduler.submit(
+                executor, name=name or query, priority=priority,
+                paused=paused, trace=trace,
+            )
+            session.plan_hash = digest
+        if trace is not None and self.tracer is not None:
+            self.tracer.bind(session.session_id, trace)
         if opts.result_cache and not paused:
             with self._cache_lock:
                 self._result_cache[cache_key] = session.session_id
@@ -301,6 +503,13 @@ class SnapshotServer:
                     return
                 if not line.strip():
                     continue
+                if line.startswith(b"GET "):
+                    # One-shot Prometheus scrape: a plain HTTP GET on
+                    # the NDJSON port (GET never starts a JSON line, so
+                    # the protocols coexist).  Reply and close — HTTP
+                    # keep-alive is not supported.
+                    await self._serve_http_get(line, writer)
+                    return
                 try:
                     request = json.loads(line)
                     if not isinstance(request, dict):
@@ -344,6 +553,38 @@ class SnapshotServer:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
+    async def _serve_http_get(
+        self, request_line: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer ``GET /metrics`` with the Prometheus text format
+        (anything else is a 404); the connection closes after the
+        response, which is all a scrape needs."""
+        parts = request_line.decode("latin-1").split()
+        path = parts[1] if len(parts) >= 2 else ""
+        registry = self.service.registry
+        if path in ("/metrics", "/metrics/") and registry is not None:
+            body = registry.render_prometheus().encode()
+            head = (
+                "HTTP/1.0 200 OK\r\n"
+                "Content-Type: text/plain; version=0.0.4; "
+                "charset=utf-8\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+        else:
+            body = (b"telemetry disabled\n"
+                    if registry is None else b"not found\n")
+            status = ("503 Service Unavailable" if registry is None
+                      else "404 Not Found")
+            head = (
+                f"HTTP/1.0 {status}\r\n"
+                "Content-Type: text/plain\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
     async def _dispatch(
         self,
         request: dict,
@@ -372,6 +613,10 @@ class SnapshotServer:
                 session = scheduler.get(str(request["session"]))
                 writer.write(_encode({"ok": True, **session.status()}))
             else:
+                # ``cache``/``scan_share`` are deprecated aliases kept
+                # for wire compatibility: the authoritative surface is
+                # the ``metrics`` op (both are views over the same
+                # underlying counters, so they can never drift).
                 writer.write(_encode({
                     "ok": True,
                     "sessions": [s.status()
@@ -380,6 +625,60 @@ class SnapshotServer:
                     "scan_share": dict(
                         self.service.scan_share.stats()
                     ),
+                }))
+        elif op == "metrics":
+            fmt = request.get("format", "json")
+            if fmt == "prometheus":
+                registry = self.service.registry
+                if registry is None:
+                    raise QueryError(
+                        "telemetry is disabled on this server; start "
+                        "it with ExecutionOptions(telemetry=True) or "
+                        "`repro serve --metrics`"
+                    )
+                writer.write(_encode({
+                    "ok": True,
+                    "prometheus": registry.render_prometheus(),
+                }))
+            elif fmt == "json":
+                writer.write(_encode({
+                    "ok": True,
+                    **self.service.metrics_report(),
+                }))
+            else:
+                raise QueryError(
+                    f"unknown metrics format {fmt!r}; expected "
+                    f"'json' or 'prometheus'"
+                )
+        elif op == "trace":
+            tracer = self.service.tracer
+            if tracer is None:
+                raise QueryError(
+                    "telemetry is disabled on this server; start it "
+                    "with ExecutionOptions(telemetry=True) or "
+                    "`repro serve --metrics`"
+                )
+            if "session" in request:
+                trace = tracer.get(str(request["session"]))
+                if trace is None:
+                    raise QueryError(
+                        f"no trace retained for session "
+                        f"{request['session']!r}"
+                    )
+                writer.write(_encode({"ok": True,
+                                      "trace": trace.to_dict()}))
+            else:
+                writer.write(_encode({
+                    "ok": True,
+                    "traces": [
+                        {
+                            "session": t.session_id,
+                            "name": t.name,
+                            "plan_hash": t.plan_hash,
+                            "steps_total": t.steps_total,
+                        }
+                        for t in tracer.traces()
+                    ],
                 }))
         elif op in ("pause", "resume", "cancel"):
             if "session" not in request:

@@ -54,7 +54,8 @@ class SnapshotBuffer:
     buffer still serves the snapshots it retains.
     """
 
-    def __init__(self, maxlen: int | None = None) -> None:
+    def __init__(self, maxlen: int | None = None,
+                 metrics=None) -> None:
         if maxlen is not None and maxlen < 1:
             raise QueryError(f"buffer maxlen must be >= 1, got {maxlen}")
         self._cond = threading.Condition()
@@ -63,15 +64,34 @@ class SnapshotBuffer:
         self._maxlen = maxlen
         self._closed = False
         self._error: BaseException | None = None
+        # Cumulative server-side counters.  Always maintained (they are
+        # plain int adds) so `status` can report slow consumers even
+        # with telemetry off; the optional pre-bound BufferInstruments
+        # bundle additionally feeds the metrics registry and stamps
+        # produce times for the snapshot-lag histogram.
+        self._drops = 0
+        self._evictions = 0
+        self._subscribers = 0
+        self._last_lag: float | None = None
+        self._metrics = metrics
+        self._times: list[float] = []  # aligned with _snapshots
 
     def append(self, snapshot: EdfSnapshot) -> None:
         with self._cond:
             self._snapshots.append(snapshot)
+            metrics = self._metrics
+            if metrics is not None:
+                self._times.append(metrics.clock())
+                metrics.snapshots.inc()
             if (self._maxlen is not None
                     and len(self._snapshots) > self._maxlen):
                 overflow = len(self._snapshots) - self._maxlen
                 del self._snapshots[:overflow]
+                if metrics is not None:
+                    del self._times[:overflow]
+                    metrics.evictions.inc(overflow)
                 self._base += overflow
+                self._evictions += overflow
             self._cond.notify_all()
 
     def close(self, error: BaseException | None = None) -> None:
@@ -116,6 +136,39 @@ class SnapshotBuffer:
         with self._cond:
             return self._error
 
+    # -- observability views ------------------------------------------------------
+    @property
+    def drops(self) -> int:
+        """Cumulative snapshots *any* subscriber missed to eviction —
+        the server-side slow-consumer signal (per-subscriber counts
+        stay on each :class:`Subscription`)."""
+        with self._cond:
+            return self._drops
+
+    @property
+    def evictions(self) -> int:
+        """Cumulative snapshots evicted by the ``maxlen`` bound."""
+        with self._cond:
+            return self._evictions
+
+    @property
+    def subscribers(self) -> int:
+        """Cursors ever opened over this buffer."""
+        with self._cond:
+            return self._subscribers
+
+    @property
+    def last_lag(self) -> float | None:
+        """Most recent produce-to-consume delay in seconds (``None``
+        until a consume happens with telemetry on)."""
+        with self._cond:
+            return self._last_lag
+
+    def register_cursor(self) -> None:
+        """Count one new subscriber (called by :class:`Subscription`)."""
+        with self._cond:
+            self._subscribers += 1
+
     def __len__(self) -> int:
         """Total snapshots ever appended (independent of eviction)."""
         with self._cond:
@@ -140,7 +193,18 @@ class SnapshotBuffer:
                 if cursor < end:
                     index = max(cursor, self._base)
                     snapshot = self._snapshots[index - self._base]
-                    return snapshot, index + 1, index - cursor
+                    dropped = index - cursor
+                    if dropped:
+                        self._drops += dropped
+                    metrics = self._metrics
+                    if metrics is not None:
+                        lag = (metrics.clock()
+                               - self._times[index - self._base])
+                        self._last_lag = lag
+                        metrics.lag.observe(lag)
+                        if dropped:
+                            metrics.drops.inc(dropped)
+                    return snapshot, index + 1, dropped
                 if self._closed:
                     return None, cursor, 0
                 if deadline is None:
@@ -160,6 +224,7 @@ class Subscription:
         self._cursor = start
         #: Snapshots this subscriber missed to bounded-buffer eviction.
         self.dropped = 0
+        buffer.register_cursor()
 
     @property
     def cursor(self) -> int:
@@ -194,6 +259,18 @@ class Subscription:
             yield snapshot
 
 
+def _buffer_status(buffer: SnapshotBuffer) -> dict:
+    """Server-side buffer health for ``status`` replies: cumulative
+    drops/evictions (previously visible only to the dropping
+    subscriber), subscriber count, and the latest consume lag."""
+    return {
+        "drops": buffer.drops,
+        "evictions": buffer.evictions,
+        "subscribers": buffer.subscribers,
+        "snapshot_lag_seconds": buffer.last_lag,
+    }
+
+
 class QuerySession:
     """One submitted query: executor + lifecycle + snapshot buffer.
 
@@ -210,6 +287,7 @@ class QuerySession:
         executor: StepExecutor,
         priority: float = 1.0,
         buffer_size: int | None = None,
+        buffer_metrics=None,
     ) -> None:
         if priority <= 0:
             raise QueryError(
@@ -221,7 +299,8 @@ class QuerySession:
         self.priority = float(priority)
         self.state = SessionState.SUBMITTED
         self.error: BaseException | None = None
-        self.buffer = SnapshotBuffer(maxlen=buffer_size)
+        self.buffer = SnapshotBuffer(maxlen=buffer_size,
+                                     metrics=buffer_metrics)
         self.steps = 0
         #: Consecutive failed attempts at the *current* step (reset to 0
         #: by the scheduler after any successful step or quarantine).
@@ -245,6 +324,10 @@ class QuerySession:
         #: Canonical plan hash (set by the service when the result
         #: cache is on; ``None`` for directly scheduled sessions).
         self.plan_hash: str | None = None
+        #: Optional :class:`repro.obs.trace.SessionTrace` — set via
+        #: ``scheduler.submit(trace=...)`` *before* the daemon step
+        #: loop can touch the session, so no step goes unrecorded.
+        self.trace = None
         #: Attached sessions (result-cache hits) fed by this session's
         #: pump — each receives a *reference* to every snapshot this
         #: session produces (O(1) per snapshot, no copies).
@@ -283,6 +366,8 @@ class QuerySession:
             self.error = error
         self.buffer.close(error=error)
         self.finished_at = time.monotonic()
+        if self.trace is not None:
+            self.trace.finish(state=state.value)
         for attached in self.fanout:
             attached.finish_from_primary(state, error)
         self.fanout = []
@@ -340,6 +425,7 @@ class QuerySession:
             "retries": self.retries_used,
             "degraded": self.degraded(),
             "cache_hit": False,
+            "buffer": _buffer_status(self.buffer),
         }
 
     def __repr__(self) -> str:
@@ -374,6 +460,7 @@ class AttachedSession:
         name: str,
         primary: QuerySession,
         buffer_size: int | None = None,
+        buffer_metrics=None,
     ) -> None:
         self.session_id = session_id
         self.name = name
@@ -381,7 +468,8 @@ class AttachedSession:
         self.priority = primary.priority
         self.state = primary.state
         self.error: BaseException | None = None
-        self.buffer = SnapshotBuffer(maxlen=buffer_size)
+        self.buffer = SnapshotBuffer(maxlen=buffer_size,
+                                     metrics=buffer_metrics)
         self.plan_hash = primary.plan_hash
         self.submitted_at = time.monotonic()
         self.finished_at: float | None = None
@@ -452,6 +540,7 @@ class AttachedSession:
             "degraded": self.degraded(),
             "cache_hit": True,
             "attached_to": self.primary.session_id,
+            "buffer": _buffer_status(self.buffer),
         }
 
     def __repr__(self) -> str:

@@ -231,6 +231,58 @@ class TestLocalImport:
         assert lint_file(path) == []
 
 
+class TestMetricHotLookup:
+    def test_flags_registry_lookup_in_consume(self, tmp_path):
+        path = _write(tmp_path, "ops.py", """\
+            class Agg:
+                def consume_delta(self, message):
+                    self.registry.counter("rows_total").inc(
+                        message.n_rows
+                    )
+            """)
+        findings = lint_file(path)
+        assert _rules(findings) == ["metric-hot-lookup"]
+        assert "pre-bind" in findings[0].message
+
+    def test_flags_label_dict_literal_in_step(self, tmp_path):
+        path = _write(tmp_path, "sched.py", """\
+            class Scheduler:
+                def step(self):
+                    self.steps.inc(labels={"session": self.name})
+            """)
+        findings = lint_file(path)
+        assert _rules(findings) == ["metric-hot-lookup"]
+        assert "dict per" in findings[0].message
+
+    def test_flags_lookup_in_next(self, tmp_path):
+        path = _write(tmp_path, "scan.py", """\
+            class Stream:
+                def __next__(self):
+                    self.registry.histogram("lat").observe(0.1)
+            """)
+        assert _rules(lint_file(path)) == ["metric-hot-lookup"]
+
+    def test_prebound_instrument_call_is_fine(self, tmp_path):
+        path = _write(tmp_path, "ops.py", """\
+            class Agg:
+                def __init__(self, registry):
+                    self._rows = registry.counter("rows_total")
+
+                def consume_delta(self, message):
+                    self._rows.inc(message.n_rows)
+            """)
+        assert lint_file(path) == []
+
+    def test_lookup_outside_hot_bodies_is_fine(self, tmp_path):
+        path = _write(tmp_path, "wiring.py", """\
+            def build(registry):
+                return registry.counter(
+                    "rows_total", labels={"table": "sales"}
+                )
+            """)
+        assert lint_file(path) == []
+
+
 class TestSuppression:
     def test_allow_comment_suppresses_one_rule(self, tmp_path):
         path = _write(tmp_path, "engine/ops/filter.py", """\
@@ -283,7 +335,7 @@ class TestDriverAndFormats:
 
     def test_every_rule_has_a_name(self):
         names = [rule.name for rule in ALL_RULES]
-        assert len(names) == len(set(names)) == 5
+        assert len(names) == len(set(names)) == 6
 
 
 class TestCli:

@@ -1,0 +1,106 @@
+"""Unit + integration tests for the per-operator profiler and the
+``explain(mode="profile")`` / scan-instrument seams."""
+
+import pytest
+
+from repro import F, WakeContext
+from repro.errors import QueryError
+from repro.obs import (
+    MetricsRegistry,
+    OperatorProfiler,
+    ScanInstruments,
+)
+
+
+class TestOperatorProfiler:
+    def test_record_accumulates_per_operator(self):
+        p = OperatorProfiler()
+        p.record("scan", 0.010, 100)
+        p.record("scan", 0.020, 50)
+        p.record("agg", 0.005, 150)
+        out = p.to_dict()
+        assert out["scan"] == {
+            "calls": 2, "rows": 150,
+            "seconds": pytest.approx(0.030),
+        }
+        assert out["agg"]["calls"] == 1
+        assert p.total_seconds == pytest.approx(0.035)
+
+    def test_rows_sorted_by_time_with_totals(self):
+        p = OperatorProfiler()
+        p.record("fast", 0.001, 10)
+        p.record("slow", 0.100, 20)
+        rows = p.rows()
+        assert [r[0] for r in rows] == ["slow", "fast", "total"]
+        assert rows[-1][1] == 2  # total calls
+        assert rows[-1][2] == 30  # total rows
+        assert rows[-1][4] == "100.0%"
+
+    def test_empty_profiler_renders_without_div_by_zero(self):
+        text = OperatorProfiler().render()
+        assert "operator" in text
+        assert "0.0%" in text
+
+
+class TestExplainProfile:
+    def test_profile_mode_renders_every_operator(self, catalog):
+        ctx = WakeContext(catalog)
+        plan = ctx.table("sales").agg(
+            F.sum("qty").alias("s"), by=["cust"]
+        )
+        text = ctx.explain(plan, mode="profile")
+        assert "read(sales)" in text
+        assert "operator" in text and "time-ms" in text
+        assert "total" in text
+        profile = ctx.last_profile
+        assert profile is not None
+        assert profile.total_seconds > 0
+        # The scan pulled every sales partition's rows.
+        assert profile.to_dict()["read(sales)"]["rows"] == 60
+
+    def test_unknown_mode_lists_profile(self, catalog):
+        ctx = WakeContext(catalog)
+        plan = ctx.table("sales").sum("qty")
+        with pytest.raises(QueryError, match="'profile'"):
+            ctx.explain(plan, mode="nope")
+
+    def test_profile_does_not_leak_into_plain_runs(self, catalog):
+        ctx = WakeContext(catalog)
+        plan = ctx.table("sales").sum("qty")
+        ctx.explain(plan, mode="profile")
+        # A later normal run must not inherit a profiler.
+        plan2 = ctx.table("sales").sum("qty")
+        ctx.run(plan2)
+        assert ctx.last_executor.profiler is None
+
+
+class TestScanInstruments:
+    def test_scan_counters_track_reads_rows_and_bytes(self, catalog):
+        ctx = WakeContext(catalog)
+        registry = MetricsRegistry()
+        scan = ScanInstruments(registry)
+        plan = ctx.table("sales").sum("qty")
+        executor = ctx.executor_for(plan)
+        executor.scan_metrics = scan
+        executor.run()
+        assert scan.partitions_read.value == 6
+        assert scan.rows_read.value == 60
+        assert scan.bytes_read.value > 0
+        assert scan.partitions_pruned.value == 0
+
+    def test_pruned_partitions_counted_not_read(self, catalog):
+        from repro import col
+
+        ctx = WakeContext(catalog)
+        registry = MetricsRegistry()
+        scan = ScanInstruments(registry)
+        # okey is clustered 0..29 over 6 partitions; a tight predicate
+        # lets the zone maps prune most of them.
+        plan = (
+            ctx.table("sales").filter(col("okey") <= 4).sum("qty")
+        )
+        executor = ctx.executor_for(plan)
+        executor.scan_metrics = scan
+        executor.run()
+        assert scan.partitions_pruned.value == 5
+        assert scan.partitions_read.value == 1

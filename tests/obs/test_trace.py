@@ -1,0 +1,132 @@
+"""Unit tests for query-lifecycle tracing (span trees, step aggregates,
+the tracer ring, and rendering)."""
+
+from repro.obs import SessionTrace, Tracer, maybe_span
+
+
+class FakeClock:
+    def __init__(self, now=10.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestSessionTrace:
+    def test_span_nesting_builds_a_tree(self):
+        clock = FakeClock()
+        trace = SessionTrace("q06", clock=clock)
+        with trace.span("submit"):
+            clock.advance(1.0)
+            with trace.span("validate"):
+                clock.advance(0.5)
+            with trace.span("optimize"):
+                clock.advance(0.25)
+        root = trace.root
+        assert root.name == "query"
+        (submit,) = root.children
+        assert submit.name == "submit"
+        assert [c.name for c in submit.children] == [
+            "validate", "optimize"
+        ]
+        assert submit.duration == 1.75
+        assert submit.children[0].duration == 0.5
+
+    def test_span_attrs_recorded(self):
+        trace = SessionTrace("q", clock=FakeClock())
+        with trace.span("cache_lookup", query="q06") as span:
+            span.attrs["hit"] = True
+        (span,) = trace.root.children
+        assert span.attrs == {"query": "q06", "hit": True}
+
+    def test_step_ring_bounds_retention_aggregates_stay_exact(self):
+        trace = SessionTrace("q", clock=FakeClock(),
+                             max_step_events=4)
+        for i in range(10):
+            trace.record_step(i, 0.1)
+        assert trace.steps_total == 10
+        assert round(trace.step_seconds, 6) == 1.0
+        assert len(trace.steps) == 4
+        assert [i for i, _, _ in trace.steps] == [6, 7, 8, 9]
+
+    def test_finish_is_idempotent_and_records_state(self):
+        clock = FakeClock()
+        trace = SessionTrace("q", clock=clock)
+        clock.advance(2.0)
+        trace.finish(state="done")
+        ended = trace.root.ended
+        clock.advance(5.0)
+        trace.finish(state="done")
+        assert trace.root.ended == ended
+        assert trace.root.attrs["state"] == "done"
+
+    def test_to_dict_carries_correlation_ids(self):
+        trace = SessionTrace("q06", clock=FakeClock())
+        trace.session_id = "s1"
+        trace.plan_hash = "abc123"
+        trace.record_step(0, 0.01)
+        trace.record_publish(2)
+        out = trace.to_dict()
+        assert out["session"] == "s1"
+        assert out["plan_hash"] == "abc123"
+        assert out["steps_total"] == 1
+        assert out["publishes_total"] == 2
+        assert out["spans"]["name"] == "query"
+        assert out["recent_steps"][0]["index"] == 0
+
+    def test_render_mentions_spans_and_aggregates(self):
+        clock = FakeClock()
+        trace = SessionTrace("q06", clock=clock)
+        trace.session_id = "s1"
+        trace.plan_hash = "deadbeefdeadbeef"
+        with trace.span("submit"):
+            clock.advance(0.5)
+        trace.record_step(0, 0.002)
+        trace.record_publish(1)
+        trace.finish(state="done")
+        text = trace.render()
+        assert "trace s1 (q06)" in text
+        assert "plan=deadbeefdead" in text
+        assert "submit" in text
+        assert "execute: 1 step(s)" in text
+        assert "publish: 1 snapshot(s)" in text
+
+    def test_maybe_span_none_is_a_noop(self):
+        with maybe_span(None, "anything"):
+            pass
+        trace = SessionTrace("q", clock=FakeClock())
+        with maybe_span(trace, "real"):
+            pass
+        assert [c.name for c in trace.root.children] == ["real"]
+
+
+class TestTracer:
+    def test_bind_and_get(self):
+        tracer = Tracer(clock=FakeClock())
+        trace = tracer.begin("q06")
+        tracer.bind("s1", trace)
+        assert trace.session_id == "s1"
+        assert tracer.get("s1") is trace
+        assert tracer.get("unknown") is None
+
+    def test_ring_evicts_oldest(self):
+        tracer = Tracer(clock=FakeClock(), max_traces=2)
+        for i in range(3):
+            tracer.bind(f"s{i}", tracer.begin(f"q{i}"))
+        assert tracer.get("s0") is None
+        assert [t.session_id for t in tracer.traces()] == ["s1", "s2"]
+
+    def test_rebinding_same_session_moves_to_newest(self):
+        tracer = Tracer(clock=FakeClock(), max_traces=2)
+        first = tracer.begin("a")
+        tracer.bind("s1", first)
+        tracer.bind("s2", tracer.begin("b"))
+        tracer.bind("s1", tracer.begin("c"))
+        tracer.bind("s3", tracer.begin("d"))
+        # s2 was the oldest after s1 refreshed; it falls out first.
+        assert tracer.get("s2") is None
+        assert tracer.get("s1").name == "c"
+        assert tracer.get("s3").name == "d"

@@ -67,6 +67,24 @@ class TestRun:
             main(["run", str(cli_catalog), "99"])
 
 
+class TestProfile:
+    def test_profile_prints_operator_breakdown(self, cli_catalog,
+                                               capsys):
+        assert main(["profile", str(cli_catalog), "6"]) == 0
+        out = capsys.readouterr().out
+        assert "profiling q06" in out
+        assert "read(lineitem)" in out
+        assert "time-ms" in out
+        assert "total" in out
+
+    def test_profile_with_param_override(self, cli_catalog, capsys):
+        assert main([
+            "profile", str(cli_catalog), "18",
+            "--param", "threshold=100",
+        ]) == 0
+        assert "operator" in capsys.readouterr().out
+
+
 def test_module_entrypoint():
     completed = subprocess.run(
         [sys.executable, "-m", "repro", "--help"],
